@@ -1,0 +1,180 @@
+// Command benchfig regenerates the figures and tables of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	benchfig -fig 1            # Fig. 1: throughput vs wavelengths, random net
+//	benchfig -fig 2            # Fig. 2: the same on Abilene
+//	benchfig -fig 3            # Fig. 3: computation time vs jobs
+//	benchfig -fig 4            # Fig. 4 + §III-B.1: RET end times & fractions
+//	benchfig -fig all          # everything
+//	benchfig -fig 1 -quick     # reduced scale for a fast run
+//	benchfig -fig 1 -csv       # CSV instead of aligned text
+//
+// Scale flags (-nodes, -pairs, -jobs, -slices, -k, -seeds) override the
+// defaults, which match the paper (100 nodes, 200 link pairs, 20 Gb/s
+// links, sizes U[1,100] GB).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"wavesched/internal/experiments"
+	"wavesched/internal/metrics"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, or all")
+		quick  = flag.Bool("quick", false, "use the reduced quick scale")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		nodes  = flag.Int("nodes", 0, "override random-network node count")
+		pairs  = flag.Int("pairs", 0, "override random-network link-pair count")
+		jobs   = flag.Int("jobs", 0, "override job count")
+		slices = flag.Int("slices", 0, "override horizon slices")
+		k      = flag.Int("k", 0, "override paths per job")
+		seeds  = flag.String("seeds", "", "comma-separated replication seeds")
+		waves  = flag.String("waves", "", "comma-separated wavelength sweep for figs 1-2")
+		counts = flag.String("counts", "", "comma-separated job-count sweep for figs 3-4")
+	)
+	flag.Parse()
+
+	sc := experiments.PaperScale()
+	if *quick {
+		sc = experiments.QuickScale()
+	}
+	if *nodes > 0 {
+		sc.Nodes = *nodes
+	}
+	if *pairs > 0 {
+		sc.LinkPairs = *pairs
+	}
+	if *jobs > 0 {
+		sc.Jobs = *jobs
+	}
+	if *slices > 0 {
+		sc.Slices = *slices
+	}
+	if *k > 0 {
+		sc.K = *k
+	}
+	if *seeds != "" {
+		sc.Seeds = nil
+		for _, s := range strings.Split(*seeds, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				fatal("bad -seeds value %q: %v", s, err)
+			}
+			sc.Seeds = append(sc.Seeds, v)
+		}
+	}
+	waveSweep := parseInts(*waves)
+	countSweep := parseInts(*counts)
+
+	render := func(t *metrics.Table) {
+		var err error
+		if *csv {
+			err = t.RenderCSV(os.Stdout)
+		} else {
+			err = t.Render(os.Stdout)
+			fmt.Println()
+		}
+		if err != nil {
+			fatal("render: %v", err)
+		}
+	}
+
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+
+	if want("1") {
+		rows, err := experiments.Fig1(sc, waveSweep)
+		if err != nil {
+			fatal("fig 1: %v", err)
+		}
+		render(experiments.ThroughputTable(
+			"Fig. 1 — normalized throughput vs wavelengths per link (random network)", rows))
+	}
+	if want("2") {
+		rows, err := experiments.Fig2(sc, waveSweep)
+		if err != nil {
+			fatal("fig 2: %v", err)
+		}
+		render(experiments.ThroughputTable(
+			"Fig. 2 — normalized throughput vs wavelengths per link (Abilene, 11 nodes / 20 pairs)", rows))
+	}
+	if want("3") {
+		rows, err := experiments.Fig3(sc, countSweep)
+		if err != nil {
+			fatal("fig 3: %v", err)
+		}
+		render(experiments.TimeTable(
+			"Fig. 3 — computation time vs number of jobs (random network)", rows))
+	}
+	if want("4") || want("ff") {
+		rows, err := experiments.Fig4(sc, countSweep, experiments.RETConfig{})
+		if err != nil {
+			fatal("fig 4: %v", err)
+		}
+		render(experiments.RETTable(
+			"Fig. 4 + §III-B.1 — RET: average end time (slices) and fraction finished", rows))
+	}
+	if *fig == "ablation" {
+		type sweep struct {
+			title, m1, m2 string
+			run           func() ([]experiments.AblationRow, error)
+		}
+		sweeps := []sweep{
+			{"Ablation — fairness slack α", "LPDAR throughput", "min Z_i",
+				func() ([]experiments.AblationRow, error) { return experiments.AblationAlpha(sc, nil) }},
+			{"Ablation — paths per job", "Z*", "LPDAR throughput",
+				func() ([]experiments.AblationRow, error) { return experiments.AblationPaths(sc, nil) }},
+			{"Ablation — LPDAR pass variants", "ratio vs LP", "min Z_i",
+				func() ([]experiments.AblationRow, error) { return experiments.AblationAdjust(sc) }},
+			{"Ablation — simplex pricing", "iterations", "Z*",
+				func() ([]experiments.AblationRow, error) { return experiments.AblationPricing(sc) }},
+		}
+		for _, s := range sweeps {
+			rows, err := s.run()
+			if err != nil {
+				fatal("ablation: %v", err)
+			}
+			render(experiments.AblationTable(s.title, s.m1, s.m2, rows))
+		}
+	}
+	if *fig == "gap" {
+		n := 10
+		if *quick {
+			n = 4
+		}
+		rows, err := experiments.OptimalityGap(n, sc)
+		if err != nil {
+			fatal("gap: %v", err)
+		}
+		render(experiments.GapTable(
+			"Beyond the paper — LPDAR vs proven integer optimum (branch and bound)", rows))
+	}
+}
+
+func parseInts(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fatal("bad integer list %q: %v", s, err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "benchfig: "+format+"\n", args...)
+	os.Exit(1)
+}

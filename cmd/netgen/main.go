@@ -1,0 +1,72 @@
+// Command netgen generates network topologies as JSON for use with the
+// wavesched CLI.
+//
+// Usage:
+//
+//	netgen -topo waxman -nodes 100 -pairs 200 -waves 4 -seed 1 > net.json
+//	netgen -topo abilene -waves 8 > abilene.json
+//	netgen -topo abilene-dense -waves 8 > abilene20.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wavesched/internal/netgraph"
+)
+
+func main() {
+	var (
+		topo   = flag.String("topo", "waxman", "topology: waxman, abilene, abilene-dense, geant2, ring, line, grid")
+		nodes  = flag.Int("nodes", 100, "node count (waxman/ring/line); rows for grid")
+		cols   = flag.Int("cols", 4, "columns (grid only)")
+		pairs  = flag.Int("pairs", 200, "bidirectional link pairs (waxman)")
+		waves  = flag.Int("waves", 4, "wavelengths per link")
+		gbps   = flag.Float64("gbps", 20, "total link capacity in Gb/s")
+		seed   = flag.Int64("seed", 1, "random seed (waxman)")
+		format = flag.String("format", "json", "output format: json or brite")
+	)
+	flag.Parse()
+
+	perWave := *gbps / float64(*waves)
+	var g *netgraph.Graph
+	var err error
+	switch *topo {
+	case "waxman":
+		g, err = netgraph.Waxman(netgraph.WaxmanConfig{
+			Nodes: *nodes, LinkPairs: *pairs,
+			Wavelengths: *waves, GbpsPerWave: perWave, Seed: *seed,
+		})
+	case "abilene":
+		g = netgraph.Abilene(*waves)
+	case "abilene-dense":
+		g = netgraph.AbileneDense(*waves)
+	case "geant2":
+		g = netgraph.Geant2(*waves)
+	case "ring":
+		g = netgraph.Ring(*nodes, *waves, perWave)
+	case "line":
+		g = netgraph.Line(*nodes, *waves, perWave)
+	case "grid":
+		g = netgraph.Grid(*nodes, *cols, *waves, perWave)
+	default:
+		err = fmt.Errorf("unknown topology %q", *topo)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netgen: %v\n", err)
+		os.Exit(1)
+	}
+	switch *format {
+	case "json":
+		err = g.WriteJSON(os.Stdout)
+	case "brite":
+		err = g.WriteBRITE(os.Stdout)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netgen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,282 @@
+// Command wavesched runs the paper's scheduling algorithms on a scenario:
+// a network topology (JSON from netgen) plus a job list (JSON array).
+//
+// Usage:
+//
+//	wavesched -net net.json -jobs jobs.json -algo maxthroughput -slices 10
+//	wavesched -net net.json -jobs jobs.json -algo ret -bmax 5
+//	wavesched -net net.json -gen 20 -gen-seed 7 -algo maxthroughput
+//
+// With -gen N a random workload of N jobs is generated instead of -jobs.
+// The tool prints Z*, per-job throughputs, and the integer LPDAR schedule
+// summary; -verbose dumps the per-slice wavelength assignments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wavesched/internal/job"
+	"wavesched/internal/lp"
+	"wavesched/internal/metrics"
+	"wavesched/internal/netgraph"
+	"wavesched/internal/schedule"
+	"wavesched/internal/timeslice"
+	"wavesched/internal/workload"
+)
+
+func main() {
+	var (
+		netPath  = flag.String("net", "", "network JSON (required)")
+		jobsPath = flag.String("jobs", "", "jobs JSON")
+		gen      = flag.Int("gen", 0, "generate this many random jobs instead of -jobs")
+		genSeed  = flag.Int64("gen-seed", 1, "workload seed for -gen")
+		algo     = flag.String("algo", "maxthroughput", "algorithm: maxthroughput or ret")
+		slices   = flag.Int("slices", 10, "horizon length in slices")
+		sliceLen = flag.Float64("slice-len", 1, "slice duration")
+		k        = flag.Int("k", 4, "allowed paths per job")
+		alpha    = flag.Float64("alpha", 0.1, "stage-2 fairness slack")
+		bmax     = flag.Float64("bmax", 5, "RET extension ceiling")
+		verbose  = flag.Bool("verbose", false, "dump per-slice assignments")
+	)
+	flag.Parse()
+
+	if *netPath == "" {
+		fatal("-net is required")
+	}
+	nf, err := os.Open(*netPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	var g *netgraph.Graph
+	if strings.HasSuffix(*netPath, ".brite") {
+		g, err = netgraph.ReadBRITE(nf, 0)
+	} else {
+		g, err = netgraph.ReadJSON(nf)
+	}
+	nf.Close()
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	var jobs []job.Job
+	switch {
+	case *gen > 0:
+		jobs, err = workload.Generate(g, workload.Config{
+			Jobs: *gen, Seed: *genSeed,
+			GBToDemand: workload.GBToDemandFactor(g.Edge(0).GbpsPerWave, *sliceLen*10),
+			MinWindow:  float64(*slices) * *sliceLen / 2,
+			MaxWindow:  float64(*slices) * *sliceLen,
+		})
+		if err != nil {
+			fatal("generate workload: %v", err)
+		}
+	case *jobsPath != "":
+		jf, err := os.Open(*jobsPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		jobs, err = job.ReadJSON(jf)
+		jf.Close()
+		if err != nil {
+			fatal("%v", err)
+		}
+	default:
+		fatal("provide -jobs or -gen")
+	}
+
+	fmt.Printf("network %q: %d nodes, %d directed edges, %d wavelengths/link\n",
+		g.Name, g.NumNodes(), g.NumEdges(), g.Edge(0).Wavelengths)
+	fmt.Printf("jobs: %d, total demand %.2f wavelength-slices\n\n", len(jobs), totalSize(jobs))
+
+	switch *algo {
+	case "maxthroughput":
+		runMaxThroughput(g, jobs, *slices, *sliceLen, *k, *alpha, *verbose)
+	case "ret":
+		runRET(g, jobs, *sliceLen, *k, *bmax, *verbose)
+	case "admit":
+		runAdmit(g, jobs, *slices, *sliceLen, *k)
+	case "bottleneck":
+		runBottleneck(g, jobs, *slices, *sliceLen, *k)
+	default:
+		fatal("unknown -algo %q (want maxthroughput, ret, admit, or bottleneck)", *algo)
+	}
+}
+
+// runAdmit demonstrates the paper's action (i): reject-based admission
+// control by arrival order with binary search on the feasible prefix.
+func runAdmit(g *netgraph.Graph, jobs []job.Job, slices int, sliceLen float64, k int) {
+	grid, err := timeslice.Uniform(0, sliceLen, slices)
+	if err != nil {
+		fatal("%v", err)
+	}
+	res, err := schedule.AdmitPrefix(g, grid, jobs, k, schedule.ByRequestTime, lpOptions())
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("admitted %d of %d jobs (Z* = %.3f over the admitted set, %d LP solves)\n\n",
+		len(res.Admitted), len(jobs), res.ZStar, res.LPSolves)
+	for _, j := range res.Admitted {
+		fmt.Printf("  ADMIT  %s\n", j)
+	}
+	for _, j := range res.Rejected {
+		fmt.Printf("  REJECT %s\n", j)
+	}
+}
+
+// runBottleneck reports the links whose extra wavelengths would raise Z*.
+func runBottleneck(g *netgraph.Graph, jobs []job.Job, slices int, sliceLen float64, k int) {
+	grid, err := timeslice.Uniform(0, sliceLen, slices)
+	if err != nil {
+		fatal("%v", err)
+	}
+	inst, err := schedule.NewInstance(g, grid, jobs, k)
+	if err != nil {
+		fatal("%v", err)
+	}
+	bns, s1, err := schedule.BottleneckAnalysis(inst, lpOptions())
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("Z* = %.4f; %d binding capacity constraints\n\n", s1.ZStar, len(bns))
+	t := metrics.NewTable("capacity shadow prices (top 15)", "link", "slice", "dZ*/dC", "valid cap range")
+	for i, b := range bns {
+		if i == 15 {
+			break
+		}
+		e := g.Edge(b.Edge)
+		t.AddRow(
+			fmt.Sprintf("%s->%s", nodeLabel(g, e.From), nodeLabel(g, e.To)),
+			fmt.Sprintf("%d", b.Slice),
+			fmt.Sprintf("%.4f", b.ShadowPrice),
+			fmt.Sprintf("[%.1f, %.1f]", b.CapRange.Lo, b.CapRange.Hi),
+		)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		fatal("%v", err)
+	}
+}
+
+func nodeLabel(g *netgraph.Graph, v netgraph.NodeID) string {
+	if name := g.Node(v).Name; name != "" {
+		return name
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+func lpOptions() lp.Options {
+	return lp.Options{Pricing: lp.PartialDantzig}
+}
+
+func runMaxThroughput(g *netgraph.Graph, jobs []job.Job, slices int, sliceLen float64, k int, alpha float64, verbose bool) {
+	grid, err := timeslice.Uniform(0, sliceLen, slices)
+	if err != nil {
+		fatal("%v", err)
+	}
+	inst, err := schedule.NewInstance(g, grid, jobs, k)
+	if err != nil {
+		fatal("%v", err)
+	}
+	res, err := schedule.MaxThroughput(inst, schedule.Config{Alpha: alpha, AlphaGrowth: 0.1})
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("Z* = %.4f  (%s)\n", res.ZStar, loadWord(res.ZStar))
+	fmt.Printf("weighted throughput: LP %.4f  LPD %.4f  LPDAR %.4f\n",
+		res.LP.WeightedThroughput(), res.LPD.WeightedThroughput(), res.LPDAR.WeightedThroughput())
+	fmt.Printf("times: stage1 %v (%d iters)  stage2 %v (%d iters)  integerize %v\n\n",
+		res.Stage1Time, res.Stage1Iters, res.Stage2Time, res.Stage2Iters,
+		res.TruncateTime+res.AdjustTime)
+
+	t := metrics.NewTable("per-job throughput Z_i (LPDAR)", "job", "src->dst", "size", "Z_i", "delivered")
+	for idx, j := range inst.Jobs {
+		t.AddRow(
+			fmt.Sprintf("%d", j.ID),
+			fmt.Sprintf("%d->%d", j.Src, j.Dst),
+			fmt.Sprintf("%.2f", j.Size),
+			fmt.Sprintf("%.3f", res.LPDAR.Throughput(idx)),
+			fmt.Sprintf("%.2f", res.LPDAR.Transferred(idx)),
+		)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		fatal("%v", err)
+	}
+	if verbose {
+		dumpAssignment(res.LPDAR)
+	}
+}
+
+func runRET(g *netgraph.Graph, jobs []job.Job, sliceLen float64, k int, bmax float64, verbose bool) {
+	inst, err := schedule.BuildRETInstance(g, jobs, sliceLen, k, bmax)
+	if err != nil {
+		fatal("%v", err)
+	}
+	res, err := schedule.SolveRET(inst, schedule.RETConfig{BMax: bmax})
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("b^ = %.4f (fractional minimum), final b = %.4f after %d δ-rounds\n", res.BHat, res.B, res.Rounds)
+	lpEnd, _ := res.LP.AverageEndTime()
+	darEnd, _ := res.LPDAR.AverageEndTime()
+	fmt.Printf("fraction finished: LP %.2f  LPD %.2f  LPDAR %.2f\n",
+		res.LP.FractionFinished(), res.LPD.FractionFinished(), res.LPDAR.FractionFinished())
+	fmt.Printf("average end time (slices): LP %.2f  LPDAR %.2f\n\n", lpEnd, darEnd)
+
+	t := metrics.NewTable("per-job completion (LPDAR)", "job", "src->dst", "size", "orig end", "new end", "finish slice")
+	for idx, j := range inst.Jobs {
+		fs, ok := res.LPDAR.FinishSlice(idx)
+		finish := "-"
+		if ok {
+			finish = fmt.Sprintf("%d", fs+1)
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", j.ID),
+			fmt.Sprintf("%d->%d", j.Src, j.Dst),
+			fmt.Sprintf("%.2f", j.Size),
+			fmt.Sprintf("%.2f", j.End),
+			fmt.Sprintf("%.2f", inst.Grid.ExtendFactor(j.End, res.B)),
+			finish,
+		)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		fatal("%v", err)
+	}
+	if verbose {
+		dumpAssignment(res.LPDAR)
+	}
+}
+
+func dumpAssignment(a *schedule.Assignment) {
+	fmt.Println("\nper-slice wavelength assignments (job/path/slice -> wavelengths):")
+	for kIdx := range a.X {
+		for p := range a.X[kIdx] {
+			for j, v := range a.X[kIdx][p] {
+				if v > 0 {
+					fmt.Printf("  job %d path %d slice %d: %.0f\n", a.Inst.Jobs[kIdx].ID, p, j, v)
+				}
+			}
+		}
+	}
+}
+
+func totalSize(jobs []job.Job) float64 {
+	t := 0.0
+	for _, j := range jobs {
+		t += j.Size
+	}
+	return t
+}
+
+func loadWord(z float64) string {
+	if z <= 1 {
+		return "overloaded"
+	}
+	return "underloaded"
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "wavesched: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module wavesched
+
+go 1.22

@@ -1,0 +1,507 @@
+// Package controller implements the paper's network-controller framework
+// (Section II-A): job requests are collected continuously, and every τ
+// time units the controller runs admission control and scheduling over all
+// known jobs — new arrivals and admitted-but-unfinished transfers alike —
+// then commits integer wavelength assignments for the next period.
+//
+// Two policies mirror the paper's two algorithms for the overloaded case:
+// PolicyMaxThroughput guarantees end times and reduces effective job sizes
+// (action ii), and PolicyRET extends end times so every job completes in
+// full (action iii).
+package controller
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"wavesched/internal/job"
+	"wavesched/internal/lp"
+	"wavesched/internal/netgraph"
+	"wavesched/internal/schedule"
+	"wavesched/internal/timeslice"
+)
+
+// Policy selects the overload behaviour.
+type Policy int
+
+// Overload policies.
+const (
+	// PolicyMaxThroughput runs the two-stage algorithm with LPDAR; when
+	// overloaded, jobs deliver Z_i·D_i ≤ D_i by their end times.
+	PolicyMaxThroughput Policy = iota
+	// PolicyRET runs Algorithm 2; all jobs complete in full, possibly
+	// after their requested end times.
+	PolicyRET
+	// PolicyReject is the paper's action (i): new requests are admitted
+	// in arrival order only while the network can still complete every
+	// admitted job by its end time (stage-1 Z* ≥ 1, found by binary
+	// search per footnote 1); the rest are rejected. Admitted jobs then
+	// always finish on time.
+	PolicyReject
+)
+
+// Config tunes the controller.
+type Config struct {
+	Tau      float64 // scheduling period; must be a multiple of SliceLen
+	SliceLen float64 // slice duration
+	K        int     // allowed paths per job
+	Alpha    float64 // stage-2 fairness slack (PolicyMaxThroughput)
+	Policy   Policy
+	BMax     float64 // RET search ceiling (PolicyRET); default 10
+	Solver   lp.Options
+}
+
+func (c Config) validate() error {
+	if c.SliceLen <= 0 {
+		return fmt.Errorf("controller: SliceLen must be positive, got %g", c.SliceLen)
+	}
+	if c.Tau <= 0 {
+		return fmt.Errorf("controller: Tau must be positive, got %g", c.Tau)
+	}
+	ratio := c.Tau / c.SliceLen
+	if math.Abs(ratio-math.Round(ratio)) > 1e-9 || ratio < 1 {
+		return fmt.Errorf("controller: Tau (%g) must be a positive multiple of SliceLen (%g)", c.Tau, c.SliceLen)
+	}
+	return nil
+}
+
+// Record is the final accounting for one job.
+type Record struct {
+	Job         job.Job
+	Delivered   float64 // total data actually transferred
+	FinishTime  float64 // when the transfer completed (or the deadline passed)
+	MetDeadline bool    // finished by the *requested* end time
+	Completed   bool    // demand fully delivered (possibly late under RET)
+	Rejected    bool    // never admitted (window already unusable)
+}
+
+// activeJob is an admitted transfer in progress.
+type activeJob struct {
+	orig      job.Job
+	remaining float64
+	delivered float64
+	// effectiveEnd is the deadline currently in force (extended under RET).
+	effectiveEnd float64
+}
+
+// Controller is the periodic network controller. It is not safe for
+// concurrent use.
+type Controller struct {
+	g   *netgraph.Graph
+	cfg Config
+
+	now     float64
+	pending []job.Job
+	active  []*activeJob
+	records []Record
+	epochs  []EpochStat
+
+	// Epochs counts RunEpoch calls.
+	Epochs int
+}
+
+// EpochStat summarizes one scheduling instant and the period it committed.
+type EpochStat struct {
+	Time        float64 // the instant kτ
+	ActiveJobs  int     // jobs optimized at this instant
+	Admitted    int     // new requests taken from the pending buffer
+	Rejected    int     // new requests rejected immediately
+	Scheduled   float64 // wavelength·time units committed in [kτ, (k+1)τ)
+	Capacity    float64 // total wavelength·time units available in the period
+	Utilization float64 // Scheduled / Capacity (0 when idle)
+}
+
+// EpochStats returns the per-epoch utilization history.
+func (c *Controller) EpochStats() []EpochStat {
+	out := make([]EpochStat, len(c.epochs))
+	copy(out, c.epochs)
+	return out
+}
+
+// New returns a controller starting at time 0.
+func New(g *netgraph.Graph, cfg Config) (*Controller, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.K <= 0 {
+		cfg.K = 4
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.1
+	}
+	if cfg.BMax == 0 {
+		cfg.BMax = 10
+	}
+	return &Controller{g: g, cfg: cfg}, nil
+}
+
+// Now returns the controller's clock.
+func (c *Controller) Now() float64 { return c.now }
+
+// Submit buffers a request for the next scheduling instant. Requests whose
+// window is already unusable are rejected immediately.
+func (c *Controller) Submit(j job.Job) error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	c.pending = append(c.pending, j)
+	return nil
+}
+
+// Records returns the accounting for all finished (or rejected) jobs.
+func (c *Controller) Records() []Record {
+	out := make([]Record, len(c.records))
+	copy(out, c.records)
+	return out
+}
+
+// ActiveCount returns the number of admitted unfinished jobs.
+func (c *Controller) ActiveCount() int { return len(c.active) }
+
+// PendingCount returns the number of buffered, not-yet-scheduled requests.
+func (c *Controller) PendingCount() int { return len(c.pending) }
+
+// Idle reports whether no work remains.
+func (c *Controller) Idle() bool { return len(c.pending) == 0 && len(c.active) == 0 }
+
+// RunEpoch performs one scheduling instant at the current time: admit the
+// pending requests, re-optimize all unfinished jobs, commit the integer
+// schedule for [now, now+τ), apply the resulting transfers, and advance
+// the clock by τ.
+func (c *Controller) RunEpoch() error {
+	c.Epochs++
+	now := c.now
+	stat := EpochStat{Time: now}
+	defer func() { c.epochs = append(c.epochs, stat) }()
+
+	// Under PolicyReject, admission control trims the pending list first:
+	// only the longest arrival-order prefix that keeps Z* ≥ 1 (together
+	// with the already-admitted jobs) enters the network.
+	if c.cfg.Policy == PolicyReject && len(c.pending) > 0 {
+		admitted, err := c.admitPrefix(now)
+		if err != nil {
+			return err
+		}
+		for _, j := range c.pending[admitted:] {
+			c.records = append(c.records, Record{Job: j, Rejected: true, FinishTime: now})
+			stat.Rejected++
+		}
+		c.pending = c.pending[:admitted]
+	}
+
+	// Move pending requests into the active set, rejecting those whose
+	// deadline cannot accommodate even one slice from now on (under
+	// PolicyMaxThroughput; RET can extend them).
+	for _, j := range c.pending {
+		usableEnd := j.End
+		if c.cfg.Policy == PolicyRET {
+			usableEnd = now + (j.End-now)*(1+c.cfg.BMax)
+		}
+		if usableEnd-math.Max(j.Start, now) < c.cfg.SliceLen-1e-9 {
+			c.records = append(c.records, Record{Job: j, Rejected: true, FinishTime: now})
+			stat.Rejected++
+			continue
+		}
+		stat.Admitted++
+		c.active = append(c.active, &activeJob{
+			orig: j, remaining: j.Size, effectiveEnd: j.End,
+		})
+	}
+	c.pending = c.pending[:0]
+
+	// Retire active jobs whose remaining window can no longer hold a whole
+	// slice: nothing further can be scheduled for them.
+	var usable []*activeJob
+	for _, aj := range c.active {
+		start := math.Max(aj.orig.Start, now)
+		if aj.effectiveEnd-start < c.cfg.SliceLen-1e-9 {
+			c.records = append(c.records, Record{
+				Job:        aj.orig,
+				Delivered:  aj.delivered,
+				FinishTime: aj.effectiveEnd,
+				Completed:  false,
+			})
+			continue
+		}
+		usable = append(usable, aj)
+	}
+	c.active = usable
+
+	if len(c.active) == 0 {
+		c.now += c.cfg.Tau
+		return nil
+	}
+
+	// Build the scheduling instance over a grid starting at now.
+	jobs, fresh := c.snapshotJobs(now)
+	horizon := job.MaxEnd(jobs)
+	if c.cfg.Policy == PolicyRET {
+		horizon = now + (horizon-now)*(1+c.cfg.BMax)
+	}
+	n := timeslice.CoverUntil(now, c.cfg.SliceLen, horizon)
+	if n < 1 {
+		n = 1
+	}
+	grid, err := timeslice.Uniform(now, c.cfg.SliceLen, n)
+	if err != nil {
+		return err
+	}
+	inst, err := schedule.NewInstance(c.g, grid, jobs, c.cfg.K)
+	if err != nil {
+		return fmt.Errorf("controller: epoch at t=%g: %w", now, err)
+	}
+
+	var plan *schedule.Assignment
+	switch c.cfg.Policy {
+	case PolicyMaxThroughput, PolicyReject:
+		res, err := schedule.MaxThroughput(inst, schedule.Config{
+			Alpha: c.cfg.Alpha, AlphaGrowth: 0.1, Solver: c.cfg.Solver,
+		})
+		if err != nil {
+			return fmt.Errorf("controller: epoch at t=%g: %w", now, err)
+		}
+		plan = res.LPDAR
+	case PolicyRET:
+		res, err := schedule.SolveRET(inst, schedule.RETConfig{
+			BMax: c.cfg.BMax, Solver: c.cfg.Solver,
+		})
+		if err != nil {
+			return fmt.Errorf("controller: epoch at t=%g: %w", now, err)
+		}
+		plan = res.LPDAR
+		// Renegotiated deadlines: extend every active job's effective end.
+		for i, aj := range fresh {
+			ext := now + (aj.orig.End-now)*(1+res.B)
+			if ext > fresh[i].effectiveEnd {
+				fresh[i].effectiveEnd = ext
+			}
+		}
+	default:
+		return fmt.Errorf("controller: unknown policy %d", c.cfg.Policy)
+	}
+
+	stat.ActiveJobs = len(fresh)
+	stat.Scheduled, stat.Capacity = c.periodUsage(plan, now)
+	if stat.Capacity > 0 {
+		stat.Utilization = stat.Scheduled / stat.Capacity
+	}
+	c.applyPlan(plan, fresh, now)
+	c.now += c.cfg.Tau
+	return nil
+}
+
+// periodUsage measures how much of the committed period's network
+// capacity the plan uses: scheduled wavelength·time units and the total
+// available over all edges and slices inside [now, now+τ).
+func (c *Controller) periodUsage(plan *schedule.Assignment, now float64) (scheduled, capacity float64) {
+	grid := plan.Inst.Grid
+	epochEnd := now + c.cfg.Tau
+	load := plan.EdgeLoads()
+	for j := 0; j < grid.Num(); j++ {
+		if grid.Start(j) >= epochEnd-1e-9 {
+			break
+		}
+		l := grid.Len(j)
+		for e := 0; e < plan.Inst.G.NumEdges(); e++ {
+			scheduled += load[e][j] * l
+			capacity += float64(plan.Inst.Capacity(netgraph.EdgeID(e), j)) * l
+		}
+	}
+	return scheduled, capacity
+}
+
+// admitPrefix finds the longest arrival-order prefix of the pending
+// requests that, together with the already-admitted jobs, the network can
+// complete on time (stage-1 Z* ≥ 1). Returns the prefix length.
+func (c *Controller) admitPrefix(now float64) (int, error) {
+	sort.SliceStable(c.pending, func(a, b int) bool {
+		return c.pending[a].Arrival < c.pending[b].Arrival
+	})
+	base, _ := c.snapshotJobs(now)
+	usable := func(j job.Job) bool {
+		return j.End-math.Max(j.Start, now) >= c.cfg.SliceLen-1e-9
+	}
+	feasible := func(n int) (bool, error) {
+		jobs := append([]job.Job(nil), base...)
+		for _, j := range c.pending[:n] {
+			if !usable(j) {
+				continue // rejected later regardless; ignore for the check
+			}
+			jj := j
+			if jj.Start < now {
+				jj.Start = now
+			}
+			if jj.Arrival > jj.Start {
+				jj.Arrival = jj.Start
+			}
+			jobs = append(jobs, jj)
+		}
+		if len(jobs) == 0 {
+			return true, nil
+		}
+		horizon := job.MaxEnd(jobs)
+		ns := timeslice.CoverUntil(now, c.cfg.SliceLen, horizon)
+		if ns < 1 {
+			ns = 1
+		}
+		grid, err := timeslice.Uniform(now, c.cfg.SliceLen, ns)
+		if err != nil {
+			return false, err
+		}
+		inst, err := schedule.NewInstance(c.g, grid, jobs, c.cfg.K)
+		if err != nil {
+			return false, err
+		}
+		s1, err := schedule.SolveStage1(inst, c.cfg.Solver)
+		if err != nil {
+			return false, err
+		}
+		return s1.ZStar >= 1-1e-9, nil
+	}
+
+	// Binary search the longest feasible prefix (monotone in n).
+	lo, hi := 0, len(c.pending)
+	okAll, err := feasible(hi)
+	if err != nil {
+		return 0, err
+	}
+	if okAll {
+		return hi, nil
+	}
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		ok, err := feasible(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// snapshotJobs builds the job list for this epoch: each active job with
+// its residual demand and a window clipped to start no earlier than now.
+// It also returns the active jobs aligned with the job list.
+func (c *Controller) snapshotJobs(now float64) ([]job.Job, []*activeJob) {
+	jobs := make([]job.Job, 0, len(c.active))
+	fresh := make([]*activeJob, 0, len(c.active))
+	for _, aj := range c.active {
+		j := aj.orig
+		j.Size = aj.remaining
+		if j.Start < now {
+			j.Start = now
+		}
+		j.End = aj.effectiveEnd
+		if j.Arrival > j.Start {
+			j.Arrival = j.Start
+		}
+		jobs = append(jobs, j)
+		fresh = append(fresh, aj)
+	}
+	return jobs, fresh
+}
+
+// applyPlan transfers data for the slices inside [now, now+τ), updates
+// residuals, and retires finished or expired jobs.
+func (c *Controller) applyPlan(plan *schedule.Assignment, fresh []*activeJob, now float64) {
+	grid := plan.Inst.Grid
+	epochEnd := now + c.cfg.Tau
+	for k, aj := range fresh {
+		for j := 0; j < grid.Num(); j++ {
+			if grid.Start(j) >= epochEnd-1e-9 {
+				break
+			}
+			got := 0.0
+			for p := range plan.X[k] {
+				got += plan.X[k][p][j] * grid.Len(j)
+			}
+			if got <= 0 {
+				continue
+			}
+			if got > aj.remaining {
+				got = aj.remaining
+			}
+			aj.remaining -= got
+			aj.delivered += got
+			if aj.remaining <= 1e-9 {
+				aj.remaining = 0
+				finish := grid.Start(j) + grid.Len(j)
+				c.records = append(c.records, Record{
+					Job:         aj.orig,
+					Delivered:   aj.delivered,
+					FinishTime:  finish,
+					MetDeadline: finish <= aj.orig.End+1e-9,
+					Completed:   true,
+				})
+				break
+			}
+		}
+	}
+	// Retire: finished jobs, and jobs whose effective deadline passed.
+	var still []*activeJob
+	for _, aj := range fresh {
+		switch {
+		case aj.remaining == 0:
+			// already recorded
+		case aj.effectiveEnd <= epochEnd+1e-9:
+			c.records = append(c.records, Record{
+				Job:        aj.orig,
+				Delivered:  aj.delivered,
+				FinishTime: aj.effectiveEnd,
+				Completed:  false,
+			})
+		default:
+			still = append(still, aj)
+		}
+	}
+	c.active = still
+}
+
+// Summary aggregates the records.
+type Summary struct {
+	Total       int
+	Completed   int
+	MetDeadline int
+	Rejected    int
+	Delivered   float64
+	Requested   float64
+	AvgFinish   float64 // over completed jobs
+}
+
+// Summarize computes aggregate statistics over the records.
+func Summarize(records []Record) Summary {
+	s := Summary{Total: len(records)}
+	finishSum := 0.0
+	for _, r := range records {
+		s.Delivered += r.Delivered
+		s.Requested += r.Job.Size
+		if r.Rejected {
+			s.Rejected++
+			continue
+		}
+		if r.Completed {
+			s.Completed++
+			finishSum += r.FinishTime
+		}
+		if r.MetDeadline {
+			s.MetDeadline++
+		}
+	}
+	if s.Completed > 0 {
+		s.AvgFinish = finishSum / float64(s.Completed)
+	}
+	return s
+}
+
+// SortRecordsByFinish orders records by finish time (stable), a
+// convenience for reporting.
+func SortRecordsByFinish(records []Record) {
+	sort.SliceStable(records, func(a, b int) bool {
+		return records[a].FinishTime < records[b].FinishTime
+	})
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"wavesched/internal/lp"
+	"wavesched/internal/metrics"
+	"wavesched/internal/netgraph"
+	"wavesched/internal/schedule"
+	"wavesched/internal/timeslice"
+	"wavesched/internal/workload"
+)
+
+// AblationRow is one configuration of an ablation sweep with its headline
+// metrics.
+type AblationRow struct {
+	Config  string
+	Metric  float64 // primary metric (meaning depends on the ablation)
+	Metric2 float64 // secondary metric
+	Millis  float64 // wall time of the varying part
+}
+
+// ablationInstance builds the shared moderately loaded instance for the
+// sweeps.
+func ablationInstance(sc Scale, k int) (*schedule.Instance, error) {
+	g, err := netgraph.Waxman(netgraph.WaxmanConfig{
+		Nodes: sc.Nodes, LinkPairs: sc.LinkPairs, Wavelengths: 3,
+		GbpsPerWave: sc.LinkGbps / 3, Seed: 5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	grid, err := timeslice.Uniform(0, 1, sc.Slices)
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := workload.Generate(g, workload.Config{
+		Jobs: sc.Jobs, Seed: 6,
+		GBToDemand: workload.GBToDemandFactor(sc.LinkGbps/3, sc.SliceSeconds),
+		MinWindow:  float64(sc.Slices) / 2, MaxWindow: float64(sc.Slices),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return schedule.NewInstance(g, grid, jobs, k)
+}
+
+// AblationAlpha sweeps the stage-2 fairness slack α; Metric is the LPDAR
+// weighted throughput, Metric2 the minimum per-job throughput (the
+// fairness the floor actually buys).
+func AblationAlpha(sc Scale, alphas []float64) ([]AblationRow, error) {
+	if len(alphas) == 0 {
+		alphas = []float64{0.01, 0.05, 0.1, 0.2, 0.5}
+	}
+	inst, err := ablationInstance(sc, sc.K)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AblationRow, 0, len(alphas))
+	for _, a := range alphas {
+		start := time.Now()
+		res, err := schedule.MaxThroughput(inst, schedule.Config{
+			Alpha: a, AlphaGrowth: 0.1, Solver: sc.Solver,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("alpha %g: %w", a, err)
+		}
+		minZ := -1.0
+		for k := range inst.Jobs {
+			if z := res.LPDAR.Throughput(k); minZ < 0 || z < minZ {
+				minZ = z
+			}
+		}
+		rows = append(rows, AblationRow{
+			Config:  fmt.Sprintf("alpha=%.2f", a),
+			Metric:  res.LPDAR.WeightedThroughput(),
+			Metric2: minZ,
+			Millis:  float64(time.Since(start)) / float64(time.Millisecond),
+		})
+	}
+	return rows, nil
+}
+
+// AblationPaths sweeps the allowed paths per job; Metric is Z*, Metric2
+// the LPDAR weighted throughput.
+func AblationPaths(sc Scale, ks []int) ([]AblationRow, error) {
+	if len(ks) == 0 {
+		ks = []int{1, 2, 4, 8}
+	}
+	rows := make([]AblationRow, 0, len(ks))
+	for _, k := range ks {
+		inst, err := ablationInstance(sc, k)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res, err := schedule.MaxThroughput(inst, schedule.Config{
+			Alpha: 0.1, AlphaGrowth: 0.1, Solver: sc.Solver,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("k=%d: %w", k, err)
+		}
+		rows = append(rows, AblationRow{
+			Config:  fmt.Sprintf("k=%d", k),
+			Metric:  res.ZStar,
+			Metric2: res.LPDAR.WeightedThroughput(),
+			Millis:  float64(time.Since(start)) / float64(time.Millisecond),
+		})
+	}
+	return rows, nil
+}
+
+// AblationAdjust compares the LPDAR greedy variants; Metric is the
+// weighted throughput relative to LP, Metric2 the minimum per-job
+// throughput.
+func AblationAdjust(sc Scale) ([]AblationRow, error) {
+	inst, err := ablationInstance(sc, sc.K)
+	if err != nil {
+		return nil, err
+	}
+	res, err := schedule.MaxThroughput(inst, schedule.Config{
+		Alpha: 0.1, AlphaGrowth: 0.1, Solver: sc.Solver,
+	})
+	if err != nil {
+		return nil, err
+	}
+	lpWT := res.LP.WeightedThroughput()
+	variants := []struct {
+		name string
+		opts schedule.AdjustOptions
+	}{
+		{"verbatim", schedule.VerbatimAdjust},
+		{"deficit-first", schedule.AdjustOptions{Order: schedule.OrderDeficitFirst}},
+		{"capped", schedule.AdjustOptions{CapToDemand: true}},
+		{"capped-deficit", schedule.RETAdjust},
+	}
+	rows := make([]AblationRow, 0, len(variants)+2)
+	appendRow := func(name string, a *schedule.Assignment, ms float64) {
+		minZ := -1.0
+		for k := range inst.Jobs {
+			if z := a.Throughput(k); minZ < 0 || z < minZ {
+				minZ = z
+			}
+		}
+		rows = append(rows, AblationRow{
+			Config: name, Metric: a.WeightedThroughput() / lpWT,
+			Metric2: minZ, Millis: ms,
+		})
+	}
+	appendRow("lpd (none)", res.LPD, 0)
+	for _, v := range variants {
+		start := time.Now()
+		adj := schedule.AdjustRates(res.LPD, v.opts)
+		ms := float64(time.Since(start)) / float64(time.Millisecond)
+		appendRow(v.name, adj, ms)
+	}
+	start := time.Now()
+	rr := schedule.RandomizedRound(res.LP, 1)
+	appendRow("randomized-round", rr, float64(time.Since(start))/float64(time.Millisecond))
+	return rows, nil
+}
+
+// AblationPricing compares simplex pricing rules on the stage-1 LP;
+// Metric is the iteration count, Metric2 is Z* (must agree across rules).
+func AblationPricing(sc Scale) ([]AblationRow, error) {
+	inst, err := ablationInstance(sc, sc.K)
+	if err != nil {
+		return nil, err
+	}
+	rules := []struct {
+		name string
+		rule lp.Pricing
+	}{
+		{"dantzig", lp.Dantzig},
+		{"partial-dantzig", lp.PartialDantzig},
+		{"bland", lp.Bland},
+	}
+	rows := make([]AblationRow, 0, len(rules))
+	for _, r := range rules {
+		start := time.Now()
+		s1, err := schedule.SolveStage1(inst, lp.Options{Pricing: r.rule})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", r.name, err)
+		}
+		rows = append(rows, AblationRow{
+			Config: r.name, Metric: float64(s1.Iters), Metric2: s1.ZStar,
+			Millis: float64(time.Since(start)) / float64(time.Millisecond),
+		})
+	}
+	return rows, nil
+}
+
+// AblationTable renders ablation rows with the given metric headers.
+func AblationTable(title, metric1, metric2 string, rows []AblationRow) *metrics.Table {
+	t := metrics.NewTable(title, "config", metric1, metric2, "ms")
+	for _, r := range rows {
+		t.AddRow(r.Config,
+			fmt.Sprintf("%.4f", r.Metric),
+			fmt.Sprintf("%.4f", r.Metric2),
+			fmt.Sprintf("%.1f", r.Millis))
+	}
+	return t
+}

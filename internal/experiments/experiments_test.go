@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFig1QuickShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration in -short mode")
+	}
+	sc := QuickScale()
+	rows, err := Fig1(sc, []int{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.LPDRatio <= 0 || r.LPDRatio > 1.001 {
+			t.Errorf("W=%d: LPD ratio %g outside (0, 1]", r.Wavelengths, r.LPDRatio)
+		}
+		if r.LPDARRatio < r.LPDRatio-1e-9 {
+			t.Errorf("W=%d: LPDAR %g below LPD %g", r.Wavelengths, r.LPDARRatio, r.LPDRatio)
+		}
+	}
+	// The paper's headline shape: more wavelengths ⇒ truncation matters
+	// less ⇒ LPD ratio improves.
+	if rows[1].LPDRatio < rows[0].LPDRatio-0.02 {
+		t.Errorf("LPD ratio did not improve with W: %g (W=2) vs %g (W=8)",
+			rows[0].LPDRatio, rows[1].LPDRatio)
+	}
+}
+
+func TestFig2QuickShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration in -short mode")
+	}
+	sc := QuickScale()
+	rows, err := Fig2(sc, []int{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.LPDARRatio < 0.85 {
+			t.Errorf("W=%d: Abilene LPDAR ratio %g — paper reports near-LP", r.Wavelengths, r.LPDARRatio)
+		}
+	}
+}
+
+func TestFig3Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration in -short mode")
+	}
+	sc := QuickScale()
+	rows, err := Fig3(sc, []int{6, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Cumulative times must be non-decreasing across variants, and the
+		// LP solve must dominate (the paper's Fig. 3 observation).
+		if r.LPDms < r.LPms || r.LPDARms < r.LPDms {
+			t.Errorf("n=%d: times not cumulative: %g %g %g", r.Jobs, r.LPms, r.LPDms, r.LPDARms)
+		}
+		if r.LPms <= 0 {
+			t.Errorf("n=%d: zero LP time", r.Jobs)
+		}
+		if overhead := r.LPDARms - r.LPms; overhead > r.LPms {
+			t.Errorf("n=%d: integerization overhead %gms exceeds the LP solve %gms", r.Jobs, overhead, r.LPms)
+		}
+	}
+}
+
+func TestFig4Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration in -short mode")
+	}
+	sc := QuickScale()
+	rows, err := Fig4(sc, []int{4, 8}, RETConfig{BMax: 3, OverloadGBx: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.FracLPDAR != 1 {
+			t.Errorf("n=%d: LPDAR finished %g, want 1 (Algorithm 2 guarantee)", r.Jobs, r.FracLPDAR)
+		}
+		if r.FracLP != 1 {
+			t.Errorf("n=%d: LP finished %g, want 1", r.Jobs, r.FracLP)
+		}
+		if r.FracLPD > r.FracLPDAR {
+			t.Errorf("n=%d: LPD finished more than LPDAR", r.Jobs)
+		}
+		if r.LPAvgEnd <= 0 || r.LPDARAvgEnd <= 0 {
+			t.Errorf("n=%d: non-positive average end times", r.Jobs)
+		}
+		if r.B < r.BHat-1e-9 {
+			t.Errorf("n=%d: b %g below b̂ %g", r.Jobs, r.B, r.BHat)
+		}
+	}
+}
+
+func TestTables(t *testing.T) {
+	tr := []ThroughputRow{{Wavelengths: 2, LPDRatio: 0.5, LPDARRatio: 0.9, ZStar: 0.8}}
+	var buf bytes.Buffer
+	if err := ThroughputTable("fig1", tr).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fig1") || !strings.Contains(out, "0.900") {
+		t.Errorf("throughput table output:\n%s", out)
+	}
+
+	tm := []TimeRow{{Jobs: 10, LPms: 1.5, LPDms: 1.6, LPDARms: 1.7, SimplexIter: 42}}
+	buf.Reset()
+	if err := TimeTable("fig3", tm).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "42") {
+		t.Errorf("time table output:\n%s", buf.String())
+	}
+
+	rr := []RETRow{{Jobs: 5, BHat: 0.5, B: 0.6, LPAvgEnd: 3, LPDARAvgEnd: 3.5, FracLP: 1, FracLPD: 0, FracLPDAR: 1}}
+	buf.Reset()
+	if err := RETTable("fig4", rr).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "3.50") {
+		t.Errorf("ret table output:\n%s", buf.String())
+	}
+}
+
+func TestScaleDefaults(t *testing.T) {
+	p := PaperScale()
+	if p.Nodes != 100 || p.LinkPairs != 200 || p.LinkGbps != 20 {
+		t.Errorf("paper scale %+v", p)
+	}
+	q := QuickScale()
+	if q.Nodes >= p.Nodes {
+		t.Error("quick scale not smaller than paper scale")
+	}
+}
+
+func TestOptimalityGap(t *testing.T) {
+	rows, err := OptimalityGap(3, QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Proven {
+			t.Errorf("seed %d: no optimality proof", r.Seed)
+		}
+		if r.Exact > r.LPBound+1e-6 {
+			t.Errorf("seed %d: exact %g above LP bound %g", r.Seed, r.Exact, r.LPBound)
+		}
+		if r.LPD > r.Exact+1e-6 {
+			t.Errorf("seed %d: LPD %g above the integer optimum %g (LPD may break the fairness floor, but not here)", r.Seed, r.LPD, r.Exact)
+		}
+		if r.GapLPDAR < -0.05 {
+			t.Errorf("seed %d: LPDAR gap %g strongly negative", r.Seed, r.GapLPDAR)
+		}
+	}
+	var buf bytes.Buffer
+	if err := GapTable("gap", rows).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "exact opt") {
+		t.Error("gap table render")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweeps in -short mode")
+	}
+	sc := QuickScale()
+
+	alpha, err := AblationAlpha(sc, []float64{0.05, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alpha) != 2 {
+		t.Fatalf("alpha rows %d", len(alpha))
+	}
+	// Relaxing the floor cannot reduce the achievable weighted throughput.
+	if alpha[1].Metric < alpha[0].Metric-1e-6 {
+		t.Errorf("alpha sweep: throughput fell when relaxing the floor: %g -> %g",
+			alpha[0].Metric, alpha[1].Metric)
+	}
+
+	paths, err := AblationPaths(sc, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More paths cannot reduce Z*.
+	if paths[1].Metric < paths[0].Metric-1e-6 {
+		t.Errorf("paths sweep: Z* fell with more paths: %g -> %g", paths[0].Metric, paths[1].Metric)
+	}
+
+	adj, err := AblationAdjust(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adj) < 5 {
+		t.Fatalf("adjust rows %d", len(adj))
+	}
+	// Every variant must be at least as good as bare LPD (they only add).
+	base := adj[0].Metric
+	for _, r := range adj[1 : len(adj)-1] { // exclude randomized-round (different base)
+		if r.Metric < base-1e-9 {
+			t.Errorf("%s: ratio %g below LPD %g", r.Config, r.Metric, base)
+		}
+	}
+
+	pricing, err := AblationPricing(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All rules agree on Z*.
+	for _, r := range pricing[1:] {
+		if math.Abs(r.Metric2-pricing[0].Metric2) > 1e-6 {
+			t.Errorf("%s: Z* %g != %g", r.Config, r.Metric2, pricing[0].Metric2)
+		}
+	}
+	var buf bytes.Buffer
+	if err := AblationTable("t", "a", "b", adj).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

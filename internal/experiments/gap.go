@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wavesched/internal/job"
+	"wavesched/internal/metrics"
+	"wavesched/internal/mip"
+	"wavesched/internal/netgraph"
+	"wavesched/internal/schedule"
+	"wavesched/internal/timeslice"
+)
+
+// GapRow measures LPDAR against the proven integer optimum on one small
+// instance — the ground truth the paper could not obtain from CPLEX at
+// scale ("practically impossible ... but for very small setups").
+type GapRow struct {
+	Seed     int64
+	LPBound  float64 // fractional stage-2 optimum (upper bound)
+	Exact    float64 // proven integer optimum (branch and bound)
+	LPDAR    float64
+	LPD      float64
+	BBNodes  int     // branch-and-bound nodes
+	Proven   bool    // optimality proof completed within the node budget
+	GapLPDAR float64 // (Exact − LPDAR) / Exact
+}
+
+// OptimalityGap runs n tiny random instances and returns per-instance
+// comparisons. Instances are sized so branch and bound terminates with a
+// proof in a few thousand nodes.
+func OptimalityGap(n int, sc Scale) ([]GapRow, error) {
+	rows := make([]GapRow, 0, n)
+	for i := 0; i < n; i++ {
+		seed := int64(i + 1)
+		rng := rand.New(rand.NewSource(seed))
+		nodes := 4 + rng.Intn(3)
+		g := netgraph.Ring(nodes, 2, 10)
+		grid, err := timeslice.Uniform(0, 1, 3)
+		if err != nil {
+			return nil, err
+		}
+		nJobs := 2 + rng.Intn(2)
+		jobs := make([]job.Job, 0, nJobs)
+		for k := 0; k < nJobs; k++ {
+			src := netgraph.NodeID(rng.Intn(nodes))
+			dst := src
+			for dst == src {
+				dst = netgraph.NodeID(rng.Intn(nodes))
+			}
+			jobs = append(jobs, job.Job{
+				ID: job.ID(k), Src: src, Dst: dst,
+				Size:  1 + rng.Float64()*5,
+				Start: 0, End: 3,
+			})
+		}
+		inst, err := schedule.NewInstance(g, grid, jobs, 2)
+		if err != nil {
+			return nil, err
+		}
+		s1, err := schedule.SolveStage1(inst, sc.Solver)
+		if err != nil {
+			return nil, err
+		}
+		res, err := schedule.MaxThroughputWithZ(inst, s1, schedule.Config{
+			Alpha: 0.1, AlphaGrowth: 0.1, Solver: sc.Solver,
+		})
+		if err != nil {
+			return nil, err
+		}
+		exact, err := schedule.ExactStage2(inst, s1, schedule.ExactOptions{
+			Alpha: res.Alpha,
+			MIP:   mip.Options{MaxNodes: 50000, LP: sc.Solver},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: gap seed %d: %w", seed, err)
+		}
+		row := GapRow{
+			Seed:    seed,
+			LPBound: res.LP.WeightedThroughput(),
+			Exact:   exact.Objective,
+			LPDAR:   res.LPDAR.WeightedThroughput(),
+			LPD:     res.LPD.WeightedThroughput(),
+			BBNodes: exact.Nodes,
+			Proven:  exact.Proven,
+		}
+		if row.Exact > 0 {
+			row.GapLPDAR = (row.Exact - row.LPDAR) / row.Exact
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// GapTable renders the optimality-gap rows.
+func GapTable(title string, rows []GapRow) *metrics.Table {
+	t := metrics.NewTable(title, "seed", "LP bound", "exact opt", "LPDAR", "LPD", "B&B nodes", "proven", "LPDAR gap")
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%d", r.Seed),
+			fmt.Sprintf("%.4f", r.LPBound),
+			fmt.Sprintf("%.4f", r.Exact),
+			fmt.Sprintf("%.4f", r.LPDAR),
+			fmt.Sprintf("%.4f", r.LPD),
+			fmt.Sprintf("%d", r.BBNodes),
+			fmt.Sprintf("%v", r.Proven),
+			fmt.Sprintf("%.2f%%", 100*r.GapLPDAR),
+		)
+	}
+	return t
+}

@@ -1,0 +1,204 @@
+// Package integration ties the full pipeline together the way a
+// downstream user would: generate a topology, serialize it, draw a
+// workload, run the periodic controller simulation, schedule with both
+// paper algorithms, and provision lightpaths — verifying cross-module
+// invariants at each step.
+package integration
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wavesched/internal/controller"
+	"wavesched/internal/job"
+	"wavesched/internal/lightpath"
+	"wavesched/internal/netgraph"
+	"wavesched/internal/schedule"
+	"wavesched/internal/sim"
+	"wavesched/internal/timeslice"
+	"wavesched/internal/workload"
+)
+
+func TestFullPipelineWaxman(t *testing.T) {
+	// 1. Topology, serialized through both formats.
+	g0, err := netgraph.Waxman(netgraph.WaxmanConfig{
+		Nodes: 20, LinkPairs: 40, Wavelengths: 3, GbpsPerWave: 20.0 / 3, Seed: 101,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "net.json")
+	jf, err := os.Create(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g0.WriteJSON(jf); err != nil {
+		t.Fatal(err)
+	}
+	jf.Close()
+	jf, err = os.Open(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := netgraph.ReadJSON(jf)
+	jf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Workload, through the CSV trace format.
+	jobs0, err := workload.Generate(g, workload.Config{
+		Jobs: 10, Seed: 102, GBToDemand: 0.05, MinWindow: 4, MaxWindow: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace bytes.Buffer
+	if err := job.WriteCSV(&trace, jobs0); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := job.ReadCSV(&trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 3. One-shot scheduling with the max-throughput algorithm.
+	grid, err := timeslice.Uniform(0, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := schedule.NewInstance(g, grid, jobs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := schedule.MaxThroughput(inst, schedule.Config{Alpha: 0.1, AlphaGrowth: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.LPDAR.VerifyCapacity(1e-6); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.LPDAR.VerifyIntegral(1e-9); err != nil {
+		t.Fatal(err)
+	}
+
+	// 4. Lightpath provisioning with full conversion must never block.
+	plan, err := lightpath.Assign(res.LPDAR, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.BlockingRate() != 0 {
+		t.Fatalf("blocking rate %g with conversion", plan.BlockingRate())
+	}
+
+	// 5. Periodic controller simulation over the same workload.
+	ctrl, err := controller.New(g, controller.Config{Tau: 2, SliceLen: 1, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRes, err := sim.Run(ctrl, jobs, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simRes.Summary.Total != len(jobs) {
+		t.Fatalf("sim accounted %d of %d jobs", simRes.Summary.Total, len(jobs))
+	}
+	if simRes.Summary.Delivered <= 0 {
+		t.Fatal("nothing delivered in simulation")
+	}
+	// Conservation: delivered never exceeds requested.
+	if simRes.Summary.Delivered > simRes.Summary.Requested+1e-6 {
+		t.Fatalf("delivered %g exceeds requested %g", simRes.Summary.Delivered, simRes.Summary.Requested)
+	}
+}
+
+func TestFullPipelineRETOnGeant2(t *testing.T) {
+	g := netgraph.Geant2(2)
+	jobs, err := workload.GenerateHotspot(g, workload.HotspotConfig{
+		Config:       workload.Config{Jobs: 8, Seed: 103, GBToDemand: 0.2, MinWindow: 3, MaxWindow: 5},
+		Hotspots:     [][2]netgraph.NodeID{{5, 0}}, // Geneva → London (tier-0 style)
+		HotspotShare: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := schedule.BuildRETInstance(g, jobs, 1, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := schedule.SolveRET(inst, schedule.RETConfig{BMax: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.LPDAR.AllDemandsMet() {
+		t.Fatal("RET left demands unmet")
+	}
+	if err := res.LPDAR.VerifyCapacity(1e-6); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.LPDAR.VerifyWindows(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	// Lightpath assignment of the RET schedule.
+	plan, err := lightpath.Assign(res.LPDAR, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.BlockingRate() != 0 {
+		t.Fatalf("blocking rate %g", plan.BlockingRate())
+	}
+	// Energy check: total provisioned channel-slices equal total scheduled
+	// wavelength-slices.
+	scheduled := 0.0
+	for k := range res.LPDAR.X {
+		for p := range res.LPDAR.X[k] {
+			for _, v := range res.LPDAR.X[k][p] {
+				scheduled += v
+			}
+		}
+	}
+	if math.Abs(float64(len(plan.Channels))-scheduled) > 1e-9 {
+		t.Fatalf("provisioned %d channels for %g scheduled wavelength-slices", len(plan.Channels), scheduled)
+	}
+}
+
+func TestBRITEToScheduler(t *testing.T) {
+	// Write a Waxman net as BRITE, read it back, and schedule on it.
+	g0, err := netgraph.Waxman(netgraph.WaxmanConfig{
+		Nodes: 12, LinkPairs: 24, Wavelengths: 2, GbpsPerWave: 10, Seed: 104,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g0.WriteBRITE(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := netgraph.ReadBRITE(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := workload.Generate(g, workload.Config{Jobs: 5, Seed: 105, GBToDemand: 0.05, MinWindow: 3, MaxWindow: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := timeslice.Uniform(0, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := schedule.NewInstance(g, grid, jobs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := schedule.MaxThroughput(inst, schedule.Config{Alpha: 0.1, AlphaGrowth: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ZStar <= 0 {
+		t.Fatal("zero Z* on BRITE round-tripped network")
+	}
+}

@@ -1,0 +1,81 @@
+package job
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"wavesched/internal/netgraph"
+)
+
+// csvHeader is the column layout of job trace files.
+var csvHeader = []string{"id", "arrival", "src", "dst", "size", "start", "end"}
+
+// WriteCSV writes jobs as a trace file with a header row, the interchange
+// format for recording and replaying workloads across runs.
+func WriteCSV(w io.Writer, jobs []Job) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 17, 64) }
+	for _, j := range jobs {
+		rec := []string{
+			strconv.Itoa(int(j.ID)),
+			f(j.Arrival),
+			strconv.Itoa(int(j.Src)),
+			strconv.Itoa(int(j.Dst)),
+			f(j.Size),
+			f(j.Start),
+			f(j.End),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads and validates a trace written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Job, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("job: trace: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("job: trace: empty file")
+	}
+	for i, want := range csvHeader {
+		if records[0][i] != want {
+			return nil, fmt.Errorf("job: trace: header column %d is %q, want %q", i, records[0][i], want)
+		}
+	}
+	jobs := make([]Job, 0, len(records)-1)
+	for n, rec := range records[1:] {
+		id, err1 := strconv.Atoi(rec[0])
+		arrival, err2 := strconv.ParseFloat(rec[1], 64)
+		src, err3 := strconv.Atoi(rec[2])
+		dst, err4 := strconv.Atoi(rec[3])
+		size, err5 := strconv.ParseFloat(rec[4], 64)
+		start, err6 := strconv.ParseFloat(rec[5], 64)
+		end, err7 := strconv.ParseFloat(rec[6], 64)
+		for _, e := range []error{err1, err2, err3, err4, err5, err6, err7} {
+			if e != nil {
+				return nil, fmt.Errorf("job: trace row %d: %w", n+2, e)
+			}
+		}
+		jobs = append(jobs, Job{
+			ID: ID(id), Arrival: arrival,
+			Src: netgraph.NodeID(src), Dst: netgraph.NodeID(dst),
+			Size: size, Start: start, End: end,
+		})
+	}
+	if err := ValidateAll(jobs); err != nil {
+		return nil, err
+	}
+	return jobs, nil
+}

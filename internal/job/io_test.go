@@ -1,0 +1,78 @@
+package job
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleJobs() []Job {
+	return []Job{
+		{ID: 1, Arrival: 0, Src: 0, Dst: 1, Size: 10.5, Start: 1, End: 5},
+		{ID: 2, Arrival: 0.5, Src: 2, Dst: 3, Size: 3.25, Start: 2, End: 9.75},
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sampleJobs()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleJobs()
+	if len(back) != len(want) {
+		t.Fatalf("len %d", len(back))
+	}
+	for i := range want {
+		if back[i] != want[i] {
+			t.Errorf("job %d: %+v != %+v", i, back[i], want[i])
+		}
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	// Valid JSON, invalid job (src == dst).
+	text := `[{"id":1,"arrival":0,"src":0,"dst":0,"size":5,"start":0,"end":2}]`
+	if _, err := ReadJSON(strings.NewReader(text)); err == nil {
+		t.Error("invalid job accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleJobs()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleJobs()
+	for i := range want {
+		if back[i] != want[i] {
+			t.Errorf("job %d: %+v != %+v", i, back[i], want[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                                     // empty
+		"a,b\n1,2\n",                           // wrong column count
+		"id,arrival,src,dst,size,start,stop\n", // wrong header
+		"id,arrival,src,dst,size,start,end\nx,0,0,1,5,0,2\n",   // bad id
+		"id,arrival,src,dst,size,start,end\n1,0,0,1,abc,0,2\n", // bad size
+		"id,arrival,src,dst,size,start,end\n1,0,0,0,5,0,2\n",   // invalid job
+	}
+	for i, text := range cases {
+		if _, err := ReadCSV(strings.NewReader(text)); err == nil {
+			t.Errorf("case %d accepted:\n%s", i, text)
+		}
+	}
+}

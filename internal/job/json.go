@@ -1,0 +1,55 @@
+package job
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"wavesched/internal/netgraph"
+)
+
+// jsonJob is the on-disk representation of a Job.
+type jsonJob struct {
+	ID      int     `json:"id"`
+	Arrival float64 `json:"arrival"`
+	Src     int     `json:"src"`
+	Dst     int     `json:"dst"`
+	Size    float64 `json:"size"`
+	Start   float64 `json:"start"`
+	End     float64 `json:"end"`
+}
+
+// WriteJSON encodes jobs to w as a JSON array.
+func WriteJSON(w io.Writer, jobs []Job) error {
+	out := make([]jsonJob, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, jsonJob{
+			ID: int(j.ID), Arrival: j.Arrival,
+			Src: int(j.Src), Dst: int(j.Dst),
+			Size: j.Size, Start: j.Start, End: j.End,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON decodes and validates a job list written by WriteJSON.
+func ReadJSON(r io.Reader) ([]Job, error) {
+	var in []jsonJob
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("job: decode: %w", err)
+	}
+	jobs := make([]Job, 0, len(in))
+	for _, j := range in {
+		jobs = append(jobs, Job{
+			ID: ID(j.ID), Arrival: j.Arrival,
+			Src: netgraph.NodeID(j.Src), Dst: netgraph.NodeID(j.Dst),
+			Size: j.Size, Start: j.Start, End: j.End,
+		})
+	}
+	if err := ValidateAll(jobs); err != nil {
+		return nil, err
+	}
+	return jobs, nil
+}

@@ -1,0 +1,118 @@
+package lightpath
+
+import (
+	"fmt"
+	"sort"
+
+	"wavesched/internal/schedule"
+)
+
+// AssignColored colors channels under the wavelength-continuity
+// constraint using greedy largest-degree-first graph coloring on the
+// conflict graph (channels conflict when they share an edge on the same
+// slice). It typically blocks fewer channels than the simple first-fit
+// order of Assign(convert=false) because heavily-conflicting channels are
+// colored while many wavelengths are still free.
+func AssignColored(a *schedule.Assignment) (*Plan, error) {
+	if err := a.VerifyIntegral(1e-9); err != nil {
+		return nil, fmt.Errorf("lightpath: %w", err)
+	}
+	if err := a.VerifyCapacity(1e-9); err != nil {
+		return nil, fmt.Errorf("lightpath: %w", err)
+	}
+	inst := a.Inst
+
+	// Expand integer counts into individual channel requests.
+	var chans []Channel
+	maxW := 0
+	for k := range a.X {
+		for p, path := range inst.JobPaths[k] {
+			for _, eid := range path.Edges {
+				if w := inst.G.Edge(eid).Wavelengths; w > maxW {
+					maxW = w
+				}
+			}
+			for j := range a.X[k][p] {
+				count := int(a.X[k][p][j] + 0.5)
+				for c := 0; c < count; c++ {
+					chans = append(chans, Channel{
+						Job: inst.Jobs[k].ID, Slice: j, PathIdx: p,
+						Edges: path.Edges, Lambda: -1,
+					})
+				}
+			}
+		}
+	}
+
+	// Conflict graph: channels sharing (edge, slice).
+	type cell struct {
+		e int
+		j int
+	}
+	byCell := make(map[cell][]int)
+	for i, ch := range chans {
+		for _, eid := range ch.Edges {
+			key := cell{int(eid), ch.Slice}
+			byCell[key] = append(byCell[key], i)
+		}
+	}
+	adj := make([]map[int]bool, len(chans))
+	for i := range adj {
+		adj[i] = make(map[int]bool)
+	}
+	for _, group := range byCell {
+		for x := 0; x < len(group); x++ {
+			for y := x + 1; y < len(group); y++ {
+				adj[group[x]][group[y]] = true
+				adj[group[y]][group[x]] = true
+			}
+		}
+	}
+
+	// Largest-degree-first order (Welsh–Powell), stable for determinism.
+	order := make([]int, len(chans))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(adj[order[a]]) > len(adj[order[b]])
+	})
+
+	// Greedy coloring, capped per channel by the smallest wavelength count
+	// along its path.
+	color := make([]int, len(chans))
+	for i := range color {
+		color[i] = -1
+	}
+	plan := &Plan{}
+	for _, i := range order {
+		limit := maxW
+		for _, eid := range chans[i].Edges {
+			if w := inst.G.Edge(eid).Wavelengths; w < limit {
+				limit = w
+			}
+		}
+		used := make([]bool, limit)
+		for n := range adj[i] {
+			if c := color[n]; c >= 0 && c < limit {
+				used[c] = true
+			}
+		}
+		lam := -1
+		for c := 0; c < limit; c++ {
+			if !used[c] {
+				lam = c
+				break
+			}
+		}
+		if lam < 0 {
+			plan.Unassigned = append(plan.Unassigned, chans[i])
+			continue
+		}
+		color[i] = lam
+		ch := chans[i]
+		ch.Lambda = lam
+		plan.Channels = append(plan.Channels, ch)
+	}
+	return plan, nil
+}

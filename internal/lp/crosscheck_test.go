@@ -1,0 +1,191 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wavesched/internal/lp/dense"
+)
+
+// randomProblem draws a small random LP with x ≥ 0 so it can be posed to
+// both solvers.
+func randomProblem(rng *rand.Rand) ([]float64, [][]float64, []float64, []dense.RelOp) {
+	n := 1 + rng.Intn(7)
+	m := 1 + rng.Intn(7)
+	c := make([]float64, n)
+	for j := range c {
+		c[j] = float64(rng.Intn(11) - 5)
+	}
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	ops := make([]dense.RelOp, m)
+	for i := 0; i < m; i++ {
+		a[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.6 {
+				a[i][j] = float64(rng.Intn(7) - 3)
+			}
+		}
+		b[i] = float64(rng.Intn(11) - 3)
+		switch rng.Intn(4) {
+		case 0:
+			ops[i] = dense.GE
+		case 1:
+			ops[i] = dense.EQ
+		default:
+			ops[i] = dense.LE
+		}
+	}
+	return c, a, b, ops
+}
+
+func toModel(c []float64, a [][]float64, b []float64, ops []dense.RelOp) *Model {
+	m := NewModel("crosscheck", Minimize)
+	vars := make([]VarID, len(c))
+	for j := range c {
+		vars[j] = m.AddVar("x", 0, Inf, c[j])
+	}
+	for i := range a {
+		var op RelOp
+		switch ops[i] {
+		case dense.LE:
+			op = LE
+		case dense.GE:
+			op = GE
+		case dense.EQ:
+			op = EQ
+		}
+		r := m.AddRow("r", op, b[i])
+		for j := range a[i] {
+			m.AddTerm(r, vars[j], a[i][j])
+		}
+	}
+	return m
+}
+
+// TestCrossCheckAgainstDense solves hundreds of random LPs with both the
+// revised simplex and the dense tableau oracle, comparing statuses and
+// objective values.
+func TestCrossCheckAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 500
+	if testing.Short() {
+		n = 100
+	}
+	for trial := 0; trial < n; trial++ {
+		c, a, b, ops := randomProblem(rng)
+		dp := &dense.Problem{C: c, A: a, B: b, Op: ops}
+		dsol, err := dp.Solve(0)
+		if err != nil {
+			t.Fatalf("trial %d: dense solve: %v", trial, err)
+		}
+		msol, err := toModel(c, a, b, ops).Solve()
+		if err != nil {
+			t.Fatalf("trial %d: revised solve: %v", trial, err)
+		}
+		if dsol.Status == dense.IterLimit || msol.Status == IterLimit {
+			continue // extremely unlikely; don't fail on solver limits
+		}
+		wantStatus := map[dense.Status]Status{
+			dense.Optimal:    Optimal,
+			dense.Infeasible: Infeasible,
+			dense.Unbounded:  Unbounded,
+		}[dsol.Status]
+		if msol.Status != wantStatus {
+			t.Fatalf("trial %d: status mismatch: dense %v revised %v\nc=%v a=%v b=%v ops=%v",
+				trial, dsol.Status, msol.Status, c, a, b, ops)
+		}
+		if msol.Status != Optimal {
+			continue
+		}
+		if diff := math.Abs(dsol.Objective - msol.Objective); diff > 1e-5*(1+math.Abs(dsol.Objective)) {
+			t.Fatalf("trial %d: objective mismatch: dense %g revised %g\nc=%v a=%v b=%v ops=%v",
+				trial, dsol.Objective, msol.Objective, c, a, b, ops)
+		}
+		if msol.PrimalInfeas > 1e-6 {
+			t.Fatalf("trial %d: revised solution infeasible by %g", trial, msol.PrimalInfeas)
+		}
+		for j, v := range msol.X {
+			if v < -1e-9 {
+				t.Fatalf("trial %d: x[%d] = %g < 0", trial, j, v)
+			}
+		}
+	}
+}
+
+// TestCrossCheckBounded compares the bounded-variable revised simplex
+// against the dense oracle with bounds expressed as explicit rows.
+func TestCrossCheckBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	n := 300
+	if testing.Short() {
+		n = 60
+	}
+	for trial := 0; trial < n; trial++ {
+		nv := 1 + rng.Intn(5)
+		mr := 1 + rng.Intn(5)
+		c := make([]float64, nv)
+		ub := make([]float64, nv)
+		for j := range c {
+			c[j] = float64(rng.Intn(9) - 4)
+			ub[j] = float64(1 + rng.Intn(6))
+		}
+		a := make([][]float64, mr)
+		b := make([]float64, mr)
+		for i := range a {
+			a[i] = make([]float64, nv)
+			for j := range a[i] {
+				if rng.Float64() < 0.7 {
+					a[i][j] = float64(rng.Intn(5) - 2)
+				}
+			}
+			b[i] = float64(rng.Intn(9))
+		}
+
+		// Bounded model.
+		m := NewModel("bnd", Minimize)
+		vars := make([]VarID, nv)
+		for j := range vars {
+			vars[j] = m.AddVar("x", 0, ub[j], c[j])
+		}
+		for i := range a {
+			r := m.AddRow("r", LE, b[i])
+			for j := range a[i] {
+				m.AddTerm(r, vars[j], a[i][j])
+			}
+		}
+		msol, err := m.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Dense problem with bounds as extra LE rows.
+		da := make([][]float64, 0, mr+nv)
+		db := make([]float64, 0, mr+nv)
+		dops := make([]dense.RelOp, 0, mr+nv)
+		for i := range a {
+			da = append(da, a[i])
+			db = append(db, b[i])
+			dops = append(dops, dense.LE)
+		}
+		for j := 0; j < nv; j++ {
+			row := make([]float64, nv)
+			row[j] = 1
+			da = append(da, row)
+			db = append(db, ub[j])
+			dops = append(dops, dense.LE)
+		}
+		dsol, err := (&dense.Problem{C: c, A: da, B: db, Op: dops}).Solve(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dsol.Status != dense.Optimal || msol.Status != Optimal {
+			// Both bounded and b ≥ 0 with x=0 feasible: always optimal.
+			t.Fatalf("trial %d: unexpected statuses dense=%v revised=%v", trial, dsol.Status, msol.Status)
+		}
+		if diff := math.Abs(dsol.Objective - msol.Objective); diff > 1e-5*(1+math.Abs(dsol.Objective)) {
+			t.Fatalf("trial %d: objective mismatch: dense %g revised %g", trial, dsol.Objective, msol.Objective)
+		}
+	}
+}

@@ -1,0 +1,354 @@
+// Package dense implements a textbook two-phase tableau simplex solver for
+// linear programs in the form
+//
+//	min c·x  subject to  A x (≤ | = | ≥) b,  x ≥ 0.
+//
+// It is intentionally simple: a dense tableau, Bland's pivoting rule (which
+// guarantees termination), and no factorization tricks. It is meant as a
+// correctness oracle for the sparse revised simplex in package lp and as a
+// standalone solver for small problems, not as a performance solver.
+package dense
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// RelOp is the relational operator of a constraint row.
+type RelOp int
+
+// Constraint senses.
+const (
+	LE RelOp = iota // ≤
+	GE              // ≥
+	EQ              // =
+)
+
+func (op RelOp) String() string {
+	switch op {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return fmt.Sprintf("RelOp(%d)", int(op))
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Problem is a dense LP: minimize C·x subject to A x (Op) B, x ≥ 0.
+type Problem struct {
+	C  []float64   // objective coefficients, length n
+	A  [][]float64 // m rows of length n
+	B  []float64   // right-hand sides, length m
+	Op []RelOp     // row senses, length m
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status    Status
+	Objective float64   // objective value of X (valid when Status == Optimal)
+	X         []float64 // primal values, length n (valid when Status == Optimal)
+	Iters     int       // total simplex pivots across both phases
+}
+
+const tol = 1e-9
+
+// Validate checks dimensional consistency of the problem.
+func (p *Problem) Validate() error {
+	n := len(p.C)
+	if len(p.A) != len(p.B) || len(p.A) != len(p.Op) {
+		return fmt.Errorf("dense: inconsistent row counts: |A|=%d |B|=%d |Op|=%d", len(p.A), len(p.B), len(p.Op))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return fmt.Errorf("dense: row %d has %d coefficients, want %d", i, len(row), n)
+		}
+	}
+	for i, v := range p.B {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("dense: rhs %d is %v", i, v)
+		}
+	}
+	for j, v := range p.C {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("dense: objective coefficient %d is %v", j, v)
+		}
+	}
+	return nil
+}
+
+// Solve runs the two-phase simplex method with Bland's rule.
+// maxIter bounds the total number of pivots; maxIter ≤ 0 selects a default
+// proportional to the problem size.
+func (p *Problem) Solve(maxIter int) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.C)
+	m := len(p.A)
+	if maxIter <= 0 {
+		maxIter = 200 * (n + m + 10)
+	}
+
+	// Build the phase-1 tableau. Columns: n structural, then one slack or
+	// surplus per inequality row, then one artificial per row that needs it.
+	// Rows with negative rhs are negated first so b ≥ 0.
+	type rowSpec struct {
+		coef []float64
+		rhs  float64
+		op   RelOp
+	}
+	rows := make([]rowSpec, m)
+	for i := 0; i < m; i++ {
+		coef := make([]float64, n)
+		copy(coef, p.A[i])
+		rhs := p.B[i]
+		op := p.Op[i]
+		if rhs < 0 {
+			for j := range coef {
+				coef[j] = -coef[j]
+			}
+			rhs = -rhs
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		rows[i] = rowSpec{coef, rhs, op}
+	}
+
+	nSlack := 0
+	for _, r := range rows {
+		if r.op != EQ {
+			nSlack++
+		}
+	}
+	// Artificials: GE and EQ rows always need one; LE rows get a slack that
+	// can serve as the initial basic variable.
+	nArt := 0
+	for _, r := range rows {
+		if r.op != LE {
+			nArt++
+		}
+	}
+
+	total := n + nSlack + nArt
+	// T has m rows and total+1 columns (last column is rhs).
+	T := make([][]float64, m)
+	basis := make([]int, m)
+	slackAt := n
+	artAt := n + nSlack
+	for i, r := range rows {
+		T[i] = make([]float64, total+1)
+		copy(T[i], r.coef)
+		T[i][total] = r.rhs
+		switch r.op {
+		case LE:
+			T[i][slackAt] = 1
+			basis[i] = slackAt
+			slackAt++
+		case GE:
+			T[i][slackAt] = -1
+			slackAt++
+			T[i][artAt] = 1
+			basis[i] = artAt
+			artAt++
+		case EQ:
+			T[i][artAt] = 1
+			basis[i] = artAt
+			artAt++
+		}
+	}
+
+	iters := 0
+	if nArt > 0 {
+		// Phase 1: minimize the sum of artificials.
+		c1 := make([]float64, total)
+		for j := n + nSlack; j < total; j++ {
+			c1[j] = 1
+		}
+		st, it := simplexCore(T, basis, c1, total, maxIter)
+		iters += it
+		if st == IterLimit {
+			return &Solution{Status: IterLimit, Iters: iters}, nil
+		}
+		if st == Unbounded {
+			return nil, errors.New("dense: phase-1 problem reported unbounded (internal error)")
+		}
+		// Check the phase-1 objective.
+		obj := 0.0
+		for i, bi := range basis {
+			if bi >= n+nSlack {
+				obj += T[i][total]
+			}
+		}
+		if obj > 1e-7 {
+			return &Solution{Status: Infeasible, Iters: iters}, nil
+		}
+		// Pivot any artificial still in the basis (at value 0) out, or drop
+		// its row if it is redundant.
+		for i := 0; i < m; i++ {
+			if basis[i] < n+nSlack {
+				continue
+			}
+			piv := -1
+			for j := 0; j < n+nSlack; j++ {
+				if math.Abs(T[i][j]) > tol {
+					piv = j
+					break
+				}
+			}
+			if piv >= 0 {
+				pivot(T, basis, i, piv)
+			}
+			// If no pivot column exists the row is 0 = 0; leaving the
+			// artificial basic at value 0 is harmless as long as it can
+			// never re-enter: artificial columns are excluded below.
+		}
+	}
+
+	// Phase 2: minimize the true objective, artificial columns frozen.
+	c2 := make([]float64, total)
+	copy(c2, p.C)
+	limit := n + nSlack // artificials may not re-enter
+	st, it := simplexPhase2(T, basis, c2, limit, total, maxIter-iters)
+	iters += it
+	if st != Optimal {
+		return &Solution{Status: st, Iters: iters}, nil
+	}
+
+	x := make([]float64, n)
+	for i, bi := range basis {
+		if bi < n {
+			x[bi] = T[i][total]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += p.C[j] * x[j]
+	}
+	return &Solution{Status: Optimal, Objective: obj, X: x, Iters: iters}, nil
+}
+
+// simplexCore runs Bland-rule simplex on the tableau for objective c over
+// all `total` columns. Returns the status and pivot count.
+func simplexCore(T [][]float64, basis []int, c []float64, total, maxIter int) (Status, int) {
+	return simplexPhase2(T, basis, c, total, total, maxIter)
+}
+
+// simplexPhase2 runs Bland-rule simplex allowing entering columns only in
+// [0, limit). Columns in [limit, total) stay nonbasic (unless already basic).
+func simplexPhase2(T [][]float64, basis []int, c []float64, limit, total, maxIter int) (Status, int) {
+	m := len(T)
+	iters := 0
+	// Reduced costs are computed on demand: d_j = c_j - sum_i c_B[i]*T[i][j].
+	for {
+		if iters >= maxIter {
+			return IterLimit, iters
+		}
+		// Bland: choose the lowest-index column with negative reduced cost.
+		enter := -1
+		for j := 0; j < limit; j++ {
+			inBasis := false
+			for _, bi := range basis {
+				if bi == j {
+					inBasis = true
+					break
+				}
+			}
+			if inBasis {
+				continue
+			}
+			d := c[j]
+			for i := 0; i < m; i++ {
+				if cb := c[basis[i]]; cb != 0 {
+					d -= cb * T[i][j]
+				}
+			}
+			if d < -tol {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return Optimal, iters
+		}
+		// Ratio test with Bland tie-break: smallest basis index.
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := T[i][enter]
+			if a <= tol {
+				continue
+			}
+			r := T[i][total] / a
+			if r < best-tol || (r < best+tol && (leave < 0 || basis[i] < basis[leave])) {
+				best = r
+				leave = i
+			}
+		}
+		if leave < 0 {
+			return Unbounded, iters
+		}
+		pivot(T, basis, leave, enter)
+		iters++
+	}
+}
+
+// pivot performs a Gauss-Jordan pivot on T[row][col] and records the basis
+// change.
+func pivot(T [][]float64, basis []int, row, col int) {
+	m := len(T)
+	width := len(T[row])
+	pv := T[row][col]
+	inv := 1 / pv
+	for j := 0; j < width; j++ {
+		T[row][j] *= inv
+	}
+	T[row][col] = 1 // kill round-off
+	for i := 0; i < m; i++ {
+		if i == row {
+			continue
+		}
+		f := T[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := T[i]
+		rr := T[row]
+		for j := 0; j < width; j++ {
+			ri[j] -= f * rr[j]
+		}
+		ri[col] = 0
+	}
+	basis[row] = col
+}

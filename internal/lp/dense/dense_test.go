@@ -1,0 +1,181 @@
+package dense
+
+import (
+	"math"
+	"testing"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := p.Solve(0)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return sol
+}
+
+func TestTextbookMax(t *testing.T) {
+	// max 3x + 5y  s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18, x,y ≥ 0.
+	// Optimum 36 at (2, 6). Expressed as min −3x −5y.
+	p := &Problem{
+		C:  []float64{-3, -5},
+		A:  [][]float64{{1, 0}, {0, 2}, {3, 2}},
+		B:  []float64{4, 12, 18},
+		Op: []RelOp{LE, LE, LE},
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if math.Abs(sol.Objective+36) > 1e-7 {
+		t.Errorf("objective = %g, want -36", sol.Objective)
+	}
+	if math.Abs(sol.X[0]-2) > 1e-7 || math.Abs(sol.X[1]-6) > 1e-7 {
+		t.Errorf("x = %v, want (2, 6)", sol.X)
+	}
+}
+
+func TestEqualityRows(t *testing.T) {
+	// min x + 2y  s.t. x + y = 3, x − y = 1  ⇒ x=2, y=1, obj 4.
+	p := &Problem{
+		C:  []float64{1, 2},
+		A:  [][]float64{{1, 1}, {1, -1}},
+		B:  []float64{3, 1},
+		Op: []RelOp{EQ, EQ},
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if math.Abs(sol.Objective-4) > 1e-7 {
+		t.Errorf("objective = %g, want 4", sol.Objective)
+	}
+}
+
+func TestGERows(t *testing.T) {
+	// min 2x + 3y  s.t. x + y ≥ 4, x ≥ 1 ⇒ x=4, y=0? check: obj(4,0)=8,
+	// obj(1,3)=11, so optimum is x=4,y=0, obj 8.
+	p := &Problem{
+		C:  []float64{2, 3},
+		A:  [][]float64{{1, 1}, {1, 0}},
+		B:  []float64{4, 1},
+		Op: []RelOp{GE, GE},
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if math.Abs(sol.Objective-8) > 1e-7 {
+		t.Errorf("objective = %g, want 8", sol.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x ≤ −1 with x ≥ 0 is infeasible.
+	p := &Problem{
+		C:  []float64{1},
+		A:  [][]float64{{1}},
+		B:  []float64{-1},
+		Op: []RelOp{LE},
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min −x  s.t. x − y ≤ 1: push x, y → ∞.
+	p := &Problem{
+		C:  []float64{-1, 0},
+		A:  [][]float64{{1, -1}},
+		B:  []float64{1},
+		Op: []RelOp{LE},
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x  s.t. −x ≤ −2  (i.e. x ≥ 2) ⇒ obj 2.
+	p := &Problem{
+		C:  []float64{1},
+		A:  [][]float64{{-1}},
+		B:  []float64{-2},
+		Op: []RelOp{LE},
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-2) > 1e-7 {
+		t.Fatalf("got %v obj %g, want optimal 2", sol.Status, sol.Objective)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// A classically degenerate LP (multiple constraints active at the
+	// optimum); Bland's rule must terminate.
+	p := &Problem{
+		C:  []float64{-2, -3},
+		A:  [][]float64{{1, 1}, {1, 1}, {2, 1}},
+		B:  []float64{4, 4, 6},
+		Op: []RelOp{LE, LE, LE},
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	// Optimum: x=0, y=4 (both x+y rows tight) with objective −12.
+	if math.Abs(sol.Objective+12) > 1e-7 {
+		t.Errorf("objective = %g, want -12", sol.Objective)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []*Problem{
+		{C: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}, Op: []RelOp{LE}},
+		{C: []float64{1}, A: [][]float64{{1}}, B: []float64{1, 2}, Op: []RelOp{LE}},
+		{C: []float64{math.NaN()}, A: [][]float64{{1}}, B: []float64{1}, Op: []RelOp{LE}},
+		{C: []float64{1}, A: [][]float64{{1}}, B: []float64{math.Inf(1)}, Op: []RelOp{LE}},
+	}
+	for i, p := range bad {
+		if _, err := p.Solve(0); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestIterLimit(t *testing.T) {
+	p := &Problem{
+		C:  []float64{-3, -5},
+		A:  [][]float64{{1, 0}, {0, 2}, {3, 2}},
+		B:  []float64{4, 12, 18},
+		Op: []RelOp{LE, LE, LE},
+	}
+	sol, err := p.Solve(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != IterLimit {
+		t.Fatalf("status = %v, want iteration limit", sol.Status)
+	}
+}
+
+func TestRelOpStrings(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("RelOp String mismatch")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" || IterLimit.String() != "iteration limit" {
+		t.Error("Status String mismatch")
+	}
+}
+
+func TestZeroRowsProblem(t *testing.T) {
+	// No constraints, min x with x ≥ 0 ⇒ 0.
+	p := &Problem{C: []float64{1}, A: nil, B: nil, Op: nil}
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || sol.Objective != 0 {
+		t.Fatalf("got %v obj %g, want optimal 0", sol.Status, sol.Objective)
+	}
+}

@@ -1,0 +1,270 @@
+package lp
+
+import "math"
+
+// dualStatus reports the outcome of a dual-simplex run.
+type dualStatus int
+
+const (
+	dualOptimal    dualStatus = iota // primal feasible reached
+	dualInfeasible                   // dual unbounded ⇒ primal infeasible
+	dualIterLimit
+	dualStall // numerical trouble; caller should fall back to primal
+)
+
+// dualSimplex restores primal feasibility of a dual-feasible basis —
+// the situation after variable bounds change under an optimal basis
+// (reduced costs depend only on the basis and costs, not on bounds).
+// It runs the bounded-variable dual simplex until no basic variable
+// violates its bounds.
+func (s *simplex) dualSimplex() (dualStatus, error) {
+	m := s.m
+	tol := s.opt.Tol
+	pivTol := s.opt.PivotTol
+	rho := make([]float64, m)
+	if s.wBuf == nil {
+		s.wBuf = make([]float64, m)
+	}
+
+	for {
+		if s.iters >= s.opt.MaxIter {
+			return dualIterLimit, nil
+		}
+
+		// Leaving variable: the basic with the largest bound violation.
+		r := -1
+		worst := tol
+		sigma := 1.0 // +1: must decrease to its upper bound; −1: increase to lower
+		for i := 0; i < m; i++ {
+			bj := s.basis[i]
+			if v := s.l[bj] - s.xB[i]; v > worst {
+				worst = v
+				r = i
+				sigma = -1
+			}
+			if !math.IsInf(s.u[bj], 1) {
+				if v := s.xB[i] - s.u[bj]; v > worst {
+					worst = v
+					r = i
+					sigma = 1
+				}
+			}
+		}
+		if r < 0 {
+			return dualOptimal, nil
+		}
+
+		// ρ = B⁻ᵀ e_r, then the pivot row α_j = ρ·a_j for nonbasic j.
+		for i := range rho {
+			rho[i] = 0
+		}
+		rho[r] = 1
+		s.factor.btran(rho)
+
+		// Current duals for the ratio test.
+		y := s.yRow
+		for slot, j := range s.basis {
+			y[slot] = s.c[j]
+		}
+		s.factor.btran(y)
+
+		leaving := s.basis[r]
+		var bound float64
+		if sigma > 0 {
+			bound = s.u[leaving]
+		} else {
+			bound = s.l[leaving]
+		}
+		delta := s.xB[r] - bound // signed infeasibility; sign matches sigma
+
+		// Ratio test: candidates keep dual feasibility after the pivot.
+		q := -1
+		var alphaQ float64
+		best := math.Inf(1)
+		for j := 0; j < s.nTotal(); j++ {
+			st := s.state[j]
+			if st == stBasic || s.l[j] == s.u[j] {
+				continue
+			}
+			alpha := s.colDotY(j, rho)
+			ahat := sigma * alpha
+			var ok bool
+			if st == stAtLower {
+				ok = ahat > pivTol
+			} else {
+				ok = ahat < -pivTol
+			}
+			if !ok {
+				continue
+			}
+			d := s.c[j] - s.colDotY(j, y)
+			theta := d / ahat
+			if theta < -1e-7 {
+				theta = 0 // slight dual infeasibility: take a degenerate step
+			}
+			if theta < best-1e-12 || (theta < best+1e-12 && (q < 0 || math.Abs(alpha) > math.Abs(alphaQ))) {
+				best = theta
+				q = j
+				alphaQ = alpha
+			}
+		}
+		if q < 0 {
+			// No entering candidate: the primal is infeasible under the
+			// new bounds.
+			return dualInfeasible, nil
+		}
+
+		// Primal update: w = B⁻¹ a_q; the entering variable moves by
+		// t = delta / α_rq so the leaving variable lands on its bound.
+		w := s.wBuf
+		for i := range w {
+			w[i] = 0
+		}
+		s.colInto(q, w)
+		s.factor.ftran(w)
+		if math.Abs(w[r]) < pivTol {
+			// Pivot row/column mismatch due to round-off: refactorize and
+			// retry once; if it persists, stall out to the primal fallback.
+			if err := s.refactorize(); err != nil {
+				return dualStall, err
+			}
+			if math.Abs(alphaQ) < pivTol {
+				return dualStall, nil
+			}
+			continue
+		}
+		t := delta / w[r]
+		for i := 0; i < m; i++ {
+			if w[i] != 0 {
+				s.xB[i] -= t * w[i]
+			}
+		}
+		// Leaving variable settles on the violated bound.
+		if sigma > 0 {
+			s.state[leaving] = stAtUpper
+		} else {
+			s.state[leaving] = stAtLower
+		}
+		s.pos[leaving] = -1
+		s.basis[r] = q
+		s.pos[q] = r
+		enterVal := s.nonbasicValue(q) + t
+		s.state[q] = stBasic
+		s.xB[r] = enterVal
+		s.factor.push(r, w)
+		s.iters++
+
+		if len(s.factor.etas) >= s.opt.RefactorEvery {
+			if err := s.refactorize(); err != nil {
+				return dualStall, err
+			}
+		}
+	}
+}
+
+// Incremental solves a model once with the primal simplex and then
+// re-solves cheaply after bound changes using the dual simplex from the
+// previous optimal basis — the classic warm-start pattern for branch and
+// bound and for the RET δ-extension loop.
+//
+// Usage:
+//
+//	inc := lp.NewIncremental(model, opts)
+//	sol, err := inc.Solve()          // full primal solve
+//	model.SetBounds(v, 1, 4)         // tighten a bound
+//	sol, err = inc.Solve()           // dual re-solve from the old basis
+//
+// Only bound changes are supported between solves; altering costs or rows
+// triggers a full re-solve (detected via row/variable counts — changing
+// coefficients in place is NOT detected and yields wrong results).
+type Incremental struct {
+	model *Model
+	opt   Options
+
+	s     *simplex
+	nVars int
+	nRows int
+	valid bool // s holds an optimal basis for the current costs
+}
+
+// NewIncremental wraps a model for repeated solves. Presolve is disabled
+// (reductions would invalidate the basis mapping).
+func NewIncremental(m *Model, opt Options) *Incremental {
+	opt.Presolve = false
+	return &Incremental{model: m, opt: opt}
+}
+
+// Solve optimizes the wrapped model, reusing the previous basis via the
+// dual simplex when only bounds changed since the last call.
+func (inc *Incremental) Solve() (*Solution, error) {
+	if err := inc.model.Validate(); err != nil {
+		return nil, err
+	}
+	structureChanged := inc.model.NumVars() != inc.nVars || inc.model.NumRows() != inc.nRows
+	if !inc.valid || inc.s == nil || structureChanged {
+		return inc.fullSolve()
+	}
+
+	s := inc.s
+	// Refresh structural bounds from the model; slack and artificial
+	// bounds are invariant.
+	for j := 0; j < s.nStruct; j++ {
+		lb, ub := inc.model.Bounds(VarID(j))
+		s.l[j], s.u[j] = lb, ub
+		if s.state[j] == stAtUpper && math.IsInf(ub, 1) {
+			s.state[j] = stAtLower
+		}
+	}
+	// Rebuild primal values under the new bounds; the basis stays dual
+	// feasible because costs did not change.
+	if err := s.refactorize(); err != nil {
+		return inc.fullSolve()
+	}
+	st, err := s.dualSimplex()
+	if err != nil || st == dualStall {
+		return inc.fullSolve()
+	}
+	switch st {
+	case dualInfeasible:
+		inc.valid = false // basis lost primal meaning; next call resolves
+		return &Solution{Status: Infeasible, Iters: s.iters}, nil
+	case dualIterLimit:
+		inc.valid = false
+		return &Solution{Status: IterLimit, Iters: s.iters}, nil
+	}
+	// Safety net: confirm dual feasibility with the primal pricing; clean
+	// up any residual attractive columns (tolerance drift).
+	if q := s.price(); q >= 0 {
+		if stp, err := s.runPhase(); err != nil || stp != Optimal {
+			return inc.fullSolve()
+		}
+	}
+	sol, err := s.extract(inc.model, inc.model.Sense() == Maximize)
+	if err != nil {
+		return inc.fullSolve()
+	}
+	return sol, nil
+}
+
+// fullSolve runs the two-phase primal simplex from scratch and caches the
+// final state.
+func (inc *Incremental) fullSolve() (*Solution, error) {
+	s, sol, err := inc.model.solveCore(inc.opt)
+	if err != nil {
+		return sol, err
+	}
+	inc.s = s
+	inc.nVars = inc.model.NumVars()
+	inc.nRows = inc.model.NumRows()
+	inc.valid = s != nil && sol.Status == Optimal
+	return sol, nil
+}
+
+// Iters returns the cumulative simplex iterations across all solves
+// (0 before the first solve).
+func (inc *Incremental) Iters() int {
+	if inc.s == nil {
+		return 0
+	}
+	return inc.s.iters
+}

@@ -1,0 +1,39 @@
+package lp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadLP checks that arbitrary input never panics the parser and that
+// anything it accepts is a valid model that survives a write/read round
+// trip.
+func FuzzReadLP(f *testing.F) {
+	f.Add("Minimize\n obj: + x0\nSubject To\n c0: + x0 <= 4\nBounds\n x0 >= 0\nEnd\n")
+	f.Add("Maximize\n obj: + 2 x0 - x1\nSubject To\n r: + x0 + x1 = 3\nBounds\n 0 <= x1 <= 5\n x0 >= 0\nEnd\n")
+	f.Add("garbage")
+	f.Add("Minimize\n obj: - 1.5 x2\nEnd\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, text string) {
+		m, err := ReadLP(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted model fails validation: %v\ninput: %q", err, text)
+		}
+		var buf bytes.Buffer
+		if err := m.WriteLP(&buf); err != nil {
+			t.Fatalf("WriteLP: %v", err)
+		}
+		m2, err := ReadLP(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\nwritten:\n%s", err, buf.String())
+		}
+		if m2.NumVars() != m.NumVars() || m2.NumRows() != m.NumRows() {
+			t.Fatalf("round trip changed dims: %d/%d -> %d/%d",
+				m.NumVars(), m.NumRows(), m2.NumVars(), m2.NumRows())
+		}
+	})
+}

@@ -1,0 +1,354 @@
+package lp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteLP serializes the model in the CPLEX LP text format (the industry
+// interchange format the paper's CPLEX workflows used), so models built
+// here can be inspected by hand or fed to external solvers for
+// cross-validation.
+func (m *Model) WriteLP(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if m.sense == Maximize {
+		fmt.Fprintln(bw, "Maximize")
+	} else {
+		fmt.Fprintln(bw, "Minimize")
+	}
+	fmt.Fprintf(bw, " obj:%s\n", m.linearExpr(objTerms(m)))
+	fmt.Fprintln(bw, "Subject To")
+	for k, r := range m.rows {
+		name := r.name
+		if name == "" {
+			name = fmt.Sprintf("c%d", k)
+		}
+		terms := make([]term, len(r.terms))
+		copy(terms, r.terms)
+		fmt.Fprintf(bw, " %s:%s %s %s\n", sanitize(name, k), m.linearExpr(terms), r.op, fmtNum(r.rhs))
+	}
+	fmt.Fprintln(bw, "Bounds")
+	for j, v := range m.vars {
+		name := m.varToken(VarID(j))
+		switch {
+		case v.lb == 0 && math.IsInf(v.ub, 1):
+			// default bounds; still emit for explicitness
+			fmt.Fprintf(bw, " %s >= 0\n", name)
+		case math.IsInf(v.ub, 1):
+			fmt.Fprintf(bw, " %s >= %s\n", name, fmtNum(v.lb))
+		default:
+			fmt.Fprintf(bw, " %s <= %s <= %s\n", fmtNum(v.lb), name, fmtNum(v.ub))
+		}
+	}
+	fmt.Fprintln(bw, "End")
+	return bw.Flush()
+}
+
+func objTerms(m *Model) []term {
+	var ts []term
+	for j, v := range m.vars {
+		if v.obj != 0 {
+			ts = append(ts, term{col: VarID(j), coef: v.obj})
+		}
+	}
+	return ts
+}
+
+// varToken returns a parseable unique token for a variable: its name if
+// it is a clean identifier unique in the model, else x<index>.
+func (m *Model) varToken(v VarID) string {
+	return fmt.Sprintf("x%d", int(v))
+}
+
+func sanitize(name string, idx int) string {
+	ok := name != ""
+	for _, r := range name {
+		if !(r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9') {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		return name
+	}
+	return fmt.Sprintf("c%d", idx)
+}
+
+func (m *Model) linearExpr(terms []term) string {
+	// Merge duplicates and order by column for determinism.
+	merged := map[VarID]float64{}
+	for _, t := range terms {
+		merged[t.col] += t.coef
+	}
+	cols := make([]VarID, 0, len(merged))
+	for c := range merged {
+		cols = append(cols, c)
+	}
+	sort.Slice(cols, func(a, b int) bool { return cols[a] < cols[b] })
+	var b strings.Builder
+	for _, c := range cols {
+		coef := merged[c]
+		if coef == 0 {
+			continue
+		}
+		if coef >= 0 {
+			b.WriteString(" + ")
+		} else {
+			b.WriteString(" - ")
+			coef = -coef
+		}
+		if coef != 1 {
+			b.WriteString(fmtNum(coef))
+			b.WriteByte(' ')
+		}
+		b.WriteString(m.varToken(c))
+	}
+	if b.Len() == 0 {
+		return " 0 x0"
+	}
+	return b.String()
+}
+
+func fmtNum(x float64) string {
+	return strconv.FormatFloat(x, 'g', 12, 64)
+}
+
+// ReadLP parses a model previously produced by WriteLP. It supports the
+// subset of the LP format WriteLP emits: one objective line, named
+// constraints with +/- separated terms, a Bounds section with the three
+// emitted forms, and an End marker. Variables are named x<index> and must
+// appear densely.
+func ReadLP(r io.Reader) (*Model, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+
+	var sense Sense
+	type rowSpec struct {
+		name  string
+		terms map[int]float64
+		op    RelOp
+		rhs   float64
+	}
+	var (
+		section string
+		objT    map[int]float64
+		rows    []rowSpec
+		lbs     = map[int]float64{}
+		ubs     = map[int]float64{}
+		maxVar  = -1
+	)
+	note := func(v int) {
+		if v > maxVar {
+			maxVar = v
+		}
+	}
+
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		switch strings.ToLower(line) {
+		case "maximize":
+			sense = Maximize
+			section = "obj"
+			continue
+		case "minimize":
+			sense = Minimize
+			section = "obj"
+			continue
+		case "subject to":
+			section = "st"
+			continue
+		case "bounds":
+			section = "bounds"
+			continue
+		case "end":
+			section = "end"
+			continue
+		}
+		switch section {
+		case "obj":
+			body := line
+			if i := strings.Index(line, ":"); i >= 0 {
+				body = line[i+1:]
+			}
+			terms, err := parseTerms(body)
+			if err != nil {
+				return nil, fmt.Errorf("lp: objective: %w", err)
+			}
+			objT = terms
+			for v := range terms {
+				note(v)
+			}
+		case "st":
+			i := strings.Index(line, ":")
+			if i < 0 {
+				return nil, fmt.Errorf("lp: constraint without name: %q", line)
+			}
+			name := strings.TrimSpace(line[:i])
+			body := line[i+1:]
+			op, lhs, rhs, err := splitRelation(body)
+			if err != nil {
+				return nil, fmt.Errorf("lp: constraint %s: %w", name, err)
+			}
+			terms, err := parseTerms(lhs)
+			if err != nil {
+				return nil, fmt.Errorf("lp: constraint %s: %w", name, err)
+			}
+			for v := range terms {
+				note(v)
+			}
+			rows = append(rows, rowSpec{name: name, terms: terms, op: op, rhs: rhs})
+		case "bounds":
+			if err := parseBound(line, lbs, ubs, note); err != nil {
+				return nil, err
+			}
+		case "end":
+			// ignore trailing content
+		default:
+			return nil, fmt.Errorf("lp: unexpected line outside any section: %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if maxVar < 0 {
+		return nil, fmt.Errorf("lp: no variables found")
+	}
+
+	m := NewModel("read-lp", sense)
+	for j := 0; j <= maxVar; j++ {
+		lb, okL := lbs[j]
+		if !okL {
+			lb = 0
+		}
+		ub, okU := ubs[j]
+		if !okU {
+			ub = Inf
+		}
+		m.AddVar(fmt.Sprintf("x%d", j), lb, ub, objT[j])
+	}
+	for _, r := range rows {
+		row := m.AddRow(r.name, r.op, r.rhs)
+		cols := make([]int, 0, len(r.terms))
+		for c := range r.terms {
+			cols = append(cols, c)
+		}
+		sort.Ints(cols)
+		for _, c := range cols {
+			m.AddTerm(row, VarID(c), r.terms[c])
+		}
+	}
+	return m, nil
+}
+
+// parseTerms parses "+ 2 x0 - x3 + 1.5 x7" into {0:2, 3:-1, 7:1.5}.
+func parseTerms(s string) (map[int]float64, error) {
+	fields := strings.Fields(s)
+	out := map[int]float64{}
+	sign := 1.0
+	coef := math.NaN() // NaN = not set
+	flush := func(varTok string) error {
+		idx, err := parseVarToken(varTok)
+		if err != nil {
+			return err
+		}
+		c := 1.0
+		if !math.IsNaN(coef) {
+			c = coef
+		}
+		out[idx] += sign * c
+		sign, coef = 1, math.NaN()
+		return nil
+	}
+	for _, f := range fields {
+		switch f {
+		case "+":
+			// sign stays (terms reset after flush)
+		case "-":
+			sign = -sign
+		default:
+			if strings.HasPrefix(f, "x") {
+				if err := flush(f); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad token %q", f)
+			}
+			coef = v
+		}
+	}
+	if !math.IsNaN(coef) {
+		return nil, fmt.Errorf("dangling coefficient in %q", s)
+	}
+	return out, nil
+}
+
+func parseVarToken(tok string) (int, error) {
+	if !strings.HasPrefix(tok, "x") {
+		return 0, fmt.Errorf("bad variable token %q", tok)
+	}
+	idx, err := strconv.Atoi(tok[1:])
+	if err != nil || idx < 0 {
+		return 0, fmt.Errorf("bad variable token %q", tok)
+	}
+	return idx, nil
+}
+
+func splitRelation(body string) (RelOp, string, float64, error) {
+	for _, cand := range []struct {
+		sym string
+		op  RelOp
+	}{{"<=", LE}, {">=", GE}, {"=", EQ}} {
+		if i := strings.LastIndex(body, cand.sym); i >= 0 {
+			lhs := body[:i]
+			rhsStr := strings.TrimSpace(body[i+len(cand.sym):])
+			rhs, err := strconv.ParseFloat(rhsStr, 64)
+			if err != nil {
+				return 0, "", 0, fmt.Errorf("bad rhs %q", rhsStr)
+			}
+			return cand.op, lhs, rhs, nil
+		}
+	}
+	return 0, "", 0, fmt.Errorf("no relation in %q", body)
+}
+
+// parseBound handles " x3 >= 1", " 0 <= x3 <= 5".
+func parseBound(line string, lbs, ubs map[int]float64, note func(int)) error {
+	f := strings.Fields(line)
+	switch {
+	case len(f) == 3 && f[1] == ">=":
+		idx, err := parseVarToken(f[0])
+		if err != nil {
+			return fmt.Errorf("lp: bounds: %w", err)
+		}
+		v, err := strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			return fmt.Errorf("lp: bounds: bad number %q", f[2])
+		}
+		lbs[idx] = v
+		note(idx)
+		return nil
+	case len(f) == 5 && f[1] == "<=" && f[3] == "<=":
+		lo, err1 := strconv.ParseFloat(f[0], 64)
+		idx, err2 := parseVarToken(f[2])
+		hi, err3 := strconv.ParseFloat(f[4], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return fmt.Errorf("lp: bounds: bad line %q", line)
+		}
+		lbs[idx] = lo
+		ubs[idx] = hi
+		note(idx)
+		return nil
+	}
+	return fmt.Errorf("lp: bounds: unsupported line %q", line)
+}

@@ -1,0 +1,150 @@
+package lp
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestWriteLPBasic(t *testing.T) {
+	m := NewModel("t", Maximize)
+	x := m.AddVar("x", 0, Inf, 3)
+	y := m.AddVar("y", 1, 5, -2)
+	r := m.AddRow("cap", LE, 10)
+	m.AddTerm(r, x, 2)
+	m.AddTerm(r, y, -1)
+	var buf bytes.Buffer
+	if err := m.WriteLP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Maximize", "Subject To", "Bounds", "End", "cap:", "x0", "x1", "<= 10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLPRoundTrip(t *testing.T) {
+	m := NewModel("rt", Minimize)
+	x := m.AddVar("x", 0, Inf, 1.5)
+	y := m.AddVar("y", -2, 4, -1)
+	z := m.AddVar("z", 0, Inf, 0)
+	r1 := m.AddRow("r1", LE, 7)
+	m.AddTerm(r1, x, 2)
+	m.AddTerm(r1, y, 3)
+	r2 := m.AddRow("r2", GE, -1)
+	m.AddTerm(r2, y, 1)
+	m.AddTerm(r2, z, -2.5)
+	r3 := m.AddRow("r3", EQ, 2)
+	m.AddTerm(r3, x, 1)
+	m.AddTerm(r3, z, 1)
+
+	var buf bytes.Buffer
+	if err := m.WriteLP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadLP(&buf)
+	if err != nil {
+		t.Fatalf("ReadLP: %v\ntext:\n%s", err, buf.String())
+	}
+	if m2.NumVars() != m.NumVars() || m2.NumRows() != m.NumRows() {
+		t.Fatalf("dims %d/%d vs %d/%d", m2.NumVars(), m2.NumRows(), m.NumVars(), m.NumRows())
+	}
+
+	// Both must solve to the same optimum.
+	s1, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := m2.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Status != s2.Status {
+		t.Fatalf("status %v vs %v", s1.Status, s2.Status)
+	}
+	if s1.Status == Optimal && math.Abs(s1.Objective-s2.Objective) > 1e-6 {
+		t.Fatalf("objective %g vs %g", s1.Objective, s2.Objective)
+	}
+}
+
+func TestLPRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	trials := 50
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 1 + rng.Intn(6)
+		mr := 1 + rng.Intn(6)
+		sense := Minimize
+		if rng.Intn(2) == 0 {
+			sense = Maximize
+		}
+		m := NewModel("rnd", sense)
+		vars := make([]VarID, n)
+		for j := range vars {
+			lb := float64(rng.Intn(3) - 1)
+			ub := lb + float64(rng.Intn(5))
+			if rng.Intn(3) == 0 {
+				vars[j] = m.AddVar("v", lb, Inf, float64(rng.Intn(7)-3))
+			} else {
+				vars[j] = m.AddVar("v", lb, ub, float64(rng.Intn(7)-3))
+			}
+		}
+		for i := 0; i < mr; i++ {
+			op := []RelOp{LE, GE, EQ}[rng.Intn(3)]
+			r := m.AddRow("", op, float64(rng.Intn(11)-2))
+			for j := range vars {
+				if rng.Float64() < 0.6 {
+					m.AddTerm(r, vars[j], float64(rng.Intn(7)-3))
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if err := m.WriteLP(&buf); err != nil {
+			t.Fatal(err)
+		}
+		text := buf.String()
+		m2, err := ReadLP(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, text)
+		}
+		s1, err := m.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := m2.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s1.Status != s2.Status {
+			t.Fatalf("trial %d: status %v vs %v\n%s", trial, s1.Status, s2.Status, text)
+		}
+		if s1.Status == Optimal {
+			if diff := math.Abs(s1.Objective - s2.Objective); diff > 1e-6*(1+math.Abs(s1.Objective)) {
+				t.Fatalf("trial %d: objective %g vs %g\n%s", trial, s1.Objective, s2.Objective, text)
+			}
+		}
+	}
+}
+
+func TestReadLPErrors(t *testing.T) {
+	bad := []string{
+		"",                           // empty
+		"Garbage\n x0 >= 0\nEnd\n",   // line outside sections
+		"Minimize\n obj: + 2\nEnd\n", // dangling coefficient
+		"Minimize\n obj: + x0\nSubject To\n noRelation here\n", // missing colon/relation
+		"Minimize\n obj: + x0\nSubject To\n c1: + x0 <= abc\n", // bad rhs
+		"Minimize\n obj: + x0\nBounds\n x0 maybe 3\nEnd\n",     // bad bounds line
+		"Minimize\n obj: + q9\nEnd\n",                          // bad variable token
+	}
+	for i, text := range bad {
+		if _, err := ReadLP(strings.NewReader(text)); err == nil {
+			t.Errorf("case %d: accepted:\n%s", i, text)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package lp
+
+import (
+	"errors"
+	"math"
+)
+
+// errSingular is returned by luFactorize when the basis matrix is
+// numerically singular.
+var errSingular = errors.New("lp: singular basis matrix")
+
+// luEntry is one stored entry of an L or U column.
+type luEntry struct {
+	idx int // L: original row index; U: pivot position (row of U)
+	val float64
+}
+
+// luFactors holds a sparse LU factorization with row partial pivoting:
+// P·B = L·U, where P sends original row perm[k] to position k, L is unit
+// lower triangular (stored without the unit diagonal, entries addressed by
+// original row index) and U is upper triangular (stored by column, with the
+// diagonal kept separately).
+type luFactors struct {
+	m     int
+	perm  []int // position -> original row
+	pinv  []int // original row -> position
+	lcols [][]luEntry
+	ucols [][]luEntry // entries with idx < column position
+	udiag []float64
+
+	// scratch for solves
+	work    []float64
+	touched []int
+}
+
+const luDropTol = 1e-12
+
+// luFactorize factors the m×m matrix whose columns are given as parallel
+// sparse (rowIdx, val) slices, cols[j] describing column j. It uses a
+// left-looking column algorithm with a dense scratch vector and partial
+// pivoting by maximum magnitude.
+func luFactorize(m int, colRows [][]int, colVals [][]float64) (*luFactors, error) {
+	f := &luFactors{
+		m:     m,
+		perm:  make([]int, m),
+		pinv:  make([]int, m),
+		lcols: make([][]luEntry, m),
+		ucols: make([][]luEntry, m),
+		udiag: make([]float64, m),
+		work:  make([]float64, m),
+	}
+	for i := range f.pinv {
+		f.pinv[i] = -1
+	}
+	work := f.work
+	touched := make([]int, 0, m)
+	isTouched := make([]bool, m)
+
+	for j := 0; j < m; j++ {
+		// Scatter column j into the dense scratch.
+		rows, vals := colRows[j], colVals[j]
+		for k, r := range rows {
+			if !isTouched[r] {
+				isTouched[r] = true
+				touched = append(touched, r)
+			}
+			work[r] += vals[k]
+		}
+		// Left-looking elimination against previously pivoted columns, in
+		// pivot order. Only positions that are nonzero matter; scanning in
+		// pivot order keeps dependencies correct.
+		var ucol []luEntry
+		for k := 0; k < j; k++ {
+			piv := f.perm[k]
+			v := work[piv]
+			if v == 0 || math.Abs(v) < luDropTol {
+				continue
+			}
+			ucol = append(ucol, luEntry{idx: k, val: v})
+			for _, le := range f.lcols[k] {
+				r := le.idx
+				if !isTouched[r] {
+					isTouched[r] = true
+					touched = append(touched, r)
+				}
+				work[r] -= v * le.val
+			}
+			work[piv] = 0
+		}
+		// Pivot selection: maximum magnitude among unpivoted rows.
+		best, bestRow := 0.0, -1
+		for _, r := range touched {
+			if f.pinv[r] >= 0 {
+				continue
+			}
+			if a := math.Abs(work[r]); a > best {
+				best = a
+				bestRow = r
+			}
+		}
+		if bestRow < 0 || best < 1e-11 {
+			// Clean scratch before bailing out.
+			for _, r := range touched {
+				work[r] = 0
+				isTouched[r] = false
+			}
+			return nil, errSingular
+		}
+		d := work[bestRow]
+		f.perm[j] = bestRow
+		f.pinv[bestRow] = j
+		f.udiag[j] = d
+		f.ucols[j] = ucol
+		var lcol []luEntry
+		for _, r := range touched {
+			// Rows pivoted in earlier steps were zeroed during elimination;
+			// bestRow's pinv was just set, excluding it here as well.
+			if f.pinv[r] < 0 {
+				if v := work[r]; math.Abs(v) > luDropTol {
+					lcol = append(lcol, luEntry{idx: r, val: v / d})
+				}
+			}
+			work[r] = 0
+			isTouched[r] = false
+		}
+		f.lcols[j] = lcol
+		touched = touched[:0]
+	}
+	return f, nil
+}
+
+// solve computes x with B x = v in place: v is both input and output, and
+// is indexed by original row on input and by basis position on output.
+// scratch must have length m; it is zeroed on return.
+func (f *luFactors) solve(v []float64) {
+	m := f.m
+	// Forward: y = L^{-1} P v, computed in pivot order.
+	w := f.work
+	copy(w, v)
+	for k := 0; k < m; k++ {
+		val := w[f.perm[k]]
+		v[k] = val
+		if val == 0 {
+			continue
+		}
+		for _, le := range f.lcols[k] {
+			w[le.idx] -= val * le.val
+		}
+	}
+	for i := range w {
+		w[i] = 0
+	}
+	// Backward: solve U x = y with column-oriented substitution.
+	for j := m - 1; j >= 0; j-- {
+		xj := v[j] / f.udiag[j]
+		v[j] = xj
+		if xj == 0 {
+			continue
+		}
+		for _, ue := range f.ucols[j] {
+			v[ue.idx] -= ue.val * xj
+		}
+	}
+}
+
+// solveT computes y with Bᵀ y = c in place: c is indexed by basis position
+// on input; the result is indexed by original row on output.
+func (f *luFactors) solveT(c []float64) {
+	m := f.m
+	// Solve Uᵀ w = c (forward over positions).
+	for j := 0; j < m; j++ {
+		s := c[j]
+		for _, ue := range f.ucols[j] {
+			s -= ue.val * c[ue.idx]
+		}
+		c[j] = s / f.udiag[j]
+	}
+	// Solve Lᵀ z = w (backward over positions).
+	for k := m - 1; k >= 0; k-- {
+		s := c[k]
+		for _, le := range f.lcols[k] {
+			s -= le.val * c[f.pinv[le.idx]]
+		}
+		c[k] = s
+	}
+	// Scatter z from positions to original rows: y[perm[k]] = z[k].
+	w := f.work
+	for k := 0; k < m; k++ {
+		w[f.perm[k]] = c[k]
+	}
+	copy(c, w)
+	for i := range w {
+		w[i] = 0
+	}
+}

@@ -1,0 +1,242 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// denseToCols converts a dense m×m matrix (row-major) to the parallel
+// sparse column slices luFactorize expects.
+func denseToCols(m int, a [][]float64) ([][]int, [][]float64) {
+	rows := make([][]int, m)
+	vals := make([][]float64, m)
+	for j := 0; j < m; j++ {
+		for i := 0; i < m; i++ {
+			if a[i][j] != 0 {
+				rows[j] = append(rows[j], i)
+				vals[j] = append(vals[j], a[i][j])
+			}
+		}
+	}
+	return rows, vals
+}
+
+func matVec(a [][]float64, x []float64) []float64 {
+	m := len(a)
+	out := make([]float64, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			out[i] += a[i][j] * x[j]
+		}
+	}
+	return out
+}
+
+func matTVec(a [][]float64, x []float64) []float64 {
+	m := len(a)
+	out := make([]float64, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			out[j] += a[i][j] * x[i]
+		}
+	}
+	return out
+}
+
+func TestLUSolveIdentity(t *testing.T) {
+	a := [][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	rows, vals := denseToCols(3, a)
+	f, err := luFactorize(3, rows, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := []float64{3, -1, 7}
+	want := append([]float64(nil), v...)
+	f.solve(v)
+	for i := range v {
+		if math.Abs(v[i]-want[i]) > 1e-12 {
+			t.Fatalf("solve identity: got %v want %v", v, want)
+		}
+	}
+}
+
+func TestLUSolveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + rng.Intn(12)
+		a := make([][]float64, m)
+		for i := range a {
+			a[i] = make([]float64, m)
+			for j := range a[i] {
+				if rng.Float64() < 0.5 {
+					a[i][j] = rng.NormFloat64()
+				}
+			}
+			a[i][i] += float64(m) + 1 // diagonal dominance ⇒ nonsingular
+		}
+		xTrue := make([]float64, m)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		rows, vals := denseToCols(m, a)
+		f, err := luFactorize(m, rows, vals)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		v := matVec(a, xTrue)
+		f.solve(v)
+		for i := range v {
+			if math.Abs(v[i]-xTrue[i]) > 1e-8 {
+				t.Fatalf("trial %d: solve mismatch at %d: got %g want %g", trial, i, v[i], xTrue[i])
+			}
+		}
+
+		w := matTVec(a, xTrue)
+		f.solveT(w)
+		for i := range w {
+			if math.Abs(w[i]-xTrue[i]) > 1e-8 {
+				t.Fatalf("trial %d: solveT mismatch at %d: got %g want %g", trial, i, w[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestLUPermutedMatrix(t *testing.T) {
+	// Requires row pivoting: zero on the leading diagonal.
+	a := [][]float64{
+		{0, 2, 0},
+		{1, 0, 0},
+		{0, 0, 5},
+	}
+	rows, vals := denseToCols(3, a)
+	f, err := luFactorize(3, rows, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1, 2, 3}
+	v := matVec(a, x)
+	f.solve(v)
+	for i := range v {
+		if math.Abs(v[i]-x[i]) > 1e-10 {
+			t.Fatalf("got %v want %v", v, x)
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := [][]float64{
+		{1, 2},
+		{2, 4}, // rank 1
+	}
+	rows, vals := denseToCols(2, a)
+	if _, err := luFactorize(2, rows, vals); err == nil {
+		t.Fatal("expected singular error")
+	}
+	// All-zero column.
+	b := [][]float64{
+		{1, 0},
+		{0, 0},
+	}
+	rows, vals = denseToCols(2, b)
+	if _, err := luFactorize(2, rows, vals); err == nil {
+		t.Fatal("expected singular error for zero column")
+	}
+}
+
+func TestEtaFtranBtranMatchRefactor(t *testing.T) {
+	// Build a basis, apply a column replacement via eta, and compare
+	// FTRAN/BTRAN results against a fresh factorization of the updated
+	// matrix.
+	rng := rand.New(rand.NewSource(11))
+	m := 6
+	a := make([][]float64, m)
+	for i := range a {
+		a[i] = make([]float64, m)
+		for j := range a[i] {
+			a[i][j] = rng.NormFloat64()
+		}
+		a[i][i] += 8
+	}
+	rows, vals := denseToCols(m, a)
+	lu, err := luFactorize(m, rows, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf := &basisFactor{lu: lu}
+
+	// Replace basis slot r with a new column q.
+	r := 2
+	newCol := make([]float64, m)
+	for i := range newCol {
+		newCol[i] = rng.NormFloat64()
+	}
+	newCol[r] += 10
+	// w = B⁻¹ a_q
+	w := append([]float64(nil), newCol...)
+	bf.ftran(w)
+	bf.push(r, w)
+
+	// Updated matrix: column r of a replaced by newCol.
+	a2 := make([][]float64, m)
+	for i := range a2 {
+		a2[i] = append([]float64(nil), a[i]...)
+		a2[i][r] = newCol[i]
+	}
+	rows2, vals2 := denseToCols(m, a2)
+	lu2, err := luFactorize(m, rows2, vals2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf2 := &basisFactor{lu: lu2}
+
+	v := make([]float64, m)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	v1 := append([]float64(nil), v...)
+	v2 := append([]float64(nil), v...)
+	bf.ftran(v1)
+	bf2.ftran(v2)
+	for i := range v1 {
+		if math.Abs(v1[i]-v2[i]) > 1e-8 {
+			t.Fatalf("ftran mismatch at %d: eta %g fresh %g", i, v1[i], v2[i])
+		}
+	}
+
+	c1 := append([]float64(nil), v...)
+	c2 := append([]float64(nil), v...)
+	bf.btran(c1)
+	bf2.btran(c2)
+	for i := range c1 {
+		if math.Abs(c1[i]-c2[i]) > 1e-8 {
+			t.Fatalf("btran mismatch at %d: eta %g fresh %g", i, c1[i], c2[i])
+		}
+	}
+}
+
+func TestCSCBuildAndDuplicates(t *testing.T) {
+	tb := newTripletBuilder(3, 2)
+	tb.add(0, 0, 1)
+	tb.add(2, 0, 2)
+	tb.add(0, 0, 3) // duplicate, must sum to 4
+	tb.add(1, 1, 5)
+	tb.add(0, 1, 0) // zero is dropped
+	a := tb.build()
+	if a.nCols() != 2 || a.nRows != 3 {
+		t.Fatalf("dims = %dx%d", a.nRows, a.nCols())
+	}
+	if a.nnz() != 3 {
+		t.Fatalf("nnz = %d, want 3", a.nnz())
+	}
+	y := []float64{1, 1, 1}
+	if d := a.colDot(0, y); math.Abs(d-6) > 1e-12 {
+		t.Errorf("colDot(0) = %g, want 6", d)
+	}
+	out := make([]float64, 3)
+	a.addColTimes(1, 2, out)
+	if out[1] != 10 {
+		t.Errorf("addColTimes: out = %v", out)
+	}
+}

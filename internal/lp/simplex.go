@@ -1,0 +1,455 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+	Numerical
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration limit"
+	case Numerical:
+		return "numerical failure"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Pricing selects the entering-variable rule.
+type Pricing int
+
+// Pricing rules.
+const (
+	// Dantzig picks the eligible column with the most attractive reduced
+	// cost, falling back to Bland's rule after a long degenerate streak.
+	Dantzig Pricing = iota
+	// Bland always picks the lowest-index eligible column; slow but
+	// guarantees termination.
+	Bland
+	// PartialDantzig scans a rotating window of columns and takes the best
+	// eligible one, falling back to a full scan when the window has none.
+	// Cheaper per iteration than Dantzig on wide problems at the cost of
+	// somewhat less greedy pivots.
+	PartialDantzig
+)
+
+// Options tunes the simplex solver. The zero value selects sensible
+// defaults.
+type Options struct {
+	MaxIter       int     // pivot limit; ≤0 selects 200·(rows+cols)+10000
+	Tol           float64 // optimality/feasibility tolerance; ≤0 selects 1e-7
+	PivotTol      float64 // minimum pivot magnitude; ≤0 selects 1e-8
+	RefactorEvery int     // eta updates between refactorizations; ≤0 selects 64
+	Pricing       Pricing
+	DegenLimit    int // degenerate pivots before the Bland fallback; ≤0 selects 1000
+	// Presolve applies safe model reductions (fixed-variable substitution,
+	// singleton-row bound tightening, empty-row elimination) before the
+	// simplex. Duals of presolve-eliminated rows are reported as 0.
+	Presolve bool
+}
+
+func (o Options) withDefaults(m, n int) Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 200*(m+n) + 10000
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-7
+	}
+	if o.PivotTol <= 0 {
+		o.PivotTol = 1e-8
+	}
+	if o.RefactorEvery <= 0 {
+		o.RefactorEvery = 64
+	}
+	if o.DegenLimit <= 0 {
+		o.DegenLimit = 1000
+	}
+	return o
+}
+
+// variable states within the simplex.
+const (
+	stAtLower int8 = iota
+	stAtUpper
+	stBasic
+)
+
+// simplex is the working state of a bounded-variable revised simplex solve
+// over min c·x, A x (+ artificials) = b, l ≤ x ≤ u.
+type simplex struct {
+	opt     Options
+	a       *cscMatrix // structural + slack columns
+	b       []float64
+	c       []float64 // current-phase costs, length nTotal
+	l       []float64 // length nTotal
+	u       []float64 // length nTotal
+	m       int       // rows
+	n       int       // structural + slack columns
+	nStruct int       // structural columns only (first nStruct of n)
+	art     []float64 // artificial signs; artificial i is column n+i = sign·e_i
+
+	basis  []int  // slot -> column
+	pos    []int  // column -> slot, or -1
+	state  []int8 // column -> stAtLower/stAtUpper/stBasic
+	xB     []float64
+	factor basisFactor
+
+	iters     int
+	degenRun  int
+	blandMode bool
+	cursor    int       // rotating start for partial pricing
+	scratch   []float64 // length m
+	yRow      []float64 // BTRAN result, by row
+	wBuf      []float64 // ratio-test column buffer, by slot
+}
+
+// nTotal is the column count including artificials.
+func (s *simplex) nTotal() int { return s.n + s.m }
+
+// colInto scatters column j (structural, slack, or artificial) into the
+// dense length-m vector out, which must be zeroed by the caller afterwards.
+func (s *simplex) colInto(j int, out []float64) {
+	if j < s.n {
+		rows, vals := s.a.col(j)
+		for k, r := range rows {
+			out[r] += vals[k]
+		}
+		return
+	}
+	i := j - s.n
+	out[i] += s.art[i]
+}
+
+// colDotY returns the dot product of column j with the row-indexed vector y.
+func (s *simplex) colDotY(j int, y []float64) float64 {
+	if j < s.n {
+		return s.a.colDot(j, y)
+	}
+	i := j - s.n
+	return s.art[i] * y[i]
+}
+
+// nonbasicValue returns the current value of a nonbasic column.
+func (s *simplex) nonbasicValue(j int) float64 {
+	if s.state[j] == stAtUpper {
+		return s.u[j]
+	}
+	return s.l[j]
+}
+
+// refactorize rebuilds the LU factorization from the current basis and
+// recomputes the basic values from scratch.
+func (s *simplex) refactorize() error {
+	colRows := make([][]int, s.m)
+	colVals := make([][]float64, s.m)
+	for slot, j := range s.basis {
+		if j < s.n {
+			r, v := s.a.col(j)
+			colRows[slot], colVals[slot] = r, v
+		} else {
+			i := j - s.n
+			colRows[slot] = []int{i}
+			colVals[slot] = []float64{s.art[i]}
+		}
+	}
+	lu, err := luFactorize(s.m, colRows, colVals)
+	if err != nil {
+		return err
+	}
+	s.factor = basisFactor{lu: lu}
+	s.recomputeXB()
+	return nil
+}
+
+// recomputeXB sets xB = B⁻¹(b − N x_N) from scratch.
+func (s *simplex) recomputeXB() {
+	r := s.scratch
+	copy(r, s.b)
+	for j := 0; j < s.nTotal(); j++ {
+		if s.state[j] == stBasic {
+			continue
+		}
+		v := s.nonbasicValue(j)
+		if v == 0 {
+			continue
+		}
+		if j < s.n {
+			s.a.addColTimes(j, -v, r)
+		} else {
+			r[j-s.n] -= v * s.art[j-s.n]
+		}
+	}
+	s.factor.ftran(r)
+	copy(s.xB, r)
+	for i := range r {
+		r[i] = 0
+	}
+}
+
+// price computes duals for the current basis and returns the entering
+// column, or -1 when the current point is optimal for the phase costs.
+func (s *simplex) price() int {
+	// y = B⁻ᵀ c_B, computed slot-indexed then transformed to row-indexed.
+	y := s.yRow
+	for slot, j := range s.basis {
+		y[slot] = s.c[j]
+	}
+	s.factor.btran(y)
+
+	tol := s.opt.Tol
+	useBland := s.blandMode || s.opt.Pricing == Bland
+
+	// score returns the pricing merit of column j, or 0 when ineligible.
+	score := func(j int) float64 {
+		st := s.state[j]
+		if st == stBasic || s.l[j] == s.u[j] {
+			return 0
+		}
+		d := s.c[j] - s.colDotY(j, y)
+		if st == stAtLower {
+			d = -d // want d < -tol
+		}
+		if d <= tol {
+			return 0
+		}
+		return d
+	}
+
+	if s.opt.Pricing == PartialDantzig && !useBland {
+		n := s.nTotal()
+		window := n / 8
+		if window < 256 {
+			window = 256
+		}
+		// Scan from the rotating cursor until an eligible column appears,
+		// then finish the current window and take the best seen.
+		best := -1
+		bestScore := tol
+		scanned := 0
+		remaining := -1 // columns left to scan after the first hit
+		for scanned < n {
+			j := (s.cursor + scanned) % n
+			scanned++
+			if sc := score(j); sc > bestScore {
+				bestScore = sc
+				best = j
+				if remaining < 0 {
+					remaining = window
+				}
+			}
+			if remaining >= 0 {
+				remaining--
+				if remaining <= 0 {
+					break
+				}
+			}
+		}
+		if best >= 0 {
+			s.cursor = (best + 1) % n
+		}
+		return best
+	}
+
+	best := -1
+	bestScore := tol
+	for j := 0; j < s.nTotal(); j++ {
+		sc := score(j)
+		if sc <= 0 {
+			continue
+		}
+		if useBland {
+			return j
+		}
+		if sc > bestScore {
+			bestScore = sc
+			best = j
+		}
+	}
+	return best
+}
+
+// step performs one simplex iteration with entering column q. It returns
+// false with status when the phase ends (unbounded), true otherwise.
+func (s *simplex) step(q int) (ok bool, status Status, err error) {
+	m := s.m
+	if s.wBuf == nil {
+		s.wBuf = make([]float64, m)
+	}
+	w := s.wBuf
+	for i := range w {
+		w[i] = 0
+	}
+	s.colInto(q, w)
+	s.factor.ftran(w)
+
+	dir := 1.0
+	if s.state[q] == stAtUpper {
+		dir = -1
+	}
+	pivTol := s.opt.PivotTol
+
+	// Ratio test. t is how far the entering variable moves from its bound.
+	tBest := math.Inf(1)
+	if !math.IsInf(s.u[q], 1) {
+		tBest = s.u[q] - s.l[q] // bound flip distance
+	}
+	leave := -1 // slot of the leaving variable, or -1 for a bound flip
+	leaveAtUpper := false
+	for i := 0; i < m; i++ {
+		wi := dir * w[i]
+		bj := s.basis[i]
+		var t float64
+		var atUpper bool
+		if wi > pivTol {
+			t = (s.xB[i] - s.l[bj]) / wi
+			atUpper = false
+		} else if wi < -pivTol {
+			if math.IsInf(s.u[bj], 1) {
+				continue
+			}
+			t = (s.u[bj] - s.xB[i]) / (-wi)
+			atUpper = true
+		} else {
+			continue
+		}
+		if t < 0 {
+			t = 0 // basic variable slightly out of bounds: degenerate pivot
+		}
+		if t < tBest-1e-12 ||
+			(t < tBest+1e-12 && leave >= 0 && s.betterLeaving(i, leave, w)) {
+			tBest = t
+			leave = i
+			leaveAtUpper = atUpper
+		}
+	}
+
+	if math.IsInf(tBest, 1) {
+		return false, Unbounded, nil
+	}
+	if tBest <= s.opt.Tol {
+		s.degenRun++
+		if s.degenRun > s.opt.DegenLimit {
+			s.blandMode = true
+		}
+	} else {
+		s.degenRun = 0
+	}
+
+	// Update basic values: xB ← xB − dir·t·w.
+	if tBest != 0 {
+		for i := 0; i < m; i++ {
+			if w[i] != 0 {
+				s.xB[i] -= dir * tBest * w[i]
+			}
+		}
+	}
+
+	if leave < 0 {
+		// Bound flip: q moves to its opposite bound; the basis is unchanged.
+		if s.state[q] == stAtLower {
+			s.state[q] = stAtUpper
+		} else {
+			s.state[q] = stAtLower
+		}
+		s.iters++
+		return true, Optimal, nil
+	}
+
+	// Basis change.
+	out := s.basis[leave]
+	if leaveAtUpper {
+		s.state[out] = stAtUpper
+		s.xB[leave] = 0
+	} else {
+		s.state[out] = stAtLower
+	}
+	var enterVal float64
+	if dir > 0 {
+		enterVal = s.l[q] + tBest
+	} else {
+		enterVal = s.u[q] - tBest
+	}
+	s.pos[out] = -1
+	s.basis[leave] = q
+	s.pos[q] = leave
+	s.state[q] = stBasic
+	s.xB[leave] = enterVal
+	s.factor.push(leave, w)
+	s.iters++
+
+	if len(s.factor.etas) >= s.opt.RefactorEvery {
+		if err := s.refactorize(); err != nil {
+			return false, Numerical, err
+		}
+	}
+	return true, Optimal, nil
+}
+
+// betterLeaving is the tie-break for the ratio test: prefer larger pivot
+// magnitude for numerical stability, or the smallest basis column when the
+// Bland fallback is active.
+func (s *simplex) betterLeaving(cand, incumbent int, w []float64) bool {
+	if s.blandMode {
+		return s.basis[cand] < s.basis[incumbent]
+	}
+	return math.Abs(w[cand]) > math.Abs(w[incumbent])
+}
+
+// runPhase iterates until optimality, unboundedness, or the iteration
+// limit for the current cost vector.
+func (s *simplex) runPhase() (Status, error) {
+	for {
+		if s.iters >= s.opt.MaxIter {
+			return IterLimit, nil
+		}
+		q := s.price()
+		if q < 0 {
+			return Optimal, nil
+		}
+		ok, status, err := s.step(q)
+		if err != nil {
+			return Numerical, err
+		}
+		if !ok {
+			return status, nil
+		}
+	}
+}
+
+// objective returns c·x for the current phase costs and point.
+func (s *simplex) objective() float64 {
+	obj := 0.0
+	for j := 0; j < s.nTotal(); j++ {
+		if s.c[j] == 0 {
+			continue
+		}
+		obj += s.c[j] * s.value(j)
+	}
+	return obj
+}
+
+// value returns the current value of any column.
+func (s *simplex) value(j int) float64 {
+	if s.state[j] == stBasic {
+		return s.xB[s.pos[j]]
+	}
+	return s.nonbasicValue(j)
+}

@@ -1,0 +1,294 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Solution is the result of solving a Model.
+type Solution struct {
+	Status    Status
+	Objective float64   // in the model's own sense (valid when Optimal)
+	X         []float64 // one value per model variable (valid when Optimal)
+	Duals     []float64 // one dual per row, for the minimization form
+	Iters     int       // total simplex pivots across both phases
+
+	// PrimalInfeas is the largest constraint violation of the returned
+	// point, a numerical diagnostic (0 is exact).
+	PrimalInfeas float64
+}
+
+// Value returns the primal value of v.
+func (s *Solution) Value(v VarID) float64 { return s.X[v] }
+
+// Solve optimizes the model with default options.
+func (m *Model) Solve() (*Solution, error) { return m.SolveWith(Options{}) }
+
+// SolveWith optimizes the model with the given options.
+func (m *Model) SolveWith(opt Options) (*Solution, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Presolve {
+		ps, err := presolve(m)
+		if err != nil {
+			return nil, err
+		}
+		if ps.status == Infeasible {
+			return &Solution{Status: Infeasible}, nil
+		}
+		inner := opt
+		inner.Presolve = false
+		sol, err := ps.reduced.SolveWith(inner)
+		if err != nil {
+			return nil, err
+		}
+		if sol.Status != Optimal {
+			return sol, nil
+		}
+		return ps.postsolve(m, sol), nil
+	}
+	_, sol, err := m.solveCore(opt)
+	return sol, err
+}
+
+// solveCore runs the two-phase primal simplex and returns the final
+// solver state alongside the solution, so incremental re-solves can keep
+// the basis. The state is nil on paths that never build a simplex.
+func (m *Model) solveCore(opt Options) (*simplex, *Solution, error) {
+	nVars := len(m.vars)
+	nRows := len(m.rows)
+
+	// Count slacks: one per inequality row.
+	nSlack := 0
+	for _, r := range m.rows {
+		if r.op != EQ {
+			nSlack++
+		}
+	}
+	n := nVars + nSlack
+	opt = opt.withDefaults(nRows, n)
+
+	// Assemble the CSC matrix over structural + slack columns.
+	tb := newTripletBuilder(nRows, n)
+	for k, r := range m.rows {
+		for _, t := range r.terms {
+			tb.add(k, int(t.col), t.coef)
+		}
+	}
+	l := make([]float64, n+nRows) // includes artificial bounds
+	u := make([]float64, n+nRows)
+	c := make([]float64, n+nRows)
+	negate := m.sense == Maximize
+	for j, v := range m.vars {
+		l[j], u[j] = v.lb, v.ub
+		if negate {
+			c[j] = -v.obj
+		} else {
+			c[j] = v.obj
+		}
+	}
+	b := make([]float64, nRows)
+	slack := nVars
+	for k, r := range m.rows {
+		b[k] = r.rhs
+		switch r.op {
+		case LE:
+			tb.add(k, slack, 1)
+			l[slack], u[slack] = 0, Inf
+			slack++
+		case GE:
+			tb.add(k, slack, -1)
+			l[slack], u[slack] = 0, Inf
+			slack++
+		}
+	}
+	a := tb.build()
+
+	s := &simplex{
+		opt:     opt,
+		a:       a,
+		b:       b,
+		c:       make([]float64, n+nRows),
+		l:       l,
+		u:       u,
+		m:       nRows,
+		n:       n,
+		art:     make([]float64, nRows),
+		basis:   make([]int, nRows),
+		pos:     make([]int, n+nRows),
+		state:   make([]int8, n+nRows),
+		xB:      make([]float64, nRows),
+		scratch: make([]float64, nRows),
+		yRow:    make([]float64, nRows),
+	}
+	for j := range s.pos {
+		s.pos[j] = -1
+	}
+
+	s.nStruct = nVars
+
+	if nRows == 0 {
+		sol, err := m.solveUnconstrained(c[:nVars], negate)
+		return nil, sol, err
+	}
+
+	// Start all structural and slack columns at their lower bound; pick the
+	// bound closer to zero when the lower bound is very large in magnitude
+	// to reduce the initial residual. (Lower bound is always finite.)
+	for j := 0; j < n; j++ {
+		s.state[j] = stAtLower
+		if !math.IsInf(u[j], 1) && math.Abs(u[j]) < math.Abs(l[j]) {
+			s.state[j] = stAtUpper
+		}
+	}
+	// Residual determines artificial signs so artificial values start ≥ 0.
+	res := make([]float64, nRows)
+	copy(res, b)
+	for j := 0; j < n; j++ {
+		if v := s.nonbasicValue(j); v != 0 {
+			a.addColTimes(j, -v, res)
+		}
+	}
+	for i := 0; i < nRows; i++ {
+		sign := 1.0
+		if res[i] < 0 {
+			sign = -1
+		}
+		s.art[i] = sign
+		col := n + i
+		s.basis[i] = col
+		s.pos[col] = i
+		s.state[col] = stBasic
+		s.xB[i] = math.Abs(res[i])
+		l[col], u[col] = 0, Inf
+		s.c[col] = 1 // phase-1 cost
+	}
+
+	if err := s.refactorize(); err != nil {
+		return nil, &Solution{Status: Numerical}, fmt.Errorf("lp: initial factorization: %w", err)
+	}
+
+	// Phase 1: minimize the sum of artificial values.
+	st, err := s.runPhase()
+	if err != nil {
+		return nil, &Solution{Status: Numerical, Iters: s.iters}, err
+	}
+	if st == IterLimit {
+		return nil, &Solution{Status: IterLimit, Iters: s.iters}, nil
+	}
+	if st == Unbounded {
+		return nil, &Solution{Status: Numerical, Iters: s.iters}, fmt.Errorf("lp: phase 1 reported unbounded")
+	}
+	if obj := s.objective(); obj > 1e-6 {
+		return nil, &Solution{Status: Infeasible, Iters: s.iters}, nil
+	}
+
+	// Phase 2: real costs; artificials pinned to zero and never attractive.
+	for j := 0; j < n; j++ {
+		s.c[j] = c[j]
+	}
+	for i := 0; i < nRows; i++ {
+		col := n + i
+		s.c[col] = 0
+		u[col] = 0
+		if s.state[col] != stBasic {
+			s.state[col] = stAtLower
+		}
+	}
+	s.blandMode = false
+	s.degenRun = 0
+	st, err = s.runPhase()
+	if err != nil {
+		return nil, &Solution{Status: Numerical, Iters: s.iters}, err
+	}
+	if st != Optimal {
+		return nil, &Solution{Status: st, Iters: s.iters}, nil
+	}
+
+	sol, err := s.extract(m, negate)
+	return s, sol, err
+}
+
+// extract builds the user-facing Solution from the final simplex state.
+func (s *simplex) extract(m *Model, negate bool) (*Solution, error) {
+	nVars := len(m.vars)
+	x := make([]float64, nVars)
+	for j := 0; j < nVars; j++ {
+		v := s.value(j)
+		// Clamp small numerical drift back into the bounds.
+		if v < s.l[j] {
+			v = s.l[j]
+		}
+		if v > s.u[j] {
+			v = s.u[j]
+		}
+		x[j] = v
+	}
+	obj := 0.0
+	for j, v := range m.vars {
+		obj += v.obj * x[j]
+	}
+	// Duals from the final basis with the minimization-form costs.
+	y := make([]float64, s.m)
+	for slot, j := range s.basis {
+		y[slot] = s.c[j]
+	}
+	s.factor.btran(y)
+
+	// Primal infeasibility of the clamped point against the original rows.
+	infeas := 0.0
+	for _, r := range m.rows {
+		act := 0.0
+		for _, t := range r.terms {
+			act += t.coef * x[t.col]
+		}
+		var viol float64
+		switch r.op {
+		case LE:
+			viol = act - r.rhs
+		case GE:
+			viol = r.rhs - act
+		case EQ:
+			viol = math.Abs(act - r.rhs)
+		}
+		if viol > infeas {
+			infeas = viol
+		}
+	}
+
+	return &Solution{
+		Status:       Optimal,
+		Objective:    obj,
+		X:            x,
+		Duals:        y,
+		Iters:        s.iters,
+		PrimalInfeas: infeas,
+	}, nil
+}
+
+// solveUnconstrained handles models with no rows: every variable sits at
+// whichever bound optimizes it; an improving direction with an infinite
+// bound makes the model unbounded.
+func (m *Model) solveUnconstrained(cMin []float64, negate bool) (*Solution, error) {
+	x := make([]float64, len(m.vars))
+	for j, v := range m.vars {
+		switch {
+		case cMin[j] > 0:
+			x[j] = v.lb
+		case cMin[j] < 0:
+			if math.IsInf(v.ub, 1) {
+				return &Solution{Status: Unbounded}, nil
+			}
+			x[j] = v.ub
+		default:
+			x[j] = v.lb
+		}
+	}
+	obj := 0.0
+	for j, v := range m.vars {
+		obj += v.obj * x[j]
+	}
+	_ = negate
+	return &Solution{Status: Optimal, Objective: obj, X: x, Duals: []float64{}}, nil
+}

@@ -1,0 +1,123 @@
+package lp
+
+// cscMatrix is a compressed-sparse-column matrix with nRows rows. Column j
+// occupies rowIdx[colPtr[j]:colPtr[j+1]] / val[colPtr[j]:colPtr[j+1]].
+// Row indices within a column are not required to be sorted.
+type cscMatrix struct {
+	nRows  int
+	colPtr []int
+	rowIdx []int
+	val    []float64
+}
+
+// nCols returns the number of columns.
+func (a *cscMatrix) nCols() int { return len(a.colPtr) - 1 }
+
+// nnz returns the number of stored entries.
+func (a *cscMatrix) nnz() int { return len(a.rowIdx) }
+
+// col returns the row indices and values of column j as shared slices.
+func (a *cscMatrix) col(j int) ([]int, []float64) {
+	s, e := a.colPtr[j], a.colPtr[j+1]
+	return a.rowIdx[s:e], a.val[s:e]
+}
+
+// colDot returns the dot product of column j with the dense vector y.
+func (a *cscMatrix) colDot(j int, y []float64) float64 {
+	s, e := a.colPtr[j], a.colPtr[j+1]
+	d := 0.0
+	for k := s; k < e; k++ {
+		d += a.val[k] * y[a.rowIdx[k]]
+	}
+	return d
+}
+
+// addColTimes accumulates scale*column j into the dense vector out.
+func (a *cscMatrix) addColTimes(j int, scale float64, out []float64) {
+	if scale == 0 {
+		return
+	}
+	s, e := a.colPtr[j], a.colPtr[j+1]
+	for k := s; k < e; k++ {
+		out[a.rowIdx[k]] += scale * a.val[k]
+	}
+}
+
+// tripletBuilder accumulates (row, col, value) entries and compiles them
+// into a cscMatrix. Duplicate (row, col) entries are summed.
+type tripletBuilder struct {
+	nRows, nCols int
+	rows, cols   []int
+	vals         []float64
+}
+
+func newTripletBuilder(nRows, nCols int) *tripletBuilder {
+	return &tripletBuilder{nRows: nRows, nCols: nCols}
+}
+
+func (t *tripletBuilder) add(r, c int, v float64) {
+	if v == 0 {
+		return
+	}
+	t.rows = append(t.rows, r)
+	t.cols = append(t.cols, c)
+	t.vals = append(t.vals, v)
+}
+
+// build compiles the triplets into CSC form, summing duplicates.
+func (t *tripletBuilder) build() *cscMatrix {
+	count := make([]int, t.nCols+1)
+	for _, c := range t.cols {
+		count[c+1]++
+	}
+	for j := 0; j < t.nCols; j++ {
+		count[j+1] += count[j]
+	}
+	colPtr := make([]int, t.nCols+1)
+	copy(colPtr, count)
+	rowIdx := make([]int, len(t.rows))
+	val := make([]float64, len(t.rows))
+	next := make([]int, t.nCols)
+	for j := range next {
+		next[j] = colPtr[j]
+	}
+	for k, c := range t.cols {
+		p := next[c]
+		rowIdx[p] = t.rows[k]
+		val[p] = t.vals[k]
+		next[c] = p + 1
+	}
+	m := &cscMatrix{nRows: t.nRows, colPtr: colPtr, rowIdx: rowIdx, val: val}
+	m.sumDuplicates()
+	return m
+}
+
+// sumDuplicates merges repeated row indices within each column in place.
+func (a *cscMatrix) sumDuplicates() {
+	seenAt := make([]int, a.nRows) // 1-based write position for the current column
+	stamp := make([]int, a.nRows)
+	cur := 0
+	w := 0
+	newPtr := make([]int, len(a.colPtr))
+	for j := 0; j < a.nCols(); j++ {
+		cur++
+		newPtr[j] = w
+		s, e := a.colPtr[j], a.colPtr[j+1]
+		for k := s; k < e; k++ {
+			r := a.rowIdx[k]
+			if stamp[r] == cur {
+				a.val[seenAt[r]] += a.val[k]
+				continue
+			}
+			stamp[r] = cur
+			seenAt[r] = w
+			a.rowIdx[w] = r
+			a.val[w] = a.val[k]
+			w++
+		}
+	}
+	newPtr[a.nCols()] = w
+	a.colPtr = newPtr
+	a.rowIdx = a.rowIdx[:w]
+	a.val = a.val[:w]
+}

@@ -1,0 +1,104 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// denseRef is a dense reference matrix for cross-checking cscMatrix ops.
+type denseRef struct {
+	rows, cols int
+	a          [][]float64
+}
+
+func buildBoth(rng *rand.Rand, rows, cols int, density float64) (*cscMatrix, *denseRef) {
+	tb := newTripletBuilder(rows, cols)
+	ref := &denseRef{rows: rows, cols: cols, a: make([][]float64, rows)}
+	for i := range ref.a {
+		ref.a[i] = make([]float64, cols)
+	}
+	entries := int(float64(rows*cols)*density) + 1
+	for n := 0; n < entries; n++ {
+		r := rng.Intn(rows)
+		c := rng.Intn(cols)
+		v := rng.NormFloat64()
+		tb.add(r, c, v)
+		ref.a[r][c] += v // duplicates sum, mirroring the builder
+	}
+	return tb.build(), ref
+}
+
+// TestQuickCSCAgainstDense is a testing/quick property: colDot and
+// addColTimes agree with the dense reference for random matrices and
+// vectors.
+func TestQuickCSCAgainstDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(12)
+		cols := 1 + rng.Intn(12)
+		a, ref := buildBoth(rng, rows, cols, 0.4)
+		y := make([]float64, rows)
+		for i := range y {
+			y[i] = rng.NormFloat64()
+		}
+		for j := 0; j < cols; j++ {
+			want := 0.0
+			for i := 0; i < rows; i++ {
+				want += ref.a[i][j] * y[i]
+			}
+			if math.Abs(a.colDot(j, y)-want) > 1e-9*(1+math.Abs(want)) {
+				return false
+			}
+			out := make([]float64, rows)
+			scale := rng.NormFloat64()
+			a.addColTimes(j, scale, out)
+			for i := 0; i < rows; i++ {
+				if math.Abs(out[i]-scale*ref.a[i][j]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSCNnzAfterDuplicateMerge(t *testing.T) {
+	tb := newTripletBuilder(2, 2)
+	for i := 0; i < 10; i++ {
+		tb.add(0, 0, 1)
+	}
+	tb.add(1, 1, 2)
+	a := tb.build()
+	if a.nnz() != 2 {
+		t.Fatalf("nnz = %d, want 2 after merging", a.nnz())
+	}
+	rows, vals := a.col(0)
+	if len(rows) != 1 || vals[0] != 10 {
+		t.Fatalf("col 0 = %v %v", rows, vals)
+	}
+}
+
+func TestCSCEmptyColumns(t *testing.T) {
+	tb := newTripletBuilder(3, 4)
+	tb.add(1, 2, 5)
+	a := tb.build()
+	for j := 0; j < 4; j++ {
+		rows, _ := a.col(j)
+		want := 0
+		if j == 2 {
+			want = 1
+		}
+		if len(rows) != want {
+			t.Fatalf("col %d has %d entries", j, len(rows))
+		}
+	}
+	y := []float64{1, 1, 1}
+	if a.colDot(0, y) != 0 {
+		t.Error("empty column dot != 0")
+	}
+}

@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil)")
+	}
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("Mean = %g", m)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Error("StdDev of one sample")
+	}
+	if s := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(s-2.138) > 0.01 {
+		t.Errorf("StdDev = %g", s)
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Errorf("min/max %g/%g", Min(xs), Max(xs))
+	}
+	if m := Median(xs); m != 3 {
+		t.Errorf("Median = %g", m)
+	}
+	if m := Median([]float64{1, 2, 3, 4}); m != 2.5 {
+		t.Errorf("even Median = %g", m)
+	}
+	if Median(nil) != 0 {
+		t.Error("Median(nil)")
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Error("empty min/max")
+	}
+}
+
+func TestStatProperties(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		m := Mean(clean)
+		med := Median(clean)
+		lo, hi := Min(clean), Max(clean)
+		return m >= lo-1e-6 && m <= hi+1e-6 && med >= lo-1e-9 && med <= hi+1e-9 && StdDev(clean) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("title", "a", "bb")
+	tab.AddRow("1", "2")
+	tab.AddRow("333")         // short row padded
+	tab.AddRow("4", "5", "6") // long row truncated
+	tab.AddFloats("f", "%.2f", 1.234)
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"title", "a", "bb", "333", "1.23", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "6") {
+		t.Error("overlong row cell not dropped")
+	}
+	// Alignment: all lines after the title have equal width per column.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("t", "x", "y")
+	tab.AddRow("1", "2")
+	var buf bytes.Buffer
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "x,y\n1,2\n" {
+		t.Errorf("csv = %q", buf.String())
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tab := NewTable("", "only")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "only") {
+		t.Errorf("render = %q", buf.String())
+	}
+}

@@ -1,0 +1,323 @@
+package mip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wavesched/internal/lp"
+)
+
+func TestKnapsack(t *testing.T) {
+	// max 10x1 + 13x2 + 7x3, 3x1 + 4x2 + 2x3 ≤ 6, x ∈ {0,1}.
+	// Feasible sets: {1,3} → 17 (weight 5); {2,3} → 20 (weight 6). Opt 20.
+	m := lp.NewModel("knap", lp.Maximize)
+	x1 := m.AddVar("x1", 0, 1, 10)
+	x2 := m.AddVar("x2", 0, 1, 13)
+	x3 := m.AddVar("x3", 0, 1, 7)
+	r := m.AddRow("w", lp.LE, 6)
+	m.AddTerm(r, x1, 3)
+	m.AddTerm(r, x2, 4)
+	m.AddTerm(r, x3, 2)
+	res, err := Solve(m, []lp.VarID{x1, x2, x3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	if math.Abs(res.Objective-20) > 1e-6 {
+		t.Errorf("objective %g, want 20", res.Objective)
+	}
+	if res.X[x1] != 0 || res.X[x2] != 1 || res.X[x3] != 1 {
+		t.Errorf("x = %v", res.X)
+	}
+}
+
+func TestIntegerRounding(t *testing.T) {
+	// max x + y, x + y ≤ 3.5, x,y integer ≥ 0 ⇒ 3.
+	m := lp.NewModel("round", lp.Maximize)
+	x := m.AddVar("x", 0, lp.Inf, 1)
+	y := m.AddVar("y", 0, lp.Inf, 1)
+	r := m.AddRow("c", lp.LE, 3.5)
+	m.AddTerm(r, x, 1)
+	m.AddTerm(r, y, 1)
+	res, err := Solve(m, []lp.VarID{x, y}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || math.Abs(res.Objective-3) > 1e-6 {
+		t.Fatalf("got %v obj %g, want optimal 3", res.Status, res.Objective)
+	}
+}
+
+func TestMixedInteger(t *testing.T) {
+	// max 2x + y with x integer, y continuous: x + y ≤ 2.5, x ≤ 1.7.
+	// x = 1 (integer), y = 1.5 ⇒ 3.5.
+	m := lp.NewModel("mixed", lp.Maximize)
+	x := m.AddVar("x", 0, 1.7, 2)
+	y := m.AddVar("y", 0, lp.Inf, 1)
+	r := m.AddRow("c", lp.LE, 2.5)
+	m.AddTerm(r, x, 1)
+	m.AddTerm(r, y, 1)
+	res, err := Solve(m, []lp.VarID{x}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || math.Abs(res.Objective-3.5) > 1e-6 {
+		t.Fatalf("got %v obj %g, want optimal 3.5", res.Status, res.Objective)
+	}
+	if res.X[x] != 1 {
+		t.Errorf("x = %g, want 1", res.X[x])
+	}
+}
+
+func TestInfeasibleInteger(t *testing.T) {
+	// 0.4 ≤ x ≤ 0.6 admits no integer.
+	m := lp.NewModel("infint", lp.Minimize)
+	x := m.AddVar("x", 0.4, 0.6, 1)
+	r := m.AddRow("c", lp.LE, 10)
+	m.AddTerm(r, x, 1)
+	res, err := Solve(m, []lp.VarID{x}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", res.Status)
+	}
+}
+
+func TestInfeasibleLP(t *testing.T) {
+	m := lp.NewModel("inf", lp.Minimize)
+	x := m.AddVar("x", 0, 10, 1)
+	r := m.AddRow("c", lp.LE, -5)
+	m.AddTerm(r, x, 1)
+	res, err := Solve(m, []lp.VarID{x}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Infeasible {
+		t.Fatalf("status %v", res.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	m := lp.NewModel("unb", lp.Maximize)
+	x := m.AddVar("x", 0, lp.Inf, 1)
+	y := m.AddVar("y", 0, lp.Inf, 0)
+	r := m.AddRow("c", lp.LE, 1)
+	m.AddTerm(r, x, 1)
+	m.AddTerm(r, y, -1)
+	res, err := Solve(m, []lp.VarID{x}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Unbounded {
+		t.Fatalf("status %v", res.Status)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	m := lp.NewModel("nl", lp.Maximize)
+	vars := make([]lp.VarID, 12)
+	r := m.AddRow("c", lp.LE, 6.5)
+	for i := range vars {
+		vars[i] = m.AddVar("x", 0, 1, float64(i%3+1))
+		m.AddTerm(r, vars[i], 1.1)
+	}
+	res, err := Solve(m, vars, Options{MaxNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != NodeLimit {
+		t.Fatalf("status %v, want node limit", res.Status)
+	}
+}
+
+func TestModelNotMutated(t *testing.T) {
+	m := lp.NewModel("orig", lp.Maximize)
+	x := m.AddVar("x", 0, 5, 1)
+	r := m.AddRow("c", lp.LE, 3.5)
+	m.AddTerm(r, x, 1)
+	if _, err := Solve(m, []lp.VarID{x}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	lb, ub := m.Bounds(x)
+	if lb != 0 || ub != 5 {
+		t.Errorf("model bounds mutated: [%g, %g]", lb, ub)
+	}
+}
+
+// TestAgainstExhaustive cross-checks branch and bound against brute-force
+// enumeration on random small pure-integer problems.
+func TestAgainstExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 2 + rng.Intn(3) // 2-4 integer vars, domain {0..3}
+		mRows := 1 + rng.Intn(3)
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = float64(rng.Intn(11) - 5)
+		}
+		a := make([][]float64, mRows)
+		bnd := make([]float64, mRows)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = float64(rng.Intn(5) - 1)
+			}
+			bnd[i] = float64(rng.Intn(10))
+		}
+
+		model := lp.NewModel("rand", lp.Maximize)
+		vars := make([]lp.VarID, n)
+		for j := range vars {
+			vars[j] = model.AddVar("x", 0, 3, c[j])
+		}
+		for i := range a {
+			r := model.AddRow("r", lp.LE, bnd[i])
+			for j := range a[i] {
+				model.AddTerm(r, vars[j], a[i][j])
+			}
+		}
+		got, err := Solve(model, vars, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		// Brute force over 4^n points.
+		best := math.Inf(-1)
+		feasible := false
+		total := 1
+		for i := 0; i < n; i++ {
+			total *= 4
+		}
+		for code := 0; code < total; code++ {
+			x := make([]float64, n)
+			cc := code
+			for j := 0; j < n; j++ {
+				x[j] = float64(cc % 4)
+				cc /= 4
+			}
+			ok := true
+			for i := range a {
+				s := 0.0
+				for j := range x {
+					s += a[i][j] * x[j]
+				}
+				if s > bnd[i]+1e-9 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			feasible = true
+			obj := 0.0
+			for j := range x {
+				obj += c[j] * x[j]
+			}
+			if obj > best {
+				best = obj
+			}
+		}
+
+		if !feasible {
+			if got.Status != Infeasible {
+				t.Fatalf("trial %d: want infeasible, got %v", trial, got.Status)
+			}
+			continue
+		}
+		if got.Status != Optimal {
+			t.Fatalf("trial %d: status %v, want optimal (best %g)", trial, got.Status, best)
+		}
+		if math.Abs(got.Objective-best) > 1e-6 {
+			t.Fatalf("trial %d: objective %g, brute force %g\nc=%v a=%v b=%v",
+				trial, got.Objective, best, c, a, bnd)
+		}
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	for st, want := range map[Status]string{
+		Optimal: "optimal", Infeasible: "infeasible",
+		NodeLimit: "node limit", Unbounded: "unbounded",
+	} {
+		if st.String() != want {
+			t.Errorf("%v != %q", st, want)
+		}
+	}
+}
+
+// TestWarmStartMatchesColdStart verifies warm-started branch and bound
+// reaches the same optima as cold-started on random problems.
+func TestWarmStartMatchesColdStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + rng.Intn(4)
+		model := lp.NewModel("ws", lp.Maximize)
+		vars := make([]lp.VarID, n)
+		r := model.AddRow("cap", lp.LE, float64(4+rng.Intn(10)))
+		for j := range vars {
+			vars[j] = model.AddVar("x", 0, 3, float64(1+rng.Intn(8)))
+			model.AddTerm(r, vars[j], float64(1+rng.Intn(4)))
+		}
+		warm, err := Solve(model, vars, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := Solve(model, vars, Options{ColdStart: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.Status != cold.Status {
+			t.Fatalf("trial %d: status warm %v cold %v", trial, warm.Status, cold.Status)
+		}
+		if warm.Status == Optimal && math.Abs(warm.Objective-cold.Objective) > 1e-6 {
+			t.Fatalf("trial %d: objective warm %g cold %g", trial, warm.Objective, cold.Objective)
+		}
+	}
+}
+
+func BenchmarkBranchAndBound(b *testing.B) {
+	build := func() (*lp.Model, []lp.VarID) {
+		rng := rand.New(rand.NewSource(5))
+		n := 14
+		model := lp.NewModel("bb", lp.Maximize)
+		vars := make([]lp.VarID, n)
+		r1 := model.AddRow("c1", lp.LE, 21.5)
+		r2 := model.AddRow("c2", lp.LE, 18.5)
+		for j := range vars {
+			vars[j] = model.AddVar("x", 0, 1, float64(1+rng.Intn(20)))
+			model.AddTerm(r1, vars[j], 1+3*rng.Float64())
+			model.AddTerm(r2, vars[j], 1+3*rng.Float64())
+		}
+		return model, vars
+	}
+	for _, cold := range []bool{false, true} {
+		name := "warm"
+		if cold {
+			name = "cold"
+		}
+		b.Run(name, func(b *testing.B) {
+			model, vars := build()
+			var nodes int
+			for i := 0; i < b.N; i++ {
+				res, err := Solve(model, vars, Options{ColdStart: cold})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Status != Optimal {
+					b.Fatalf("status %v", res.Status)
+				}
+				nodes = res.Nodes
+			}
+			b.ReportMetric(float64(nodes), "bb_nodes")
+		})
+	}
+}

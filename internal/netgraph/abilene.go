@@ -1,0 +1,139 @@
+package netgraph
+
+// abileneCities are the 11 backbone nodes of the Abilene (Internet2)
+// network, with approximate plane coordinates (longitude/latitude scaled)
+// used only for display and distance-aware path ordering.
+var abileneCities = []struct {
+	name string
+	x, y float64
+}{
+	{"Seattle", 122.3, 47.6},
+	{"Sunnyvale", 122.0, 37.4},
+	{"LosAngeles", 118.2, 34.1},
+	{"Denver", 104.9, 39.7},
+	{"KansasCity", 94.6, 39.1},
+	{"Houston", 95.4, 29.8},
+	{"Chicago", 87.6, 41.9},
+	{"Indianapolis", 86.2, 39.8},
+	{"Atlanta", 84.4, 33.7},
+	{"WashingtonDC", 77.0, 38.9},
+	{"NewYork", 74.0, 40.7},
+}
+
+// abileneCorePairs are the historical 14 bidirectional links of the
+// Abilene backbone.
+var abileneCorePairs = [][2]int{
+	{0, 1},  // Seattle–Sunnyvale
+	{0, 3},  // Seattle–Denver
+	{1, 2},  // Sunnyvale–LosAngeles
+	{1, 3},  // Sunnyvale–Denver
+	{2, 5},  // LosAngeles–Houston
+	{3, 4},  // Denver–KansasCity
+	{4, 5},  // KansasCity–Houston
+	{4, 6},  // KansasCity–Chicago
+	{5, 8},  // Houston–Atlanta
+	{6, 7},  // Chicago–Indianapolis
+	{6, 10}, // Chicago–NewYork
+	{7, 8},  // Indianapolis–Atlanta
+	{8, 9},  // Atlanta–WashingtonDC
+	{9, 10}, // WashingtonDC–NewYork
+}
+
+// abileneExtraPairs augment the core to the 20 bidirectional pairs used by
+// the paper's Abilene instance (Fig. 2: "11 nodes and 20 pairs of links"),
+// adding plausible express links.
+var abileneExtraPairs = [][2]int{
+	{0, 6},  // Seattle–Chicago
+	{2, 3},  // LosAngeles–Denver
+	{4, 7},  // KansasCity–Indianapolis
+	{5, 9},  // Houston–WashingtonDC
+	{7, 10}, // Indianapolis–NewYork
+	{3, 6},  // Denver–Chicago
+}
+
+// Abilene returns the historical 11-node, 14-link-pair Abilene backbone
+// with the given number of wavelengths per link and 20 Gb/s total link
+// capacity (so each wavelength carries 20/W Gb/s).
+func Abilene(wavelengths int) *Graph {
+	return abilene("abilene", wavelengths, abileneCorePairs)
+}
+
+// AbileneDense returns the 11-node, 20-link-pair Abilene instance used in
+// the paper's Figure 2.
+func AbileneDense(wavelengths int) *Graph {
+	pairs := append(append([][2]int{}, abileneCorePairs...), abileneExtraPairs...)
+	return abilene("abilene-dense", wavelengths, pairs)
+}
+
+func abilene(name string, wavelengths int, pairs [][2]int) *Graph {
+	if wavelengths <= 0 {
+		wavelengths = 4
+	}
+	g := New(name)
+	for _, c := range abileneCities {
+		g.AddNode(c.name, c.x, c.y)
+	}
+	perWave := 20.0 / float64(wavelengths)
+	for _, p := range pairs {
+		// Node IDs are the insertion indices; pairs reference valid nodes.
+		if err := g.AddPair(NodeID(p[0]), NodeID(p[1]), wavelengths, perWave); err != nil {
+			panic("netgraph: invalid builtin Abilene pair: " + err.Error())
+		}
+	}
+	return g
+}
+
+// Line returns a path graph 0–1–…–(n−1), useful in tests.
+func Line(n, wavelengths int, gbpsPerWave float64) *Graph {
+	g := New("line")
+	for i := 0; i < n; i++ {
+		g.AddNode("", float64(i), 0)
+	}
+	for i := 0; i+1 < n; i++ {
+		if err := g.AddPair(NodeID(i), NodeID(i+1), wavelengths, gbpsPerWave); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// Ring returns a cycle graph on n nodes, useful in tests: every node pair
+// has exactly two edge-disjoint paths.
+func Ring(n, wavelengths int, gbpsPerWave float64) *Graph {
+	g := New("ring")
+	for i := 0; i < n; i++ {
+		g.AddNode("", float64(i), 0)
+	}
+	for i := 0; i < n; i++ {
+		if err := g.AddPair(NodeID(i), NodeID((i+1)%n), wavelengths, gbpsPerWave); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// Grid returns an r×c grid graph, useful for multipath tests.
+func Grid(r, c, wavelengths int, gbpsPerWave float64) *Graph {
+	g := New("grid")
+	id := func(i, j int) NodeID { return NodeID(i*c + j) }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			g.AddNode("", float64(j), float64(i))
+		}
+	}
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				if err := g.AddPair(id(i, j), id(i, j+1), wavelengths, gbpsPerWave); err != nil {
+					panic(err)
+				}
+			}
+			if i+1 < r {
+				if err := g.AddPair(id(i, j), id(i+1, j), wavelengths, gbpsPerWave); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return g
+}

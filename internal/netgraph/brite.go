@@ -1,0 +1,155 @@
+package netgraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadBRITE parses a topology in the BRITE output format — the generator
+// the paper used for its random networks — and returns it as a Graph.
+// Each BRITE edge is treated as a bidirectional link pair (BRITE router
+// models are undirected). The BRITE bandwidth field is interpreted as the
+// total link rate in Gb/s and split across `wavelengths` wavelengths; a
+// non-positive bandwidth falls back to 20 Gb/s (the paper's links).
+//
+// The accepted grammar is the flat BRITE format:
+//
+//	Topology: ( <N> Nodes, <E> Edges )
+//	Nodes: ( <N> )
+//	<id> <x> <y> <inDeg> <outDeg> <AS> <type>
+//	...
+//	Edges: ( <E> )
+//	<id> <from> <to> <len> <delay> <bw> <ASfrom> <ASto> <type> ...
+func ReadBRITE(r io.Reader, wavelengths int) (*Graph, error) {
+	if wavelengths <= 0 {
+		wavelengths = 4
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+
+	g := New("brite")
+	section := ""
+	nodeIndex := map[int]NodeID{}
+	type pendingEdge struct {
+		from, to int
+		bw       float64
+	}
+	var edges []pendingEdge
+
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		lower := strings.ToLower(line)
+		switch {
+		case strings.HasPrefix(lower, "topology:"):
+			continue
+		case strings.HasPrefix(lower, "model"):
+			continue
+		case strings.HasPrefix(lower, "nodes:"):
+			section = "nodes"
+			continue
+		case strings.HasPrefix(lower, "edges:"):
+			section = "edges"
+			continue
+		}
+		fields := strings.Fields(line)
+		switch section {
+		case "nodes":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("netgraph: brite: short node line %q", line)
+			}
+			id, err1 := strconv.Atoi(fields[0])
+			x, err2 := strconv.ParseFloat(fields[1], 64)
+			y, err3 := strconv.ParseFloat(fields[2], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("netgraph: brite: bad node line %q", line)
+			}
+			if _, dup := nodeIndex[id]; dup {
+				return nil, fmt.Errorf("netgraph: brite: duplicate node id %d", id)
+			}
+			nodeIndex[id] = g.AddNode(fmt.Sprintf("n%d", id), x, y)
+		case "edges":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("netgraph: brite: short edge line %q", line)
+			}
+			from, err1 := strconv.Atoi(fields[1])
+			to, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("netgraph: brite: bad edge line %q", line)
+			}
+			bw := 0.0
+			if len(fields) >= 6 {
+				if v, err := strconv.ParseFloat(fields[5], 64); err == nil {
+					bw = v
+				}
+			}
+			edges = append(edges, pendingEdge{from, to, bw})
+		default:
+			return nil, fmt.Errorf("netgraph: brite: data before any section: %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(nodeIndex) == 0 {
+		return nil, fmt.Errorf("netgraph: brite: no nodes")
+	}
+	for _, e := range edges {
+		a, okA := nodeIndex[e.from]
+		b, okB := nodeIndex[e.to]
+		if !okA || !okB {
+			return nil, fmt.Errorf("netgraph: brite: edge references unknown node (%d, %d)", e.from, e.to)
+		}
+		bw := e.bw
+		if bw <= 0 {
+			bw = 20
+		}
+		if err := g.AddPair(a, b, wavelengths, bw/float64(wavelengths)); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// WriteBRITE serializes the graph in the flat BRITE format. Directed edge
+// pairs (a→b plus b→a) are written once; lone directed edges are written
+// as one BRITE (undirected) edge as well, so WriteBRITE ∘ ReadBRITE
+// symmetrizes the graph.
+func (g *Graph) WriteBRITE(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	type undirected struct{ a, b NodeID }
+	seen := map[undirected]bool{}
+	type edgeOut struct {
+		a, b NodeID
+		gbps float64
+	}
+	var out []edgeOut
+	for _, e := range g.edges {
+		key := undirected{e.From, e.To}
+		if e.From > e.To {
+			key = undirected{e.To, e.From}
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, edgeOut{key.a, key.b, e.TotalGbps()})
+	}
+	fmt.Fprintf(bw, "Topology: ( %d Nodes, %d Edges )\n", len(g.nodes), len(out))
+	fmt.Fprintf(bw, "Model ( 2 ): %s\n\n", g.Name)
+	fmt.Fprintf(bw, "Nodes: ( %d )\n", len(g.nodes))
+	for i, n := range g.nodes {
+		fmt.Fprintf(bw, "%d %g %g 0 0 -1 RT_NODE\n", i, n.X, n.Y)
+	}
+	fmt.Fprintf(bw, "\nEdges: ( %d )\n", len(out))
+	for i, e := range out {
+		d := g.Dist(e.a, e.b)
+		fmt.Fprintf(bw, "%d %d %d %g %g %g -1 -1 E_RT\n", i, int(e.a), int(e.b), d, d/200000, e.gbps)
+	}
+	return bw.Flush()
+}

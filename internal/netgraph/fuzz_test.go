@@ -1,0 +1,63 @@
+package netgraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadBRITE checks the topology parser never panics and that accepted
+// graphs are structurally sound and round-trip through WriteBRITE.
+func FuzzReadBRITE(f *testing.F) {
+	f.Add(sampleBRITE)
+	f.Add("Nodes: ( 1 )\n0 0 0\n")
+	f.Add("Edges: ( 1 )\n0 0 1\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, text string) {
+		g, err := ReadBRITE(strings.NewReader(text), 2)
+		if err != nil {
+			return
+		}
+		for i := 0; i < g.NumEdges(); i++ {
+			e := g.Edge(EdgeID(i))
+			if int(e.From) >= g.NumNodes() || int(e.To) >= g.NumNodes() {
+				t.Fatalf("edge %d references missing node", i)
+			}
+			if e.Wavelengths <= 0 {
+				t.Fatalf("edge %d has %d wavelengths", i, e.Wavelengths)
+			}
+		}
+		var buf bytes.Buffer
+		if err := g.WriteBRITE(&buf); err != nil {
+			t.Fatalf("WriteBRITE: %v", err)
+		}
+		if _, err := ReadBRITE(&buf, 2); err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+	})
+}
+
+// FuzzReadJSON checks the JSON graph codec against arbitrary input.
+func FuzzReadJSON(f *testing.F) {
+	var buf bytes.Buffer
+	if err := Line(3, 2, 5).WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"name":"x","nodes":[],"edges":[]}`)
+	f.Add("{}")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, text string) {
+		g, err := ReadJSON(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := g.WriteJSON(&out); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		if _, err := ReadJSON(&out); err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+	})
+}

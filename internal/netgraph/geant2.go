@@ -1,0 +1,90 @@
+package netgraph
+
+// geant2Cities are the principal GÉANT2 points of presence (the
+// pan-European research network the paper's introduction cites), with
+// approximate plane coordinates (longitude, latitude). The topology is an
+// approximation of the 2008-era backbone suitable for scheduling
+// experiments, not an exact fiber map.
+var geant2Cities = []struct {
+	name string
+	x, y float64
+}{
+	{"London", -0.1, 51.5},
+	{"Paris", 2.3, 48.9},
+	{"Amsterdam", 4.9, 52.4},
+	{"Brussels", 4.4, 50.8},
+	{"Frankfurt", 8.7, 50.1},
+	{"Geneva", 6.1, 46.2},
+	{"Milan", 9.2, 45.5},
+	{"Madrid", -3.7, 40.4},
+	{"Vienna", 16.4, 48.2},
+	{"Prague", 14.4, 50.1},
+	{"Copenhagen", 12.6, 55.7},
+	{"Stockholm", 18.1, 59.3},
+	{"Warsaw", 21.0, 52.2},
+	{"Budapest", 19.0, 47.5},
+	{"Zagreb", 16.0, 45.8},
+	{"Athens", 23.7, 38.0},
+	{"Rome", 12.5, 41.9},
+	{"Lisbon", -9.1, 38.7},
+	{"Dublin", -6.3, 53.3},
+	{"Helsinki", 24.9, 60.2},
+	{"Bucharest", 26.1, 44.4},
+	{"Sofia", 23.3, 42.7},
+}
+
+// geant2Pairs approximate the GÉANT2 core circuits.
+var geant2Pairs = [][2]int{
+	{0, 1},   // London–Paris
+	{0, 2},   // London–Amsterdam
+	{0, 18},  // London–Dublin
+	{1, 5},   // Paris–Geneva
+	{1, 7},   // Paris–Madrid
+	{1, 3},   // Paris–Brussels
+	{2, 3},   // Amsterdam–Brussels
+	{2, 4},   // Amsterdam–Frankfurt
+	{2, 10},  // Amsterdam–Copenhagen
+	{4, 5},   // Frankfurt–Geneva
+	{4, 9},   // Frankfurt–Prague
+	{4, 10},  // Frankfurt–Copenhagen
+	{4, 12},  // Frankfurt–Warsaw
+	{5, 6},   // Geneva–Milan
+	{6, 16},  // Milan–Rome
+	{6, 8},   // Milan–Vienna
+	{7, 17},  // Madrid–Lisbon
+	{7, 6},   // Madrid–Milan (via Marseille circuit)
+	{8, 9},   // Vienna–Prague
+	{8, 13},  // Vienna–Budapest
+	{8, 14},  // Vienna–Zagreb
+	{10, 11}, // Copenhagen–Stockholm
+	{11, 19}, // Stockholm–Helsinki
+	{12, 9},  // Warsaw–Prague
+	{13, 20}, // Budapest–Bucharest
+	{14, 16}, // Zagreb–Rome (Adriatic circuit)
+	{15, 16}, // Athens–Rome
+	{15, 21}, // Athens–Sofia
+	{20, 21}, // Bucharest–Sofia
+	{17, 0},  // Lisbon–London (Atlantic circuit)
+	{19, 12}, // Helsinki–Warsaw (Baltic circuit)
+	{18, 2},  // Dublin–Amsterdam
+}
+
+// Geant2 returns the approximate 22-node GÉANT2 backbone with the given
+// wavelength count per link and 10 Gb/s total link rate (the GÉANT2 core
+// circuits were 10 Gb/s lambdas).
+func Geant2(wavelengths int) *Graph {
+	if wavelengths <= 0 {
+		wavelengths = 4
+	}
+	g := New("geant2")
+	for _, c := range geant2Cities {
+		g.AddNode(c.name, c.x, c.y)
+	}
+	perWave := 10.0 / float64(wavelengths)
+	for _, p := range geant2Pairs {
+		if err := g.AddPair(NodeID(p[0]), NodeID(p[1]), wavelengths, perWave); err != nil {
+			panic("netgraph: invalid builtin GEANT2 pair: " + err.Error())
+		}
+	}
+	return g
+}

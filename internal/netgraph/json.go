@@ -1,0 +1,62 @@
+package netgraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonGraph is the on-disk representation of a Graph.
+type jsonGraph struct {
+	Name  string     `json:"name"`
+	Nodes []jsonNode `json:"nodes"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonNode struct {
+	Name string  `json:"name"`
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
+}
+
+type jsonEdge struct {
+	From        int     `json:"from"`
+	To          int     `json:"to"`
+	Wavelengths int     `json:"wavelengths"`
+	GbpsPerWave float64 `json:"gbps_per_wave"`
+}
+
+// WriteJSON encodes the graph to w.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	jg := jsonGraph{Name: g.Name}
+	for _, n := range g.nodes {
+		jg.Nodes = append(jg.Nodes, jsonNode{Name: n.Name, X: n.X, Y: n.Y})
+	}
+	for _, e := range g.edges {
+		jg.Edges = append(jg.Edges, jsonEdge{
+			From: int(e.From), To: int(e.To),
+			Wavelengths: e.Wavelengths, GbpsPerWave: e.GbpsPerWave,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jg)
+}
+
+// ReadJSON decodes a graph previously written with WriteJSON.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var jg jsonGraph
+	if err := json.NewDecoder(r).Decode(&jg); err != nil {
+		return nil, fmt.Errorf("netgraph: decode: %w", err)
+	}
+	g := New(jg.Name)
+	for _, n := range jg.Nodes {
+		g.AddNode(n.Name, n.X, n.Y)
+	}
+	for _, e := range jg.Edges {
+		if _, err := g.AddEdge(NodeID(e.From), NodeID(e.To), e.Wavelengths, e.GbpsPerWave); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,134 @@
+package netgraph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// WaxmanConfig parameterizes the Waxman random-graph generator, matching
+// the BRITE topology generator's router-Waxman mode used in the paper's
+// evaluation. Nodes are placed uniformly on a plane and node pairs are
+// linked with probability
+//
+//	P(u, v) = Beta · exp(−d(u,v) / (Alpha · L))
+//
+// where d is Euclidean distance and L the maximum possible distance.
+type WaxmanConfig struct {
+	Nodes       int
+	LinkPairs   int     // target number of bidirectional link pairs
+	Alpha       float64 // distance sensitivity; BRITE default 0.15
+	Beta        float64 // edge density; BRITE default 0.2
+	PlaneSize   float64 // side length of the placement square; default 1000
+	Wavelengths int     // wavelengths per link
+	GbpsPerWave float64 // per-wavelength rate; total link rate = W·rate
+	Seed        int64
+}
+
+// withDefaults fills zero fields with the BRITE-style defaults.
+func (c WaxmanConfig) withDefaults() WaxmanConfig {
+	if c.Alpha == 0 {
+		c.Alpha = 0.15
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.2
+	}
+	if c.PlaneSize == 0 {
+		c.PlaneSize = 1000
+	}
+	if c.Wavelengths == 0 {
+		c.Wavelengths = 4
+	}
+	if c.GbpsPerWave == 0 {
+		c.GbpsPerWave = 20.0 / float64(c.Wavelengths) // 20 Gb/s links as in the paper
+	}
+	return c
+}
+
+// Waxman generates a connected random network. It first links a uniform
+// spanning tree so the result is always connected (the standard BRITE
+// post-processing), then adds Waxman-probability links until LinkPairs
+// bidirectional pairs exist.
+func Waxman(cfg WaxmanConfig) (*Graph, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("netgraph: Waxman needs ≥ 2 nodes, got %d", cfg.Nodes)
+	}
+	minPairs := cfg.Nodes - 1
+	if cfg.LinkPairs < minPairs {
+		return nil, fmt.Errorf("netgraph: %d link pairs cannot connect %d nodes (need ≥ %d)",
+			cfg.LinkPairs, cfg.Nodes, minPairs)
+	}
+	maxPairs := cfg.Nodes * (cfg.Nodes - 1) / 2
+	if cfg.LinkPairs > maxPairs {
+		return nil, fmt.Errorf("netgraph: %d link pairs exceeds the %d possible on %d nodes",
+			cfg.LinkPairs, maxPairs, cfg.Nodes)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := New(fmt.Sprintf("waxman-n%d-l%d", cfg.Nodes, cfg.LinkPairs))
+	for i := 0; i < cfg.Nodes; i++ {
+		g.AddNode(fmt.Sprintf("n%d", i), rng.Float64()*cfg.PlaneSize, rng.Float64()*cfg.PlaneSize)
+	}
+
+	type pair struct{ a, b NodeID }
+	have := make(map[pair]bool)
+	addPair := func(a, b NodeID) error {
+		if a > b {
+			a, b = b, a
+		}
+		have[pair{a, b}] = true
+		return g.AddPair(a, b, cfg.Wavelengths, cfg.GbpsPerWave)
+	}
+
+	// Random spanning tree: attach each node to a uniformly chosen earlier
+	// node, in a shuffled order.
+	order := rng.Perm(cfg.Nodes)
+	for i := 1; i < cfg.Nodes; i++ {
+		a := NodeID(order[i])
+		b := NodeID(order[rng.Intn(i)])
+		if err := addPair(a, b); err != nil {
+			return nil, err
+		}
+	}
+
+	// Waxman extra links by rejection sampling over candidate pairs,
+	// ordered by a random shuffle of all remaining pairs so the generator
+	// terminates even when Beta is small.
+	l := cfg.PlaneSize * math.Sqrt2
+	type cand struct {
+		a, b NodeID
+		p    float64
+		r    float64
+	}
+	var cands []cand
+	for a := 0; a < cfg.Nodes; a++ {
+		for b := a + 1; b < cfg.Nodes; b++ {
+			if have[pair{NodeID(a), NodeID(b)}] {
+				continue
+			}
+			d := g.Dist(NodeID(a), NodeID(b))
+			p := cfg.Beta * math.Exp(-d/(cfg.Alpha*l))
+			cands = append(cands, cand{NodeID(a), NodeID(b), p, rng.Float64()})
+		}
+	}
+	// Accept pairs whose uniform draw falls under the Waxman probability
+	// first (most faithful), then fill with the highest-probability
+	// remainder to hit the requested pair count exactly.
+	sort.Slice(cands, func(i, j int) bool {
+		ai := cands[i].r < cands[i].p
+		aj := cands[j].r < cands[j].p
+		if ai != aj {
+			return ai
+		}
+		return cands[i].p > cands[j].p
+	})
+	need := cfg.LinkPairs - (cfg.Nodes - 1)
+	for i := 0; i < need && i < len(cands); i++ {
+		if err := addPair(cands[i].a, cands[i].b); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,271 @@
+// Package paths computes the per-job allowed path sets the scheduler
+// reserves bandwidth on: Dijkstra shortest paths and Yen's k-shortest
+// loopless paths over a netgraph.Graph.
+//
+// The paper (following Rajah, Ranka, Xia) allows each job an explicit
+// collection of 4–8 paths; KShortest builds exactly those collections.
+package paths
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"wavesched/internal/netgraph"
+)
+
+// Path is a directed path described by its edge sequence plus the derived
+// node sequence (Nodes[0] is the source; Nodes[len-1] the destination).
+type Path struct {
+	Edges []netgraph.EdgeID
+	Nodes []netgraph.NodeID
+	Cost  float64
+}
+
+// Clone returns a deep copy of the path.
+func (p Path) Clone() Path {
+	return Path{
+		Edges: append([]netgraph.EdgeID(nil), p.Edges...),
+		Nodes: append([]netgraph.NodeID(nil), p.Nodes...),
+		Cost:  p.Cost,
+	}
+}
+
+// Hops returns the number of edges on the path.
+func (p Path) Hops() int { return len(p.Edges) }
+
+// Key returns a canonical string for de-duplication.
+func (p Path) Key() string {
+	return fmt.Sprint(p.Edges)
+}
+
+// Loopless reports whether the path visits no node twice.
+func (p Path) Loopless() bool {
+	seen := make(map[netgraph.NodeID]bool, len(p.Nodes))
+	for _, v := range p.Nodes {
+		if seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// CostFunc maps an edge to its routing cost. Costs must be positive.
+type CostFunc func(netgraph.Edge) float64
+
+// UnitCost weighs every edge 1, so path cost is hop count.
+func UnitCost(netgraph.Edge) float64 { return 1 }
+
+// DistanceCost weighs an edge by the Euclidean distance between its
+// endpoints (plus a small constant so zero-length edges stay positive).
+func DistanceCost(g *netgraph.Graph) CostFunc {
+	return func(e netgraph.Edge) float64 {
+		return g.Dist(e.From, e.To) + 1e-9
+	}
+}
+
+// pqItem is a priority-queue element for Dijkstra.
+type pqItem struct {
+	node netgraph.NodeID
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Shortest returns the least-cost path from src to dst, or ok=false when
+// dst is unreachable. bannedEdges and bannedNodes (either may be nil)
+// exclude parts of the graph, as Yen's algorithm requires.
+func Shortest(g *netgraph.Graph, src, dst netgraph.NodeID, cost CostFunc,
+	bannedEdges map[netgraph.EdgeID]bool, bannedNodes map[netgraph.NodeID]bool) (Path, bool) {
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	prevEdge := make([]netgraph.EdgeID, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevEdge[i] = -1
+	}
+	if bannedNodes[src] || bannedNodes[dst] {
+		return Path{}, false
+	}
+	dist[src] = 0
+	q := &pq{{src, 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		v := it.node
+		if done[v] {
+			continue
+		}
+		done[v] = true
+		if v == dst {
+			break
+		}
+		for _, eid := range g.Out(v) {
+			if bannedEdges[eid] {
+				continue
+			}
+			e := g.Edge(eid)
+			if bannedNodes[e.To] {
+				continue
+			}
+			c := cost(e)
+			if c <= 0 {
+				c = 1e-12
+			}
+			nd := dist[v] + c
+			if nd < dist[e.To] {
+				dist[e.To] = nd
+				prevEdge[e.To] = eid
+				heap.Push(q, pqItem{e.To, nd})
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return Path{}, false
+	}
+	// Reconstruct.
+	var edges []netgraph.EdgeID
+	for v := dst; v != src; {
+		eid := prevEdge[v]
+		edges = append(edges, eid)
+		v = g.Edge(eid).From
+	}
+	// Reverse.
+	for i, j := 0, len(edges)-1; i < j; i, j = i+1, j-1 {
+		edges[i], edges[j] = edges[j], edges[i]
+	}
+	return makePath(g, src, edges, dist[dst]), true
+}
+
+func makePath(g *netgraph.Graph, src netgraph.NodeID, edges []netgraph.EdgeID, cost float64) Path {
+	nodes := []netgraph.NodeID{src}
+	for _, eid := range edges {
+		nodes = append(nodes, g.Edge(eid).To)
+	}
+	return Path{Edges: edges, Nodes: nodes, Cost: cost}
+}
+
+// KShortest returns up to k loopless paths from src to dst in
+// non-decreasing cost order, using Yen's algorithm.
+func KShortest(g *netgraph.Graph, src, dst netgraph.NodeID, k int, cost CostFunc) []Path {
+	if k <= 0 || src == dst {
+		return nil
+	}
+	first, ok := Shortest(g, src, dst, cost, nil, nil)
+	if !ok {
+		return nil
+	}
+	result := []Path{first}
+	seen := map[string]bool{first.Key(): true}
+	var candidates []Path
+
+	for len(result) < k {
+		prev := result[len(result)-1]
+		// Each node on the previous path (except the destination) is a
+		// potential spur node.
+		for i := 0; i < len(prev.Nodes)-1; i++ {
+			spur := prev.Nodes[i]
+			rootEdges := prev.Edges[:i]
+
+			bannedEdges := make(map[netgraph.EdgeID]bool)
+			bannedNodes := make(map[netgraph.NodeID]bool)
+			// Ban edges used by earlier results that share the same root.
+			for _, rp := range result {
+				if len(rp.Edges) > i && sameEdges(rp.Edges[:i], rootEdges) {
+					bannedEdges[rp.Edges[i]] = true
+				}
+			}
+			// Ban the root's interior nodes to keep paths loopless.
+			for _, v := range prev.Nodes[:i] {
+				bannedNodes[v] = true
+			}
+
+			spurPath, ok := Shortest(g, spur, dst, cost, bannedEdges, bannedNodes)
+			if !ok {
+				continue
+			}
+			totalEdges := append(append([]netgraph.EdgeID{}, rootEdges...), spurPath.Edges...)
+			rootCost := 0.0
+			for _, eid := range rootEdges {
+				rootCost += cost(g.Edge(eid))
+			}
+			cand := makePath(g, src, totalEdges, rootCost+spurPath.Cost)
+			if !seen[cand.Key()] {
+				seen[cand.Key()] = true
+				candidates = append(candidates, cand)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool { return candidates[a].Cost < candidates[b].Cost })
+		result = append(result, candidates[0])
+		candidates = candidates[1:]
+	}
+	return result
+}
+
+// EdgeDisjoint returns up to k pairwise edge-disjoint paths from src to
+// dst, greedily: repeatedly take the shortest path and ban its edges. The
+// result is not guaranteed to be the maximum disjoint set (that would be a
+// flow problem), but it gives the scheduler path collections that never
+// contend with each other on any link — useful when wavelength continuity
+// matters or for survivability-style provisioning.
+func EdgeDisjoint(g *netgraph.Graph, src, dst netgraph.NodeID, k int, cost CostFunc) []Path {
+	if k <= 0 || src == dst {
+		return nil
+	}
+	banned := make(map[netgraph.EdgeID]bool)
+	var out []Path
+	for len(out) < k {
+		p, ok := Shortest(g, src, dst, cost, banned, nil)
+		if !ok {
+			break
+		}
+		out = append(out, p)
+		for _, eid := range p.Edges {
+			banned[eid] = true
+		}
+	}
+	return out
+}
+
+// Disjoint reports whether no two paths in the set share a directed edge.
+func Disjoint(ps []Path) bool {
+	seen := make(map[netgraph.EdgeID]bool)
+	for _, p := range ps {
+		for _, eid := range p.Edges {
+			if seen[eid] {
+				return false
+			}
+			seen[eid] = true
+		}
+	}
+	return true
+}
+
+func sameEdges(a, b []netgraph.EdgeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,106 @@
+package schedule
+
+import (
+	"fmt"
+	"testing"
+
+	"wavesched/internal/netgraph"
+	"wavesched/internal/timeslice"
+	"wavesched/internal/workload"
+)
+
+func benchInstance(b *testing.B, nodes, jobs, slices int) *Instance {
+	b.Helper()
+	g, err := netgraph.Waxman(netgraph.WaxmanConfig{
+		Nodes: nodes, LinkPairs: 2 * nodes, Wavelengths: 4, Seed: 13,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid, err := timeslice.Uniform(0, 1, slices)
+	if err != nil {
+		b.Fatal(err)
+	}
+	js, err := workload.Generate(g, workload.Config{
+		Jobs: jobs, Seed: 14, GBToDemand: 0.1,
+		MinWindow: float64(slices) / 2, MaxWindow: float64(slices),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := NewInstance(g, grid, js, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst
+}
+
+func BenchmarkStage1(b *testing.B) {
+	for _, sz := range []struct{ nodes, jobs, slices int }{
+		{20, 10, 6}, {40, 20, 8},
+	} {
+		b.Run(fmt.Sprintf("n%d_j%d", sz.nodes, sz.jobs), func(b *testing.B) {
+			inst := benchInstance(b, sz.nodes, sz.jobs, sz.slices)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := SolveStage1(inst, solverOpts()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMaxThroughputEndToEnd(b *testing.B) {
+	inst := benchInstance(b, 30, 15, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MaxThroughput(inst, Config{Alpha: 0.1, AlphaGrowth: 0.1, Solver: solverOpts()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdjustRates(b *testing.B) {
+	inst := benchInstance(b, 40, 20, 8)
+	res, err := MaxThroughput(inst, Config{Alpha: 0.1, AlphaGrowth: 0.1, Solver: solverOpts()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AdjustRates(res.LPD, VerbatimAdjust)
+	}
+}
+
+func BenchmarkRandomizedRound(b *testing.B) {
+	inst := benchInstance(b, 40, 20, 8)
+	res, err := MaxThroughput(inst, Config{Alpha: 0.1, AlphaGrowth: 0.1, Solver: solverOpts()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RandomizedRound(res.LP, int64(i))
+	}
+}
+
+func BenchmarkRETEndToEnd(b *testing.B) {
+	g := netgraph.Ring(8, 2, 10)
+	js, err := workload.Generate(g, workload.Config{
+		Jobs: 6, Seed: 15, GBToDemand: 0.2, MinWindow: 2, MaxWindow: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := BuildRETInstance(g, js, 1, 2, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveRET(inst, RETConfig{BMax: 5, Solver: solverOpts()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package schedule
+
+import (
+	"testing"
+
+	"wavesched/internal/job"
+	"wavesched/internal/mip"
+	"wavesched/internal/netgraph"
+	"wavesched/internal/timeslice"
+)
+
+// tinyInstance builds an instance small enough for exact branch and bound.
+func tinyInstance(t *testing.T, seed int64) *Instance {
+	t.Helper()
+	g := netgraph.Ring(4, 2, 10)
+	grid, err := timeslice.Uniform(0, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []job.Job{
+		{ID: 1, Src: 0, Dst: 2, Size: 3.5, Start: 0, End: 3},
+		{ID: 2, Src: 1, Dst: 3, Size: 2.5, Start: 0, End: 3},
+	}
+	if seed%2 == 1 {
+		jobs = append(jobs, job.Job{ID: 3, Src: 3, Dst: 1, Size: 1.5, Start: 0, End: 2})
+	}
+	inst, err := NewInstance(g, grid, jobs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// TestExactSandwich verifies the fundamental ordering on small instances:
+// LPD ≤ LPDAR and EXACT ≤ LP (the LP relaxation bounds the integer
+// optimum), and the exact optimum respects all constraints.
+func TestExactSandwich(t *testing.T) {
+	for _, seed := range []int64{0, 1} {
+		inst := tinyInstance(t, seed)
+		s1, err := SolveStage1(inst, solverOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := MaxThroughputWithZ(inst, s1, Config{Alpha: 0.1, AlphaGrowth: 0.1, Solver: solverOpts()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := ExactStage2(inst, s1, ExactOptions{
+			Alpha: res.Alpha,
+			MIP:   mip.Options{MaxNodes: 20000},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !exact.Proven {
+			t.Fatalf("seed %d: exact solve hit the node limit", seed)
+		}
+		if err := exact.Assignment.VerifyCapacity(1e-6); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		if err := exact.Assignment.VerifyWindows(1e-9); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		if err := exact.Assignment.VerifyIntegral(1e-6); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+
+		lpObj := res.LP.WeightedThroughput()
+		if exact.Objective > lpObj+1e-6 {
+			t.Errorf("seed %d: exact %g exceeds the LP bound %g", seed, exact.Objective, lpObj)
+		}
+		// The exact optimum maximizes under the fairness floor; LPD (which
+		// may violate the floor) is still a capacity-feasible integer
+		// point, so the interesting check is that LPDAR lands within the
+		// LP–exact sandwich neighborhood.
+		lpdar := res.LPDAR.WeightedThroughput()
+		if lpdar < res.LPD.WeightedThroughput()-1e-9 {
+			t.Errorf("seed %d: LPDAR below LPD", seed)
+		}
+		t.Logf("seed %d: LP %.4f exact %.4f (nodes %d) LPDAR %.4f LPD %.4f",
+			seed, lpObj, exact.Objective, exact.Nodes, lpdar, res.LPD.WeightedThroughput())
+	}
+}
+
+// TestExactFairnessFloorHolds: the exact solution's throughputs respect
+// Z_i ≥ (1−α)Z* — the floor is part of the integer program (via the Z_i
+// variable bounds).
+func TestExactFairnessFloorHolds(t *testing.T) {
+	inst := tinyInstance(t, 0)
+	s1, err := SolveStage1(inst, solverOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := 0.3 // generous slack so the integer floor is feasible
+	exact, err := ExactStage2(inst, s1, ExactOptions{Alpha: alpha, MIP: mip.Options{MaxNodes: 20000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := (1 - alpha) * s1.ZStar
+	for k := range inst.Jobs {
+		if z := exact.Assignment.Throughput(k); z < floor-1e-6 {
+			t.Errorf("job %d: exact throughput %g below floor %g", inst.Jobs[k].ID, z, floor)
+		}
+	}
+}

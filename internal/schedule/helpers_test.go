@@ -1,0 +1,9 @@
+package schedule
+
+import "wavesched/internal/lp"
+
+// solverOpts returns simplex options suitable for the small test
+// instances: tight iteration budget so a hang fails fast.
+func solverOpts() lp.Options {
+	return lp.Options{MaxIter: 200000}
+}

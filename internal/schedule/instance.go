@@ -1,0 +1,173 @@
+// Package schedule implements the paper's admission-control and scheduling
+// algorithms for time-constrained bulk transfers on wavelength-switched
+// networks:
+//
+//   - Stage 1 (MCF): the maximum-concurrent-throughput linear program that
+//     computes Z*, the largest common demand scale the network can carry.
+//   - Stage 2: size-weighted throughput maximization with the fairness
+//     floor Z_i ≥ (1−α)·Z*, solved fractionally (LP) and integerized by
+//     truncation (LPD) and by truncation plus greedy residual-bandwidth
+//     adjustment (LPDAR, the paper's Algorithm 1).
+//   - RET: the Relaxing-End-Times algorithm (the paper's Algorithm 2),
+//     which finds the smallest end-time extension factor (1+b) under which
+//     every job completes in full, using the Quick-Finish objective.
+//
+// All optimization runs on the from-scratch simplex in internal/lp.
+package schedule
+
+import (
+	"fmt"
+
+	"wavesched/internal/job"
+	"wavesched/internal/netgraph"
+	"wavesched/internal/paths"
+	"wavesched/internal/timeslice"
+)
+
+// Instance is one AC/scheduling problem: a network, a slice grid covering
+// the horizon, the jobs known to the controller, and each job's allowed
+// path set (the paper's P(s_i, d_i, j); path sets here are constant across
+// slices, the common case, while windows restrict when they may carry
+// flow).
+type Instance struct {
+	G    *netgraph.Graph
+	Grid *timeslice.Grid
+	Jobs []job.Job
+
+	// JobPaths[k] lists the allowed paths of Jobs[k].
+	JobPaths [][]paths.Path
+
+	// windows[k] is the inclusive slice range of Jobs[k].
+	windows []window
+
+	// capOverride holds sparse per-(edge, slice) capacity overrides for
+	// the paper's time-varying C_e(j); nil entries fall back to the edge's
+	// wavelength count.
+	capOverride map[capKey]int
+}
+
+type capKey struct {
+	e netgraph.EdgeID
+	j int
+}
+
+// SetCapacity overrides the wavelength capacity of edge e on slice j
+// (C_e(j) in the paper) — for example to model a maintenance window with
+// capacity 0, or a slice where some wavelengths are pre-reserved.
+func (in *Instance) SetCapacity(e netgraph.EdgeID, j, c int) error {
+	if int(e) < 0 || int(e) >= in.G.NumEdges() {
+		return fmt.Errorf("schedule: unknown edge %d", e)
+	}
+	if j < 0 || j >= in.Grid.Num() {
+		return fmt.Errorf("schedule: slice %d outside the grid", j)
+	}
+	if c < 0 {
+		return fmt.Errorf("schedule: negative capacity %d", c)
+	}
+	if in.capOverride == nil {
+		in.capOverride = make(map[capKey]int)
+	}
+	in.capOverride[capKey{e, j}] = c
+	return nil
+}
+
+// Capacity returns C_e(j): the number of wavelengths available on edge e
+// during slice j.
+func (in *Instance) Capacity(e netgraph.EdgeID, j int) int {
+	if c, ok := in.capOverride[capKey{e, j}]; ok {
+		return c
+	}
+	return in.G.Edge(e).Wavelengths
+}
+
+type window struct {
+	first, last int
+}
+
+// InstanceOptions tunes path-set construction.
+type InstanceOptions struct {
+	// K is the maximum number of allowed paths per job (paper: 4–8).
+	// Non-positive selects 4.
+	K int
+	// DisjointPaths selects greedy edge-disjoint path sets instead of
+	// Yen's k-shortest — the paths of one job then never contend with
+	// each other on any link.
+	DisjointPaths bool
+	// Cost weighs edges for path computation; nil selects unit (hop
+	// count) cost.
+	Cost paths.CostFunc
+}
+
+// NewInstance validates the jobs and computes k-shortest-path sets for
+// each. Jobs whose window covers no whole slice or that have no path are
+// rejected with an error: the paper assumes every considered job can be
+// scheduled in principle.
+func NewInstance(g *netgraph.Graph, grid *timeslice.Grid, jobs []job.Job, k int) (*Instance, error) {
+	return NewInstanceOpts(g, grid, jobs, InstanceOptions{K: k})
+}
+
+// NewInstanceOpts is NewInstance with full path-construction control.
+func NewInstanceOpts(g *netgraph.Graph, grid *timeslice.Grid, jobs []job.Job, opts InstanceOptions) (*Instance, error) {
+	if err := job.ValidateAll(jobs); err != nil {
+		return nil, err
+	}
+	if opts.K <= 0 {
+		opts.K = 4
+	}
+	if opts.Cost == nil {
+		opts.Cost = paths.UnitCost
+	}
+	inst := &Instance{G: g, Grid: grid, Jobs: jobs}
+	cache := make(map[[2]netgraph.NodeID][]paths.Path)
+	for _, j := range jobs {
+		first, last, ok := grid.Window(j.Start, j.End)
+		if !ok {
+			return nil, fmt.Errorf("schedule: job %d window [%g, %g] covers no whole slice of the grid",
+				j.ID, j.Start, j.End)
+		}
+		key := [2]netgraph.NodeID{j.Src, j.Dst}
+		ps, seen := cache[key]
+		if !seen {
+			if opts.DisjointPaths {
+				ps = paths.EdgeDisjoint(g, j.Src, j.Dst, opts.K, opts.Cost)
+			} else {
+				ps = paths.KShortest(g, j.Src, j.Dst, opts.K, opts.Cost)
+			}
+			cache[key] = ps
+		}
+		if len(ps) == 0 {
+			return nil, fmt.Errorf("schedule: job %d has no path from %d to %d", j.ID, j.Src, j.Dst)
+		}
+		inst.JobPaths = append(inst.JobPaths, ps)
+		inst.windows = append(inst.windows, window{first, last})
+	}
+	return inst, nil
+}
+
+// Window returns the inclusive usable slice range of job index k.
+func (in *Instance) Window(k int) (first, last int) {
+	w := in.windows[k]
+	return w.first, w.last
+}
+
+// NumJobs returns the job count.
+func (in *Instance) NumJobs() int { return len(in.Jobs) }
+
+// TotalDemand returns ΣD_i.
+func (in *Instance) TotalDemand() float64 {
+	t := 0.0
+	for _, j := range in.Jobs {
+		t += j.Size
+	}
+	return t
+}
+
+// jobIndex maps a job ID to its position in Jobs, or -1.
+func (in *Instance) jobIndex(id job.ID) int {
+	for k, j := range in.Jobs {
+		if j.ID == id {
+			return k
+		}
+	}
+	return -1
+}

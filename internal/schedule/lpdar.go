@@ -1,0 +1,149 @@
+package schedule
+
+import (
+	"math"
+	"sort"
+
+	"wavesched/internal/netgraph"
+)
+
+// AdjustOrder selects the iteration order of LPDAR's greedy pass
+// (Algorithm 1 is order-sensitive; the paper iterates jobs as given).
+type AdjustOrder int
+
+// Iteration orders for AdjustRates.
+const (
+	// OrderGiven follows the paper verbatim: for each slice, for each job
+	// in input order, for each path in path-set order.
+	OrderGiven AdjustOrder = iota
+	// OrderDeficitFirst visits jobs with the largest unmet demand first on
+	// every slice, targeting residual bandwidth at jobs that still need it.
+	OrderDeficitFirst
+)
+
+// AdjustOptions tunes the greedy bandwidth-adjustment pass.
+type AdjustOptions struct {
+	Order AdjustOrder
+	// CapToDemand grants each job at most the wavelengths it still needs
+	// (⌈deficit/LEN(j)⌉) and skips jobs whose demand is already met. The
+	// paper's Algorithm 1 is uncapped — appropriate when the objective is
+	// raw throughput — but the RET completion loop needs the cap: an
+	// uncapped first job can permanently absorb every residual wavelength
+	// on dense networks, so extending end times would never help the rest.
+	CapToDemand bool
+}
+
+// VerbatimAdjust is the paper's Algorithm 1 exactly: input job order, no
+// demand cap.
+var VerbatimAdjust = AdjustOptions{}
+
+// RETAdjust is the demand-capped, deficit-first variant SolveRET uses by
+// default.
+var RETAdjust = AdjustOptions{Order: OrderDeficitFirst, CapToDemand: true}
+
+// AdjustRates implements the paper's Algorithm 1 (Greedy Algorithm for
+// Bandwidth Adjustment), with the optional refinements in opts: starting
+// from an integer assignment (normally the LPD truncation), it walks every
+// (slice, job, path) triple, finds the remaining wavelength count on the
+// path — the minimum over its edges (eq. 11) — adds it to the path's
+// assignment (eq. 12), and consumes it from every edge (eq. 13).
+// The input is not modified; the adjusted copy (the LPDAR solution) is
+// returned.
+func AdjustRates(a *Assignment, opts AdjustOptions) *Assignment {
+	out := a.Clone()
+	inst := out.Inst
+	ns := inst.Grid.Num()
+	ne := inst.G.NumEdges()
+
+	// Remaining integer bandwidth per edge per slice after the base
+	// assignment.
+	rb := make([][]int, ne)
+	for e := 0; e < ne; e++ {
+		rb[e] = make([]int, ns)
+		for j := 0; j < ns; j++ {
+			rb[e][j] = inst.Capacity(netgraph.EdgeID(e), j)
+		}
+	}
+	load := out.EdgeLoads()
+	for e := 0; e < ne; e++ {
+		for j := 0; j < ns; j++ {
+			used := int(math.Round(load[e][j]))
+			rb[e][j] -= used
+			if rb[e][j] < 0 {
+				rb[e][j] = 0 // defensive: base assignment overfull
+			}
+		}
+	}
+
+	// Unmet demand per job, updated as bandwidth is granted; drives both
+	// the deficit-first order and the demand cap.
+	deficit := make([]float64, inst.NumJobs())
+	for k := range deficit {
+		deficit[k] = inst.Jobs[k].Size - out.Transferred(k)
+	}
+
+	jobOrder := make([]int, inst.NumJobs())
+	for k := range jobOrder {
+		jobOrder[k] = k
+	}
+
+	for j := 0; j < ns; j++ {
+		if opts.Order == OrderDeficitFirst {
+			sort.SliceStable(jobOrder, func(a, b int) bool {
+				return deficit[jobOrder[a]] > deficit[jobOrder[b]]
+			})
+		}
+		sliceLen := inst.Grid.Len(j)
+		for _, k := range jobOrder {
+			first, last := usableRange(out, k)
+			if j < first || j > last {
+				continue
+			}
+			if opts.CapToDemand && deficit[k] <= 1e-9 {
+				continue
+			}
+			for p, path := range inst.JobPaths[k] {
+				// RB_p ← min over edges of the path (eq. 11).
+				rbp := math.MaxInt
+				for _, eid := range path.Edges {
+					if r := rb[eid][j]; r < rbp {
+						rbp = r
+					}
+				}
+				if rbp <= 0 {
+					continue
+				}
+				if opts.CapToDemand {
+					need := int(math.Ceil(deficit[k]/sliceLen - 1e-9))
+					if need <= 0 {
+						break // this job is done; next job
+					}
+					if rbp > need {
+						rbp = need
+					}
+				}
+				// x ← x + RB_p (eq. 12); RB_e ← RB_e − RB_p (eq. 13).
+				out.X[k][p][j] += float64(rbp)
+				for _, eid := range path.Edges {
+					rb[eid][j] -= rbp
+				}
+				deficit[k] -= float64(rbp) * sliceLen
+			}
+		}
+	}
+	return out
+}
+
+// usableRange returns the slice window of job k, honoring any RET
+// extension recorded on the assignment's instance.
+func usableRange(a *Assignment, k int) (int, int) {
+	if a.extLast != nil {
+		first, _ := a.Inst.Window(k)
+		last := a.extLast[k]
+		if last >= a.Inst.Grid.Num() {
+			last = a.Inst.Grid.Num() - 1
+		}
+		return first, last
+	}
+	return a.Inst.Window(k)
+}

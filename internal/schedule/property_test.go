@@ -1,0 +1,252 @@
+package schedule
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wavesched/internal/job"
+	"wavesched/internal/netgraph"
+	"wavesched/internal/timeslice"
+)
+
+// genInstance draws a small random instance from a seed.
+func genInstance(t *testing.T, seed int64) *Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	nodes := 5 + rng.Intn(6)
+	pairs := nodes + rng.Intn(nodes)
+	waves := 1 + rng.Intn(4)
+	g, err := netgraph.Waxman(netgraph.WaxmanConfig{
+		Nodes: nodes, LinkPairs: pairs, Wavelengths: waves, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nSlices := 3 + rng.Intn(4)
+	grid, err := timeslice.Uniform(0, 1, nSlices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nJobs := 2 + rng.Intn(6)
+	jobs := make([]job.Job, 0, nJobs)
+	for i := 0; i < nJobs; i++ {
+		src := netgraph.NodeID(rng.Intn(nodes))
+		dst := src
+		for dst == src {
+			dst = netgraph.NodeID(rng.Intn(nodes))
+		}
+		start := float64(rng.Intn(nSlices - 1))
+		end := start + 1 + float64(rng.Intn(nSlices-int(start)-1)) + 1
+		if end > float64(nSlices) {
+			end = float64(nSlices)
+		}
+		jobs = append(jobs, job.Job{
+			ID: job.ID(i), Src: src, Dst: dst,
+			Size:  1 + rng.Float64()*float64(waves*nSlices),
+			Start: start, End: end,
+		})
+	}
+	inst, err := NewInstance(g, grid, jobs, 1+rng.Intn(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// TestPropertyMaxThroughput checks the paper's invariants on random
+// instances: feasibility of all three variants, integrality of LPD and
+// LPDAR, the LPD ≤ LPDAR ≤ LP objective ordering, and the stage-2
+// fairness floor.
+func TestPropertyMaxThroughput(t *testing.T) {
+	n := 25
+	if testing.Short() {
+		n = 5
+	}
+	for seed := int64(0); seed < int64(n); seed++ {
+		inst := genInstance(t, seed)
+		res, err := MaxThroughput(inst, Config{Alpha: 0.1, AlphaGrowth: 0.1, Solver: solverOpts()})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		checkCommonInvariants(t, res, inst, res.Alpha)
+		if t.Failed() {
+			t.Fatalf("invariants failed at seed %d", seed)
+		}
+	}
+}
+
+// TestPropertyLPDARDominatesLPDUnderAnyOrder confirms the greedy pass only
+// adds bandwidth regardless of options.
+func TestPropertyLPDARDominatesLPD(t *testing.T) {
+	n := 10
+	if testing.Short() {
+		n = 3
+	}
+	variants := []AdjustOptions{
+		VerbatimAdjust,
+		{Order: OrderDeficitFirst},
+		RETAdjust,
+		{CapToDemand: true},
+	}
+	for seed := int64(100); seed < int64(100+n); seed++ {
+		inst := genInstance(t, seed)
+		res, err := MaxThroughput(inst, Config{Alpha: 0.1, AlphaGrowth: 0.1, Solver: solverOpts()})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		base := res.LPD.WeightedThroughput()
+		for _, v := range variants {
+			adj := AdjustRates(res.LPD, v)
+			if err := adj.VerifyCapacity(1e-6); err != nil {
+				t.Errorf("seed %d adjust %+v: %v", seed, v, err)
+			}
+			if err := adj.VerifyIntegral(1e-9); err != nil {
+				t.Errorf("seed %d adjust %+v: %v", seed, v, err)
+			}
+			if err := adj.VerifyWindows(1e-9); err != nil {
+				t.Errorf("seed %d adjust %+v: %v", seed, v, err)
+			}
+			if wt := adj.WeightedThroughput(); wt < base-1e-9 {
+				t.Errorf("seed %d adjust %+v: throughput %g < LPD %g", seed, v, wt, base)
+			}
+			// Capped variants never push a job past its demand by more than
+			// one slice's integer rounding — unless the base assignment
+			// already over-delivered (the stage-2 LP allows Z_i > 1), in
+			// which case they must not add anything on top.
+			if v.CapToDemand {
+				maxLen := 0.0
+				for j := 0; j < inst.Grid.Num(); j++ {
+					if l := inst.Grid.Len(j); l > maxLen {
+						maxLen = l
+					}
+				}
+				for k := range inst.Jobs {
+					limit := inst.Jobs[k].Size + maxLen
+					if base := res.LPD.Transferred(k); base > limit {
+						limit = base
+					}
+					if tr := adj.Transferred(k); tr > limit+1e-9 {
+						t.Errorf("seed %d: capped adjust overshoots job %d: %g > %g", seed, k, tr, limit)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQuickTruncateNeverIncreases is a testing/quick property: truncation
+// of arbitrary non-negative assignments never increases any entry and
+// keeps integrality.
+func TestQuickTruncateNeverIncreases(t *testing.T) {
+	inst := genInstance(t, 7)
+	f := func(raw []float64) bool {
+		a := NewAssignment(inst)
+		idx := 0
+		for k := range a.X {
+			for p := range a.X[k] {
+				for j := range a.X[k][p] {
+					if idx < len(raw) {
+						v := raw[idx]
+						if v < 0 {
+							v = -v
+						}
+						a.X[k][p][j] = v
+						idx++
+					}
+				}
+			}
+		}
+		tr := a.Truncate()
+		for k := range a.X {
+			for p := range a.X[k] {
+				for j := range a.X[k][p] {
+					if tr.X[k][p][j] > a.X[k][p][j]+1e-6 {
+						return false
+					}
+					if v := tr.X[k][p][j]; v != math.Floor(v) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyVerbatimAdjustIdempotent: the uncapped greedy pass consumes
+// every wavelength reachable by any path, so a second pass adds nothing.
+func TestPropertyVerbatimAdjustIdempotent(t *testing.T) {
+	for seed := int64(400); seed < 406; seed++ {
+		inst := genInstance(t, seed)
+		res, err := MaxThroughput(inst, Config{Alpha: 0.1, AlphaGrowth: 0.1, Solver: solverOpts()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		once := AdjustRates(res.LPD, VerbatimAdjust)
+		twice := AdjustRates(once, VerbatimAdjust)
+		for k := range once.X {
+			for p := range once.X[k] {
+				for j := range once.X[k][p] {
+					if once.X[k][p][j] != twice.X[k][p][j] {
+						t.Fatalf("seed %d: second pass changed (%d,%d,%d): %g -> %g",
+							seed, k, p, j, once.X[k][p][j], twice.X[k][p][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyRETAlwaysCoversDemandLP: the SUB-RET LP at the returned b
+// delivers at least each job's demand (constraint 15), and the LPD
+// truncation therefore under-delivers by strictly less than the greedy
+// pass can recover.
+func TestPropertyRETDemandCoverage(t *testing.T) {
+	g := netgraph.Ring(5, 2, 10)
+	for seed := int64(0); seed < 3; seed++ {
+		jobs, err := genRETJobs(g, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := BuildRETInstance(g, jobs, 1, 2, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := SolveRET(inst, RETConfig{BMax: 6, Solver: solverOpts()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, jb := range inst.Jobs {
+			if tr := res.LP.Transferred(k); tr < jb.Size-1e-6 {
+				t.Errorf("seed %d: LP delivers %g < demand %g for job %d", seed, tr, jb.Size, jb.ID)
+			}
+			if tr := res.LPDAR.Transferred(k); tr < jb.Size-1e-6 {
+				t.Errorf("seed %d: LPDAR delivers %g < demand %g for job %d", seed, tr, jb.Size, jb.ID)
+			}
+		}
+	}
+}
+
+func genRETJobs(g *netgraph.Graph, seed int64) ([]job.Job, error) {
+	rng := rand.New(rand.NewSource(seed + 900))
+	n := 3 + rng.Intn(3)
+	jobs := make([]job.Job, 0, n)
+	for i := 0; i < n; i++ {
+		src := netgraph.NodeID(rng.Intn(g.NumNodes()))
+		dst := src
+		for dst == src {
+			dst = netgraph.NodeID(rng.Intn(g.NumNodes()))
+		}
+		jobs = append(jobs, job.Job{
+			ID: job.ID(i), Src: src, Dst: dst,
+			Size:  2 + rng.Float64()*8,
+			Start: 0, End: 2 + rng.Float64()*2,
+		})
+	}
+	return jobs, nil
+}

@@ -1,0 +1,254 @@
+package schedule
+
+import (
+	"fmt"
+	"time"
+
+	"wavesched/internal/job"
+	"wavesched/internal/lp"
+	"wavesched/internal/netgraph"
+	"wavesched/internal/timeslice"
+)
+
+// ExtendMode selects how the factor (1+b) stretches each job's deadline.
+type ExtendMode int
+
+// Deadline extension modes.
+const (
+	// ExtendEndTimes scales end times from the scheduling origin:
+	// E_i → (1+b)·E_i. This is the paper's primary formulation (eq. 16).
+	ExtendEndTimes ExtendMode = iota
+	// ExtendIntervals scales each job's own window instead:
+	// E_i → S_i + (1+b)·(E_i − S_i) — the alternative the paper's §II-C
+	// Remark mentions. Jobs with late start times are not penalized by
+	// their distance from the origin.
+	ExtendIntervals
+)
+
+// RETConfig tunes the Relaxing-End-Times algorithm (Algorithm 2).
+type RETConfig struct {
+	BMax  float64 // search ceiling for the extension factor b; default 10
+	Eps   float64 // binary-search precision on b; default 0.01
+	Delta float64 // δ: additive extension when LPDAR falls short; paper uses 0.1
+	// Mode selects the deadline-extension rule; the default is the
+	// paper's end-time scaling.
+	Mode ExtendMode
+	// Gamma is the Quick-Finish cost γ(j); nil selects the paper's
+	// γ(j) = j+1.
+	Gamma func(j int) float64
+	// Solver passes through to the simplex.
+	Solver lp.Options
+	// Adjust tunes the LPDAR greedy pass; nil selects RETAdjust
+	// (deficit-first, demand-capped), which guarantees the δ-loop makes
+	// progress on dense networks. Set &VerbatimAdjust for the paper's
+	// Algorithm 1 exactly.
+	Adjust *AdjustOptions
+	// MaxRounds bounds the δ-extension loop; default 200.
+	MaxRounds int
+}
+
+func (c RETConfig) withDefaults() RETConfig {
+	if c.BMax == 0 {
+		c.BMax = 10
+	}
+	if c.Eps == 0 {
+		c.Eps = 0.01
+	}
+	if c.Delta == 0 {
+		c.Delta = 0.1
+	}
+	if c.Gamma == nil {
+		c.Gamma = func(j int) float64 { return float64(j + 1) }
+	}
+	if c.Adjust == nil {
+		adj := RETAdjust
+		c.Adjust = &adj
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 200
+	}
+	return c
+}
+
+// RETResult is the outcome of Algorithm 2.
+type RETResult struct {
+	BHat float64 // b̂: smallest b with a feasible fractional SUB-RET
+	B    float64 // final b after δ-extensions (≥ BHat)
+
+	LP    *Assignment // fractional SUB-RET solution at B
+	LPD   *Assignment // truncation of LP (typically leaves jobs unfinished)
+	LPDAR *Assignment // truncation + greedy adjustment; completes all jobs
+
+	Rounds     int // δ-extension rounds executed (0 when LPDAR succeeds at b̂)
+	LPIters    int // total simplex pivots across all SUB-RET solves
+	SearchTime time.Duration
+	SolveTime  time.Duration
+}
+
+// SolveRET runs the paper's Algorithm 2 on the instance: binary search on
+// [0, BMax] for the smallest b̂ making the fractional SUB-RET feasible,
+// integerize via LPDAR, and extend b by δ until the integer solution
+// completes every job.
+//
+// The instance's grid must extend far enough to cover (1+BMax)-extended
+// end times; BuildRETInstance constructs such instances.
+func SolveRET(inst *Instance, cfg RETConfig) (*RETResult, error) {
+	cfg = cfg.withDefaults()
+	res := &RETResult{}
+
+	searchStart := time.Now()
+	// Feasibility of SUB-RET is monotone in b: larger b only widens
+	// windows. First check b = 0, then b = BMax, then bisect.
+	feas0, _, iters, err := solveSubRET(inst, 0, cfg, false)
+	res.LPIters += iters
+	if err != nil {
+		return nil, err
+	}
+	bhat := 0.0
+	if !feas0 {
+		feasMax, _, iters, err := solveSubRET(inst, cfg.BMax, cfg, false)
+		res.LPIters += iters
+		if err != nil {
+			return nil, err
+		}
+		if !feasMax {
+			return nil, fmt.Errorf("schedule: RET infeasible even at b=%g — raise BMax or the grid horizon", cfg.BMax)
+		}
+		lo, hi := 0.0, cfg.BMax
+		for hi-lo > cfg.Eps {
+			mid := (lo + hi) / 2
+			feasible, _, iters, err := solveSubRET(inst, mid, cfg, false)
+			res.LPIters += iters
+			if err != nil {
+				return nil, err
+			}
+			if feasible {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		bhat = hi
+	}
+	res.BHat = bhat
+	res.SearchTime = time.Since(searchStart)
+
+	// Step 2–5: solve at b, integerize, extend by δ while unfinished.
+	solveStart := time.Now()
+	b := bhat
+	for round := 0; ; round++ {
+		if round >= cfg.MaxRounds {
+			return nil, fmt.Errorf("schedule: RET did not complete all jobs within %d δ-extensions (b=%g)", cfg.MaxRounds, b)
+		}
+		feasible, frac, iters, err := solveSubRET(inst, b, cfg, true)
+		res.LPIters += iters
+		if err != nil {
+			return nil, err
+		}
+		if !feasible {
+			// Can happen just above b̂ due to the ε-precision search; δ-extend.
+			b += cfg.Delta
+			continue
+		}
+		lpd := frac.Truncate()
+		lpdar := AdjustRates(lpd, *cfg.Adjust)
+		if lpdar.AllDemandsMet() {
+			res.B = b
+			res.LP = frac
+			res.LPD = lpd
+			res.LPDAR = lpdar
+			res.Rounds = round
+			res.SolveTime = time.Since(solveStart)
+			return res, nil
+		}
+		b += cfg.Delta
+	}
+}
+
+// solveSubRET builds and solves the fractional SUB-RET LP (eqs. 14–16 with
+// (5) in place of (10)) under extension factor b. It reports feasibility;
+// the assignment is extracted only when extract is true.
+func solveSubRET(inst *Instance, b float64, cfg RETConfig, extract bool) (bool, *Assignment, int, error) {
+	ns := inst.Grid.Num()
+	extLast := make([]int, inst.NumJobs())
+	for k, jb := range inst.Jobs {
+		var extEnd float64
+		if cfg.Mode == ExtendIntervals {
+			extEnd = jb.Start + (jb.End-jb.Start)*(1+b)
+		} else {
+			extEnd = inst.Grid.ExtendFactor(jb.End, b)
+		}
+		// Same rounding convention as the original windows: the last usable
+		// slice must end at or before the (extended) end time.
+		_, last, ok := inst.Grid.Window(jb.Start, extEnd)
+		if !ok {
+			last = -1
+		}
+		if last >= ns {
+			last = ns - 1
+		}
+		// The extended end must not shrink the original window.
+		if _, origLast := inst.Window(k); last < origLast {
+			last = origLast
+		}
+		extLast[k] = last
+	}
+
+	m := lp.NewModel("sub-ret", lp.Minimize)
+	xvars, err := addFlowVars(m, inst, extLast, 0)
+	if err != nil {
+		return false, nil, 0, err
+	}
+	// Quick-Finish objective (14): Σ_j γ(j)·Σ x.
+	for k := range inst.Jobs {
+		forEachVar(inst, xvars, k, func(p, j int, v lp.VarID) {
+			m.SetObj(v, cfg.Gamma(j))
+		})
+	}
+	// Demand satisfaction (15): Σ x·LEN ≥ D_i.
+	for k, jb := range inst.Jobs {
+		r := m.AddRow(fmt.Sprintf("demand%d", jb.ID), lp.GE, jb.Size)
+		forEachVar(inst, xvars, k, func(p, j int, v lp.VarID) {
+			m.AddTerm(r, v, inst.Grid.Len(j))
+		})
+	}
+	addCapacityRows(m, inst, xvars, 0)
+
+	sol, err := m.SolveWith(cfg.Solver)
+	if err != nil {
+		return false, nil, 0, fmt.Errorf("schedule: SUB-RET(b=%g): %w", b, err)
+	}
+	switch sol.Status {
+	case lp.Optimal:
+		if !extract {
+			return true, nil, sol.Iters, nil
+		}
+		a := extractAssignment(inst, xvars, sol)
+		a.SetExtendedWindows(extLast)
+		return true, a, sol.Iters, nil
+	case lp.Infeasible:
+		return false, nil, sol.Iters, nil
+	default:
+		return false, nil, sol.Iters, fmt.Errorf("schedule: SUB-RET(b=%g): solver returned %v", b, sol.Status)
+	}
+}
+
+// BuildRETInstance constructs an instance whose uniform grid (slices of
+// length sliceLen starting at origin 0) covers every job's
+// (1+bMax)-extended end time, as SolveRET requires. k is the number of
+// allowed paths per job.
+func BuildRETInstance(g *netgraph.Graph, jobs []job.Job, sliceLen float64, k int, bMax float64) (*Instance, error) {
+	if sliceLen <= 0 {
+		return nil, fmt.Errorf("schedule: slice length must be positive, got %g", sliceLen)
+	}
+	horizon := (1 + bMax) * job.MaxEnd(jobs)
+	n := timeslice.CoverUntil(0, sliceLen, horizon)
+	if n == 0 {
+		n = 1
+	}
+	grid, err := timeslice.Uniform(0, sliceLen, n)
+	if err != nil {
+		return nil, err
+	}
+	return NewInstance(g, grid, jobs, k)
+}

@@ -1,0 +1,84 @@
+package schedule
+
+import (
+	"math"
+	"math/rand"
+
+	"wavesched/internal/netgraph"
+)
+
+// RandomizedRound is a classical baseline integerization, for comparison
+// with the paper's LPD/LPDAR: each fractional assignment x = ⌊x⌋ + f is
+// rounded up with probability f and down otherwise, then capacity
+// violations are repaired by removing wavelengths from over-full
+// (edge, slice) pairs. The result is integer and capacity-feasible.
+// Rounding is deterministic under a fixed seed.
+func RandomizedRound(a *Assignment, seed int64) *Assignment {
+	out := a.Clone()
+	rng := rand.New(rand.NewSource(seed))
+	inst := out.Inst
+
+	for k := range out.X {
+		for p := range out.X[k] {
+			row := out.X[k][p]
+			for j, v := range row {
+				if v <= 0 {
+					row[j] = 0
+					continue
+				}
+				fl := math.Floor(v + 1e-9)
+				frac := v - fl
+				if frac > 1e-9 && rng.Float64() < frac {
+					fl++
+				}
+				row[j] = fl
+			}
+		}
+	}
+
+	// Repair pass: while some (edge, slice) is over capacity, remove one
+	// wavelength from a contributing (job, path) with the smallest
+	// original fractional part (the least "deserved" round-up).
+	ns := inst.Grid.Num()
+	ne := inst.G.NumEdges()
+	load := out.EdgeLoads()
+	for e := 0; e < ne; e++ {
+		for j := 0; j < ns; j++ {
+			for int(math.Round(load[e][j])) > inst.Capacity(netgraph.EdgeID(e), j) {
+				bestK, bestP := -1, -1
+				bestFrac := math.Inf(1)
+				for k := range out.X {
+					for p, path := range inst.JobPaths[k] {
+						if out.X[k][p][j] < 1 {
+							continue
+						}
+						crosses := false
+						for _, eid := range path.Edges {
+							if int(eid) == e {
+								crosses = true
+								break
+							}
+						}
+						if !crosses {
+							continue
+						}
+						orig := a.X[k][p][j]
+						frac := orig - math.Floor(orig)
+						if frac < bestFrac {
+							bestFrac = frac
+							bestK, bestP = k, p
+						}
+					}
+				}
+				if bestK < 0 {
+					break // nothing removable (defensive; cannot happen)
+				}
+				out.X[bestK][bestP][j]--
+				for _, eid := range inst.JobPaths[bestK][bestP].Edges {
+					load[eid][j]--
+				}
+			}
+		}
+	}
+	return out
+}

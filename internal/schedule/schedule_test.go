@@ -1,0 +1,256 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+
+	"wavesched/internal/job"
+	"wavesched/internal/netgraph"
+	"wavesched/internal/timeslice"
+	"wavesched/internal/workload"
+)
+
+// singleLink builds a 2-node network with one bidirectional pair of w
+// wavelengths and a grid of n unit slices.
+func singleLink(t *testing.T, w, n int) (*netgraph.Graph, *timeslice.Grid) {
+	t.Helper()
+	g := netgraph.Line(2, w, 10)
+	grid, err := timeslice.Uniform(0, 1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, grid
+}
+
+func TestInstanceValidation(t *testing.T) {
+	g, grid := singleLink(t, 2, 4)
+	jobs := []job.Job{{ID: 1, Src: 0, Dst: 1, Size: 2, Start: 0, End: 4}}
+	inst, err := NewInstance(g, grid, jobs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumJobs() != 1 || inst.TotalDemand() != 2 {
+		t.Errorf("inst: jobs %d demand %g", inst.NumJobs(), inst.TotalDemand())
+	}
+	first, last := inst.Window(0)
+	if first != 0 || last != 3 {
+		t.Errorf("window [%d, %d]", first, last)
+	}
+
+	// Window with no whole slice.
+	bad := []job.Job{{ID: 1, Src: 0, Dst: 1, Size: 2, Start: 0.4, End: 0.9}}
+	if _, err := NewInstance(g, grid, bad, 4); err == nil {
+		t.Error("empty-window job accepted")
+	}
+	// No path.
+	iso := netgraph.New("iso")
+	iso.AddNode("a", 0, 0)
+	iso.AddNode("b", 1, 1)
+	noPath := []job.Job{{ID: 1, Src: 0, Dst: 1, Size: 2, Start: 0, End: 4}}
+	if _, err := NewInstance(iso, grid, noPath, 4); err == nil {
+		t.Error("pathless job accepted")
+	}
+	// Invalid job.
+	invalid := []job.Job{{ID: 1, Src: 0, Dst: 0, Size: 2, Start: 0, End: 4}}
+	if _, err := NewInstance(g, grid, invalid, 4); err == nil {
+		t.Error("invalid job accepted")
+	}
+}
+
+func TestStage1SingleLink(t *testing.T) {
+	// 1 link, 2 wavelengths × 10 units capacity each... capacity per slice
+	// is the wavelength count (2), demand in wavelength·time units.
+	// 4 slices of length 1 ⇒ total deliverable = 8. Job size 4 ⇒ Z* = 2.
+	g, grid := singleLink(t, 2, 4)
+	jobs := []job.Job{{ID: 1, Src: 0, Dst: 1, Size: 4, Start: 0, End: 4}}
+	inst, err := NewInstance(g, grid, jobs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := SolveStage1(inst, solverOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s1.ZStar-2) > 1e-6 {
+		t.Errorf("Z* = %g, want 2", s1.ZStar)
+	}
+	if s1.Overloaded() {
+		t.Error("underloaded network reported overloaded")
+	}
+	if err := s1.Frac.VerifyCapacity(1e-6); err != nil {
+		t.Error(err)
+	}
+	if err := s1.Frac.VerifyWindows(1e-9); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStage1Overloaded(t *testing.T) {
+	// Same link but demand 16 ⇒ Z* = 0.5 (overloaded).
+	g, grid := singleLink(t, 2, 4)
+	jobs := []job.Job{{ID: 1, Src: 0, Dst: 1, Size: 16, Start: 0, End: 4}}
+	inst, err := NewInstance(g, grid, jobs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := SolveStage1(inst, solverOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s1.ZStar-0.5) > 1e-6 {
+		t.Errorf("Z* = %g, want 0.5", s1.ZStar)
+	}
+	if !s1.Overloaded() {
+		t.Error("overloaded network not detected")
+	}
+}
+
+func TestStage1WindowRestriction(t *testing.T) {
+	// Job may only use slices 1..2 (start 1, end 3): Z* = 2·2/4 = 1.
+	g, grid := singleLink(t, 2, 4)
+	jobs := []job.Job{{ID: 1, Src: 0, Dst: 1, Size: 4, Start: 1, End: 3}}
+	inst, err := NewInstance(g, grid, jobs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := SolveStage1(inst, solverOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s1.ZStar-1) > 1e-6 {
+		t.Errorf("Z* = %g, want 1", s1.ZStar)
+	}
+}
+
+func TestStage1TwoJobsShareLink(t *testing.T) {
+	// Two identical jobs share the link: each gets half ⇒ Z* = 1 with
+	// size 4 each over 4 slices × 2 wavelengths (total 8 = 4+4).
+	g, grid := singleLink(t, 2, 4)
+	jobs := []job.Job{
+		{ID: 1, Src: 0, Dst: 1, Size: 4, Start: 0, End: 4},
+		{ID: 2, Src: 0, Dst: 1, Size: 4, Start: 0, End: 4},
+	}
+	inst, err := NewInstance(g, grid, jobs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := SolveStage1(inst, solverOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s1.ZStar-1) > 1e-6 {
+		t.Errorf("Z* = %g, want 1", s1.ZStar)
+	}
+}
+
+func TestMaxThroughputIntegerInvariants(t *testing.T) {
+	// Ring network, several jobs; check every documented invariant of the
+	// three solution variants.
+	g := netgraph.Ring(6, 3, 10)
+	grid, _ := timeslice.Uniform(0, 1, 6)
+	jobs := []job.Job{
+		{ID: 1, Src: 0, Dst: 3, Size: 10, Start: 0, End: 6},
+		{ID: 2, Src: 1, Dst: 4, Size: 8, Start: 0, End: 5},
+		{ID: 3, Src: 2, Dst: 5, Size: 12, Start: 1, End: 6},
+		{ID: 4, Src: 5, Dst: 2, Size: 6, Start: 0, End: 4},
+	}
+	inst, err := NewInstance(g, grid, jobs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MaxThroughput(inst, Config{Alpha: 0.1, Solver: solverOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCommonInvariants(t, res, inst, 0.1)
+}
+
+func checkCommonInvariants(t *testing.T, res *Result, inst *Instance, alpha float64) {
+	t.Helper()
+	for name, a := range map[string]*Assignment{"LP": res.LP, "LPD": res.LPD, "LPDAR": res.LPDAR} {
+		if err := a.VerifyCapacity(1e-6); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if err := a.VerifyWindows(1e-9); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	for name, a := range map[string]*Assignment{"LPD": res.LPD, "LPDAR": res.LPDAR} {
+		if err := a.VerifyIntegral(1e-9); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	// Objective ordering: truncation can only lose, adjustment only gain.
+	lp := res.LP.WeightedThroughput()
+	lpd := res.LPD.WeightedThroughput()
+	lpdar := res.LPDAR.WeightedThroughput()
+	if lpd > lp+1e-6 {
+		t.Errorf("LPD throughput %g exceeds LP %g", lpd, lp)
+	}
+	if lpdar < lpd-1e-9 {
+		t.Errorf("LPDAR throughput %g below LPD %g", lpdar, lpd)
+	}
+	// Fairness floor holds for the fractional stage-2 solution.
+	floor := (1 - alpha) * res.ZStar
+	for k := range inst.Jobs {
+		if z := res.LP.Throughput(k); z < floor-1e-6 {
+			t.Errorf("LP: job %d throughput %g below fairness floor %g", inst.Jobs[k].ID, z, floor)
+		}
+	}
+}
+
+func TestMaxThroughputRandomInstances(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		g, err := netgraph.Waxman(netgraph.WaxmanConfig{Nodes: 15, LinkPairs: 30, Wavelengths: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		grid, _ := timeslice.Uniform(0, 1, 5)
+		jobs, err := workload.Generate(g, workload.Config{
+			Jobs: 10, Seed: seed, GBToDemand: 0.1,
+			MinWindow: 3, MaxWindow: 5, StartSpread: 0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := NewInstance(g, grid, jobs, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := MaxThroughput(inst, Config{Alpha: 0.1, AlphaGrowth: 0.1, Solver: solverOpts()})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		checkCommonInvariants(t, res, inst, res.Alpha)
+	}
+}
+
+func TestLPDARBeatsLPDWhenWavesScarce(t *testing.T) {
+	// With 1 wavelength per link and fractional LP splits, LPD truncates
+	// hard; LPDAR must recover bandwidth.
+	g := netgraph.Ring(4, 1, 10)
+	grid, _ := timeslice.Uniform(0, 1, 4)
+	jobs := []job.Job{
+		{ID: 1, Src: 0, Dst: 2, Size: 6, Start: 0, End: 4},
+		{ID: 2, Src: 1, Dst: 3, Size: 6, Start: 0, End: 4},
+		{ID: 3, Src: 2, Dst: 0, Size: 6, Start: 0, End: 4},
+	}
+	inst, err := NewInstance(g, grid, jobs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MaxThroughput(inst, Config{Alpha: 0.1, AlphaGrowth: 0.1, Solver: solverOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpd := res.LPD.WeightedThroughput()
+	lpdar := res.LPDAR.WeightedThroughput()
+	if lpdar < lpd {
+		t.Errorf("LPDAR %g < LPD %g", lpdar, lpd)
+	}
+	checkCommonInvariants(t, res, inst, res.Alpha)
+}

@@ -1,0 +1,155 @@
+package schedule
+
+import (
+	"fmt"
+	"time"
+
+	"wavesched/internal/lp"
+)
+
+// Stage1Result is the outcome of the maximum-concurrent-throughput LP.
+type Stage1Result struct {
+	ZStar float64     // Z*: the maximum concurrent throughput
+	Frac  *Assignment // the fractional stage-1 solution
+	Iters int         // simplex pivots
+	Time  time.Duration
+}
+
+// Overloaded reports whether the network cannot carry all demands in full
+// within their windows (the paper calls the network overloaded when
+// Z* ≤ 1).
+func (r *Stage1Result) Overloaded() bool { return r.ZStar <= 1 }
+
+// SolveStage1 solves the stage-1 MCF problem (eqs. 1–5): maximize Z such
+// that every job transfers exactly Z·D_i within its window and no link
+// carries more than its wavelength count on any slice. Bandwidth is
+// treated as infinitely divisible (no integrality).
+func SolveStage1(inst *Instance, opts lp.Options) (*Stage1Result, error) {
+	start := time.Now()
+	m := lp.NewModel("stage1-mcf", lp.Maximize)
+	z := m.AddVar("Z", 0, lp.Inf, 1)
+
+	xvars, err := addFlowVars(m, inst, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-job coupling (2): Σ_j Σ_p x·LEN(j) − D_i·Z = 0.
+	for k, jb := range inst.Jobs {
+		r := m.AddRow(fmt.Sprintf("job%d", jb.ID), lp.EQ, 0)
+		forEachVar(inst, xvars, k, func(p, j int, v lp.VarID) {
+			m.AddTerm(r, v, inst.Grid.Len(j))
+		})
+		m.AddTerm(r, z, -jb.Size)
+	}
+
+	addCapacityRows(m, inst, xvars, 0)
+
+	sol, err := m.SolveWith(opts)
+	if err != nil {
+		return nil, fmt.Errorf("schedule: stage 1: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("schedule: stage 1: solver returned %v", sol.Status)
+	}
+	a := extractAssignment(inst, xvars, sol)
+	return &Stage1Result{
+		ZStar: sol.Value(z),
+		Frac:  a,
+		Iters: sol.Iters,
+		Time:  time.Since(start),
+	}, nil
+}
+
+// flowVars records the LP variable of each (job, path, slice) triple, or
+// -1 where the slice is outside the job's window.
+type flowVars [][][]lp.VarID
+
+// addFlowVars creates the x_i(p,j) ≥ 0 variables for every job, path, and
+// in-window slice. extendedLast, when non-nil, overrides each job's last
+// usable slice (the RET extension); objGamma, when non-zero... (unused
+// here; stage-specific objectives are set by the callers via SetObj).
+func addFlowVars(m *lp.Model, inst *Instance, extendedLast []int, objCoef float64) (flowVars, error) {
+	xv := make(flowVars, inst.NumJobs())
+	ns := inst.Grid.Num()
+	for k := range inst.Jobs {
+		first, last := inst.Window(k)
+		if extendedLast != nil {
+			last = extendedLast[k]
+			if last >= ns {
+				last = ns - 1
+			}
+		}
+		if last < first {
+			return nil, fmt.Errorf("schedule: job %d has empty usable window", inst.Jobs[k].ID)
+		}
+		xv[k] = make([][]lp.VarID, len(inst.JobPaths[k]))
+		for p := range inst.JobPaths[k] {
+			xv[k][p] = make([]lp.VarID, ns)
+			for j := 0; j < ns; j++ {
+				if j < first || j > last {
+					xv[k][p][j] = -1
+					continue
+				}
+				xv[k][p][j] = m.AddVar(fmt.Sprintf("x_%d_%d_%d", k, p, j), 0, lp.Inf, objCoef)
+			}
+		}
+	}
+	return xv, nil
+}
+
+// forEachVar visits the live variables of job index k.
+func forEachVar(inst *Instance, xv flowVars, k int, fn func(p, j int, v lp.VarID)) {
+	for p := range xv[k] {
+		for j, v := range xv[k][p] {
+			if v >= 0 {
+				fn(p, j, v)
+			}
+		}
+	}
+}
+
+// addCapacityRows adds constraint (3): for every edge and slice, the sum
+// of assignments of paths crossing the edge is at most the edge's
+// wavelength count. Rows are only emitted for (edge, slice) pairs that
+// some variable can load; the returned map records which row constrains
+// which (edge, slice).
+func addCapacityRows(m *lp.Model, inst *Instance, xv flowVars, _ int) map[capKey]lp.RowID {
+	ns := inst.Grid.Num()
+	rows := make(map[capKey]lp.RowID)
+	for k := range inst.Jobs {
+		for p, path := range inst.JobPaths[k] {
+			for j := 0; j < ns; j++ {
+				v := xv[k][p][j]
+				if v < 0 {
+					continue
+				}
+				for _, eid := range path.Edges {
+					kk := capKey{eid, j}
+					r, ok := rows[kk]
+					if !ok {
+						r = m.AddRow(fmt.Sprintf("cap_e%d_t%d", eid, j), lp.LE, float64(inst.Capacity(eid, j)))
+						rows[kk] = r
+					}
+					m.AddTerm(r, v, 1)
+				}
+			}
+		}
+	}
+	return rows
+}
+
+// extractAssignment reads the x values out of an LP solution.
+func extractAssignment(inst *Instance, xv flowVars, sol *lp.Solution) *Assignment {
+	a := NewAssignment(inst)
+	for k := range xv {
+		for p := range xv[k] {
+			for j, v := range xv[k][p] {
+				if v >= 0 {
+					a.X[k][p][j] = sol.Value(v)
+				}
+			}
+		}
+	}
+	return a
+}

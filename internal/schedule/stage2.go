@@ -1,0 +1,184 @@
+package schedule
+
+import (
+	"fmt"
+	"time"
+
+	"wavesched/internal/lp"
+)
+
+// Config tunes the two-stage maximizing-throughput algorithm.
+type Config struct {
+	// Alpha is the fairness slack in constraint (9): every job's
+	// throughput must reach (1−Alpha)·Z*. The paper uses 0.1.
+	Alpha float64
+	// AlphaGrowth: if the stage-2 LP is infeasible at Alpha (possible for
+	// very tight instances), Alpha is increased by this additive step and
+	// the LP retried, per the paper's Remark 1. Zero disables retries.
+	AlphaGrowth float64
+	// MaxAlpha bounds the retries; default 1 (no fairness floor at all).
+	MaxAlpha float64
+	// Solver passes through to the simplex.
+	Solver lp.Options
+	// Adjust tunes the LPDAR greedy pass; the zero value is the paper's
+	// verbatim Algorithm 1.
+	Adjust AdjustOptions
+	// Weight sets the stage-2 objective weights (nil selects the paper's
+	// default, WeightBySize). See WeightFunc for the alternatives the
+	// paper discusses.
+	Weight WeightFunc
+}
+
+func (c Config) withDefaults() Config {
+	if c.Alpha == 0 {
+		c.Alpha = 0.1
+	}
+	if c.MaxAlpha == 0 {
+		c.MaxAlpha = 1
+	}
+	return c
+}
+
+// Result is the outcome of the full maximizing-throughput algorithm with
+// all three solution variants the paper compares.
+type Result struct {
+	ZStar float64 // from stage 1
+	Alpha float64 // the fairness slack actually used
+
+	LP    *Assignment // fractional stage-2 optimum (upper bound)
+	LPD   *Assignment // truncated integer solution
+	LPDAR *Assignment // truncated + greedily adjusted integer solution
+
+	Stage1Iters  int
+	Stage2Iters  int
+	Stage1Time   time.Duration
+	Stage2Time   time.Duration
+	TruncateTime time.Duration // LPD truncation
+	AdjustTime   time.Duration // LPDAR greedy pass (after truncation)
+}
+
+// LPTime is the total optimization time shared by all three variants.
+func (r *Result) LPTime() time.Duration { return r.Stage1Time + r.Stage2Time }
+
+// LPDTime is the total time to produce the LPD solution.
+func (r *Result) LPDTime() time.Duration { return r.LPTime() + r.TruncateTime }
+
+// LPDARTime is the total time to produce the LPDAR solution.
+func (r *Result) LPDARTime() time.Duration { return r.LPDTime() + r.AdjustTime }
+
+// MaxThroughput runs the paper's Section II-B algorithm end to end:
+// stage 1 (MCF) for Z*, stage 2 LP with the fairness floor, then LPD and
+// LPDAR integerization.
+func MaxThroughput(inst *Instance, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	s1, err := SolveStage1(inst, cfg.Solver)
+	if err != nil {
+		return nil, err
+	}
+	return MaxThroughputWithZ(inst, s1, cfg)
+}
+
+// MaxThroughputWithZ runs stage 2 for an already-computed stage-1 result.
+func MaxThroughputWithZ(inst *Instance, s1 *Stage1Result, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	alpha := cfg.Alpha
+	for {
+		res, status, err := solveStage2(inst, s1.ZStar, alpha, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if status == lp.Optimal {
+			res.ZStar = s1.ZStar
+			res.Alpha = alpha
+			res.Stage1Iters = s1.Iters
+			res.Stage1Time = s1.Time
+			return res, nil
+		}
+		if status == lp.Infeasible && cfg.AlphaGrowth > 0 && alpha+cfg.AlphaGrowth <= cfg.MaxAlpha {
+			alpha += cfg.AlphaGrowth // Remark 1: increase α and retry
+			continue
+		}
+		return nil, fmt.Errorf("schedule: stage 2: solver returned %v (alpha=%g)", status, alpha)
+	}
+}
+
+// buildStage2Model assembles the stage-2 program (eqs. 7–10 without the
+// integrality constraint) and returns the model together with the Z and x
+// variable maps.
+func buildStage2Model(inst *Instance, zstar, alpha float64, weight WeightFunc) (*lp.Model, []lp.VarID, flowVars, error) {
+	if inst.TotalDemand() <= 0 {
+		return nil, nil, nil, fmt.Errorf("schedule: stage 2: no demand")
+	}
+	if weight == nil {
+		weight = WeightBySize
+	}
+	wsum := 0.0
+	for _, jb := range inst.Jobs {
+		wsum += weight(jb)
+	}
+	if wsum <= 0 {
+		return nil, nil, nil, fmt.Errorf("schedule: stage 2: non-positive total weight")
+	}
+	m := lp.NewModel("stage2", lp.Maximize)
+	// Z_i variables with the fairness floor (9) as a lower bound. The
+	// objective (7) weights each Z_i by w_i/Σw (w_i = D_i by default).
+	floor := (1 - alpha) * zstar
+	if floor < 0 {
+		floor = 0
+	}
+	zvars := make([]lp.VarID, inst.NumJobs())
+	for k, jb := range inst.Jobs {
+		zvars[k] = m.AddVar(fmt.Sprintf("Z_%d", jb.ID), floor, lp.Inf, weight(jb)/wsum)
+	}
+	xvars, err := addFlowVars(m, inst, nil, 0)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	// Coupling (8): Σ x·LEN = Z_i·D_i.
+	for k, jb := range inst.Jobs {
+		r := m.AddRow(fmt.Sprintf("job%d", jb.ID), lp.EQ, 0)
+		forEachVar(inst, xvars, k, func(p, j int, v lp.VarID) {
+			m.AddTerm(r, v, inst.Grid.Len(j))
+		})
+		m.AddTerm(r, zvars[k], -jb.Size)
+	}
+	addCapacityRows(m, inst, xvars, 0)
+	return m, zvars, xvars, nil
+}
+
+// solveStage2 builds and solves the stage-2 LP (eqs. 7–10 without
+// integrality), then integerizes.
+func solveStage2(inst *Instance, zstar, alpha float64, cfg Config) (*Result, lp.Status, error) {
+	start := time.Now()
+	m, _, xvars, err := buildStage2Model(inst, zstar, alpha, cfg.Weight)
+	if err != nil {
+		return nil, lp.Infeasible, err
+	}
+
+	sol, err := m.SolveWith(cfg.Solver)
+	if err != nil {
+		return nil, lp.Numerical, fmt.Errorf("schedule: stage 2: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, sol.Status, nil
+	}
+	stage2Time := time.Since(start)
+
+	frac := extractAssignment(inst, xvars, sol)
+	truncStart := time.Now()
+	lpd := frac.Truncate()
+	truncTime := time.Since(truncStart)
+	adjStart := time.Now()
+	lpdar := AdjustRates(lpd, cfg.Adjust)
+	adjTime := time.Since(adjStart)
+
+	return &Result{
+		LP:           frac,
+		LPD:          lpd,
+		LPDAR:        lpdar,
+		Stage2Iters:  sol.Iters,
+		Stage2Time:   stage2Time,
+		TruncateTime: truncTime,
+		AdjustTime:   adjTime,
+	}, lp.Optimal, nil
+}

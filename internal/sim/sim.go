@@ -1,0 +1,155 @@
+// Package sim provides a small discrete-event engine and drives the
+// periodic network controller over a stream of job arrivals, reproducing
+// the paper's operational model: requests arrive at random times and the
+// controller runs AC/scheduling at every multiple of τ over the requests
+// collected since the previous instant.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"wavesched/internal/controller"
+	"wavesched/internal/job"
+)
+
+// EventKind discriminates event types.
+type EventKind int
+
+// Event kinds.
+const (
+	// EventArrival delivers a job request to the controller.
+	EventArrival EventKind = iota
+	// EventEpoch triggers one AC/scheduling run.
+	EventEpoch
+)
+
+// Event is one timed occurrence.
+type Event struct {
+	Time float64
+	Kind EventKind
+	Job  job.Job // for EventArrival
+	seq  int     // tie-break for deterministic ordering
+}
+
+// eventQueue is a binary min-heap over (Time, seq).
+type eventQueue []Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].Time != q[j].Time {
+		return q[i].Time < q[j].Time
+	}
+	if q[i].Kind != q[j].Kind {
+		// Arrivals at exactly kτ are collected by the epoch at kτ, per the
+		// paper's "(k−1)τ < A ≤ kτ" convention: deliver arrivals first.
+		return q[i].Kind == EventArrival
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(Event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Queue is a deterministic discrete-event queue.
+type Queue struct {
+	q   eventQueue
+	seq int
+}
+
+// NewQueue returns an empty queue.
+func NewQueue() *Queue { return &Queue{} }
+
+// Schedule adds an event.
+func (s *Queue) Schedule(e Event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.q, e)
+}
+
+// Next pops the earliest event; ok is false when the queue is empty.
+func (s *Queue) Next() (Event, bool) {
+	if len(s.q) == 0 {
+		return Event{}, false
+	}
+	return heap.Pop(&s.q).(Event), true
+}
+
+// Len returns the number of queued events.
+func (s *Queue) Len() int { return len(s.q) }
+
+// RunResult is the outcome of a simulation run.
+type RunResult struct {
+	Records []controller.Record
+	Summary controller.Summary
+	Epochs  int
+	EndTime float64
+}
+
+// Run feeds the jobs (by arrival time) into the controller and executes
+// epochs until all work drains or maxTime passes. The controller must be
+// freshly constructed (clock at 0).
+func Run(ctrl *controller.Controller, jobs []job.Job, maxTime float64) (*RunResult, error) {
+	if ctrl.Now() != 0 {
+		return nil, fmt.Errorf("sim: controller clock already at %g", ctrl.Now())
+	}
+	ordered := append([]job.Job(nil), jobs...)
+	sort.SliceStable(ordered, func(a, b int) bool { return ordered[a].Arrival < ordered[b].Arrival })
+
+	q := NewQueue()
+	for _, j := range ordered {
+		q.Schedule(Event{Time: j.Arrival, Kind: EventArrival, Job: j})
+	}
+
+	// Epoch events are scheduled lazily: one at a time, so the run stops
+	// as soon as the system drains.
+	tau := nextEpochAfter(ctrl)
+	q.Schedule(Event{Time: tau, Kind: EventEpoch})
+
+	for {
+		ev, ok := q.Next()
+		if !ok {
+			break
+		}
+		if maxTime > 0 && ev.Time > maxTime {
+			break
+		}
+		switch ev.Kind {
+		case EventArrival:
+			if err := ctrl.Submit(ev.Job); err != nil {
+				return nil, fmt.Errorf("sim: submit job %d: %w", ev.Job.ID, err)
+			}
+		case EventEpoch:
+			if err := ctrl.RunEpoch(); err != nil {
+				return nil, err
+			}
+			// Keep ticking while work remains (in the controller or still
+			// queued as future arrivals).
+			if !ctrl.Idle() || q.Len() > 0 {
+				q.Schedule(Event{Time: nextEpochAfter(ctrl), Kind: EventEpoch})
+			}
+		}
+	}
+
+	records := ctrl.Records()
+	return &RunResult{
+		Records: records,
+		Summary: controller.Summarize(records),
+		Epochs:  ctrl.Epochs,
+		EndTime: ctrl.Now(),
+	}, nil
+}
+
+// nextEpochAfter returns the controller's next scheduling instant. The
+// controller advances its own clock by τ per epoch, so the next epoch
+// fires at the current clock value.
+func nextEpochAfter(ctrl *controller.Controller) float64 {
+	return ctrl.Now()
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wavesched/internal/controller"
+	"wavesched/internal/job"
+	"wavesched/internal/netgraph"
+)
+
+// Source produces job requests on demand, letting simulations run open
+// loop (load defined by a process, not a pre-drawn list).
+type Source interface {
+	// Next returns the next request, or ok=false when the source is
+	// exhausted. Arrivals must be non-decreasing.
+	Next() (job.Job, bool)
+}
+
+// PoissonSource draws an endless Poisson request stream over a graph.
+type PoissonSource struct {
+	rng   *rand.Rand
+	g     *netgraph.Graph
+	rate  float64
+	sizes [2]float64 // demand units, uniform
+	win   [2]float64
+	clock float64
+	next  job.ID
+	limit int // 0 = unlimited
+	count int
+}
+
+// NewPoissonSource returns a source with the given arrival rate, demand
+// range (in demand units) and window-length range.
+func NewPoissonSource(g *netgraph.Graph, rate, sizeMin, sizeMax, winMin, winMax float64, seed int64) (*PoissonSource, error) {
+	if g.NumNodes() < 2 {
+		return nil, fmt.Errorf("sim: source needs ≥ 2 nodes")
+	}
+	if rate <= 0 || sizeMin <= 0 || sizeMax < sizeMin || winMin <= 0 || winMax < winMin {
+		return nil, fmt.Errorf("sim: bad source parameters (rate %g, size [%g, %g], window [%g, %g])",
+			rate, sizeMin, sizeMax, winMin, winMax)
+	}
+	return &PoissonSource{
+		rng: rand.New(rand.NewSource(seed)), g: g, rate: rate,
+		sizes: [2]float64{sizeMin, sizeMax}, win: [2]float64{winMin, winMax},
+	}, nil
+}
+
+// Limit caps the total number of requests (0 = unlimited).
+func (s *PoissonSource) Limit(n int) *PoissonSource {
+	s.limit = n
+	return s
+}
+
+// Next draws the next request.
+func (s *PoissonSource) Next() (job.Job, bool) {
+	if s.limit > 0 && s.count >= s.limit {
+		return job.Job{}, false
+	}
+	s.count++
+	s.clock += s.rng.ExpFloat64() / s.rate
+	src := netgraph.NodeID(s.rng.Intn(s.g.NumNodes()))
+	dst := src
+	for dst == src {
+		dst = netgraph.NodeID(s.rng.Intn(s.g.NumNodes()))
+	}
+	size := s.sizes[0] + s.rng.Float64()*(s.sizes[1]-s.sizes[0])
+	win := s.win[0] + s.rng.Float64()*(s.win[1]-s.win[0])
+	j := job.Job{
+		ID: s.next, Arrival: s.clock,
+		Src: src, Dst: dst, Size: size,
+		Start: s.clock, End: s.clock + win,
+	}
+	s.next++
+	return j, true
+}
+
+// RunSource drives the controller from a live source until maxTime (which
+// must be positive for unlimited sources, or the run would never end).
+// Requests arriving after maxTime are discarded.
+func RunSource(ctrl *controller.Controller, src Source, maxTime float64) (*RunResult, error) {
+	if ctrl.Now() != 0 {
+		return nil, fmt.Errorf("sim: controller clock already at %g", ctrl.Now())
+	}
+	if maxTime <= 0 {
+		return nil, fmt.Errorf("sim: RunSource requires a positive maxTime")
+	}
+	q := NewQueue()
+	pump := func() bool {
+		j, ok := src.Next()
+		if !ok || j.Arrival > maxTime {
+			return false
+		}
+		q.Schedule(Event{Time: j.Arrival, Kind: EventArrival, Job: j})
+		return true
+	}
+	more := pump()
+	q.Schedule(Event{Time: 0, Kind: EventEpoch})
+
+	for {
+		ev, ok := q.Next()
+		if !ok {
+			break
+		}
+		if ev.Time > maxTime {
+			break
+		}
+		switch ev.Kind {
+		case EventArrival:
+			if err := ctrl.Submit(ev.Job); err != nil {
+				return nil, fmt.Errorf("sim: submit job %d: %w", ev.Job.ID, err)
+			}
+			if more {
+				more = pump() // keep exactly one future arrival queued
+			}
+		case EventEpoch:
+			if err := ctrl.RunEpoch(); err != nil {
+				return nil, err
+			}
+			if more || !ctrl.Idle() || q.Len() > 0 {
+				q.Schedule(Event{Time: ctrl.Now(), Kind: EventEpoch})
+			}
+		}
+	}
+	records := ctrl.Records()
+	return &RunResult{
+		Records: records,
+		Summary: controller.Summarize(records),
+		Epochs:  ctrl.Epochs,
+		EndTime: ctrl.Now(),
+	}, nil
+}

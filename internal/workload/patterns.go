@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wavesched/internal/job"
+	"wavesched/internal/netgraph"
+)
+
+// DiurnalConfig draws Poisson arrivals whose rate follows a day/night
+// cycle — e-science transfer demand is bursty and often submitted in
+// working hours. The rate at time t is
+//
+//	λ(t) = BaseRate · (1 + Amplitude·sin(2π·t/Period))
+//
+// clamped at a small positive floor.
+type DiurnalConfig struct {
+	Jobs      int
+	BaseRate  float64 // mean arrivals per time unit; must be positive
+	Amplitude float64 // in [0, 1): relative swing of the cycle
+	Period    float64 // cycle length; must be positive
+
+	// Size/window parameters as in Config.
+	SizeMinGB   float64
+	SizeMaxGB   float64
+	GBToDemand  float64
+	MinWindow   float64
+	MaxWindow   float64
+	StartSpread float64
+
+	Seed int64
+}
+
+// GenerateDiurnal draws jobs with a time-varying Poisson arrival process
+// (by thinning) over the nodes of g.
+func GenerateDiurnal(g *netgraph.Graph, cfg DiurnalConfig) ([]job.Job, error) {
+	if cfg.BaseRate <= 0 {
+		return nil, fmt.Errorf("workload: BaseRate must be positive, got %g", cfg.BaseRate)
+	}
+	if cfg.Amplitude < 0 || cfg.Amplitude >= 1 {
+		return nil, fmt.Errorf("workload: Amplitude must be in [0, 1), got %g", cfg.Amplitude)
+	}
+	if cfg.Period <= 0 {
+		return nil, fmt.Errorf("workload: Period must be positive, got %g", cfg.Period)
+	}
+	base := Config{
+		Jobs:       cfg.Jobs,
+		SizeMinGB:  cfg.SizeMinGB,
+		SizeMaxGB:  cfg.SizeMaxGB,
+		GBToDemand: cfg.GBToDemand,
+		MinWindow:  cfg.MinWindow,
+		MaxWindow:  cfg.MaxWindow,
+		Seed:       cfg.Seed,
+	}.withDefaults()
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	lambdaMax := cfg.BaseRate * (1 + cfg.Amplitude)
+	rate := func(t float64) float64 {
+		l := cfg.BaseRate * (1 + cfg.Amplitude*math.Sin(2*math.Pi*t/cfg.Period))
+		if l < 1e-9 {
+			l = 1e-9
+		}
+		return l
+	}
+
+	jobs := make([]job.Job, 0, cfg.Jobs)
+	clock := 0.0
+	for i := 0; i < cfg.Jobs; i++ {
+		// Thinning: propose at the max rate, accept with λ(t)/λmax.
+		for {
+			clock += rng.ExpFloat64() / lambdaMax
+			if rng.Float64() <= rate(clock)/lambdaMax {
+				break
+			}
+		}
+		src := netgraph.NodeID(rng.Intn(g.NumNodes()))
+		dst := src
+		for dst == src {
+			dst = netgraph.NodeID(rng.Intn(g.NumNodes()))
+		}
+		sizeGB := base.SizeMinGB + rng.Float64()*(base.SizeMaxGB-base.SizeMinGB)
+		start := clock + rng.Float64()*cfg.StartSpread
+		window := base.MinWindow + rng.Float64()*(base.MaxWindow-base.MinWindow)
+		jobs = append(jobs, job.Job{
+			ID: job.ID(i), Arrival: clock,
+			Src: src, Dst: dst,
+			Size:  sizeGB * base.GBToDemand,
+			Start: start, End: start + window,
+		})
+	}
+	if err := job.ValidateAll(jobs); err != nil {
+		return nil, err
+	}
+	return jobs, nil
+}
+
+// HotspotConfig concentrates traffic on a few site pairs — the e-science
+// pattern where a small number of instruments (e.g. the LHC tier-0) feed
+// many downstream sites.
+type HotspotConfig struct {
+	Config
+	// Hotspots lists (src, dst) pairs that receive HotspotShare of the
+	// jobs (uniformly among them); the rest use uniform random pairs.
+	Hotspots [][2]netgraph.NodeID
+	// HotspotShare is the fraction of jobs drawn from the hotspot list,
+	// in [0, 1].
+	HotspotShare float64
+}
+
+// GenerateHotspot draws jobs with a skewed source/destination
+// distribution.
+func GenerateHotspot(g *netgraph.Graph, cfg HotspotConfig) ([]job.Job, error) {
+	if cfg.HotspotShare < 0 || cfg.HotspotShare > 1 {
+		return nil, fmt.Errorf("workload: HotspotShare %g outside [0, 1]", cfg.HotspotShare)
+	}
+	if len(cfg.Hotspots) == 0 && cfg.HotspotShare > 0 {
+		return nil, fmt.Errorf("workload: HotspotShare %g but no hotspots", cfg.HotspotShare)
+	}
+	for i, h := range cfg.Hotspots {
+		if h[0] == h[1] || int(h[0]) >= g.NumNodes() || int(h[1]) >= g.NumNodes() || h[0] < 0 || h[1] < 0 {
+			return nil, fmt.Errorf("workload: bad hotspot %d: %v", i, h)
+		}
+	}
+	jobs, err := Generate(g, cfg.Config)
+	if err != nil {
+		return nil, err
+	}
+	// Redraw endpoints for the hotspot share with a separate stream so the
+	// base workload stays comparable across configurations.
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
+	for i := range jobs {
+		if rng.Float64() < cfg.HotspotShare {
+			h := cfg.Hotspots[rng.Intn(len(cfg.Hotspots))]
+			jobs[i].Src, jobs[i].Dst = h[0], h[1]
+		}
+	}
+	return jobs, nil
+}

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"wavesched/internal/netgraph"
+)
+
+func TestGenerateDiurnal(t *testing.T) {
+	g := netgraph.Ring(10, 2, 10)
+	jobs, err := GenerateDiurnal(g, DiurnalConfig{
+		Jobs: 400, BaseRate: 2, Amplitude: 0.8, Period: 24, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 400 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	prev := 0.0
+	for _, j := range jobs {
+		if j.Arrival < prev {
+			t.Fatal("arrivals not monotone")
+		}
+		prev = j.Arrival
+	}
+	// The cycle must actually modulate density: count arrivals in the
+	// "peak" half-cycles vs the "trough" half-cycles.
+	peak, trough := 0, 0
+	for _, j := range jobs {
+		phase := math.Mod(j.Arrival, 24) / 24
+		if phase < 0.5 {
+			peak++ // sin > 0 half
+		} else {
+			trough++
+		}
+	}
+	if peak <= trough {
+		t.Errorf("no diurnal skew: peak %d vs trough %d", peak, trough)
+	}
+	// Mean rate should be near BaseRate over whole cycles.
+	mean := float64(len(jobs)) / prev
+	if mean < 1.2 || mean > 3.0 {
+		t.Errorf("mean arrival rate %g, want ≈2", mean)
+	}
+}
+
+func TestGenerateDiurnalErrors(t *testing.T) {
+	g := netgraph.Ring(4, 1, 1)
+	bad := []DiurnalConfig{
+		{Jobs: 1, BaseRate: 0, Period: 10},
+		{Jobs: 1, BaseRate: 1, Amplitude: 1.5, Period: 10},
+		{Jobs: 1, BaseRate: 1, Amplitude: -0.1, Period: 10},
+		{Jobs: 1, BaseRate: 1, Period: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := GenerateDiurnal(g, cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateHotspot(t *testing.T) {
+	g := netgraph.Ring(10, 2, 10)
+	hs := [][2]netgraph.NodeID{{0, 5}, {2, 7}}
+	jobs, err := GenerateHotspot(g, HotspotConfig{
+		Config:       Config{Jobs: 500, Seed: 9},
+		Hotspots:     hs,
+		HotspotShare: 0.7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	onHot := 0
+	for _, j := range jobs {
+		for _, h := range hs {
+			if j.Src == h[0] && j.Dst == h[1] {
+				onHot++
+				break
+			}
+		}
+	}
+	frac := float64(onHot) / float64(len(jobs))
+	if frac < 0.6 || frac > 0.8 {
+		t.Errorf("hotspot fraction %g, want ≈0.7", frac)
+	}
+}
+
+func TestGenerateHotspotErrors(t *testing.T) {
+	g := netgraph.Ring(4, 1, 1)
+	if _, err := GenerateHotspot(g, HotspotConfig{
+		Config: Config{Jobs: 1}, HotspotShare: 1.5,
+		Hotspots: [][2]netgraph.NodeID{{0, 1}},
+	}); err == nil {
+		t.Error("share > 1 accepted")
+	}
+	if _, err := GenerateHotspot(g, HotspotConfig{
+		Config: Config{Jobs: 1}, HotspotShare: 0.5,
+	}); err == nil {
+		t.Error("share without hotspots accepted")
+	}
+	if _, err := GenerateHotspot(g, HotspotConfig{
+		Config: Config{Jobs: 1}, HotspotShare: 0.5,
+		Hotspots: [][2]netgraph.NodeID{{3, 3}},
+	}); err == nil {
+		t.Error("degenerate hotspot accepted")
+	}
+	if _, err := GenerateHotspot(g, HotspotConfig{
+		Config: Config{Jobs: 1}, HotspotShare: 0.5,
+		Hotspots: [][2]netgraph.NodeID{{0, 99}},
+	}); err == nil {
+		t.Error("out-of-range hotspot accepted")
+	}
+}
