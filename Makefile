@@ -1,0 +1,32 @@
+# Developer entry points. `make check` is the gate run before sending a
+# change: vet, build, and the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: check vet build test race bench bench-telemetry clean
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark harness at quick scale (minutes).
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# Guard for the telemetry layer's disabled-path cost: lp.SolveWith with
+# no tracer attached must stay within noise (<2%) of the seed solver.
+bench-telemetry:
+	$(GO) test -run xxx -bench SolveTelemetryOff -benchtime 20x -count 3 .
+
+clean:
+	$(GO) clean ./...

@@ -9,6 +9,7 @@
 package wavesched_bench
 
 import (
+	"math/rand"
 	"testing"
 
 	"wavesched/internal/experiments"
@@ -295,6 +296,41 @@ func BenchmarkAblationIntegerization(b *testing.B) {
 		}
 		b.ReportMetric(sum/float64(n)/lpWT, "ratio_vs_lp")
 	})
+}
+
+// BenchmarkSolveTelemetryOff guards the telemetry layer's disabled-path
+// cost: lp.SolveWith with no Tracer must stay within noise of the seed
+// solver (metric updates are a handful of atomic adds per solve, and the
+// nil tracer short-circuits before any attribute allocation). Compare
+// against BenchmarkSimplexSolve in internal/lp when chasing regressions.
+func BenchmarkSolveTelemetryOff(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	model := lp.NewModel("bench", lp.Maximize)
+	vars := make([]lp.VarID, 200)
+	for j := range vars {
+		vars[j] = model.AddVar("x", 0, float64(1+rng.Intn(9)), rng.Float64()*10-2)
+	}
+	for i := 0; i < 120; i++ {
+		r := model.AddRow("r", lp.LE, float64(5+rng.Intn(50)))
+		for j := range vars {
+			if rng.Float64() < 0.3 {
+				model.AddTerm(r, vars[j], rng.Float64()*4)
+			}
+		}
+	}
+	b.ResetTimer()
+	var iters int
+	for i := 0; i < b.N; i++ {
+		sol, err := model.SolveWith(lp.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Status != lp.Optimal {
+			b.Fatalf("status %v", sol.Status)
+		}
+		iters = sol.Iters
+	}
+	b.ReportMetric(float64(iters), "simplex_iters")
 }
 
 // BenchmarkAblationPricing compares the simplex pricing rules on the

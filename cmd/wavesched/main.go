@@ -10,11 +10,19 @@
 // With -gen N a random workload of N jobs is generated instead of -jobs.
 // The tool prints Z*, per-job throughputs, and the integer LPDAR schedule
 // summary; -verbose dumps the per-slice wavelength assignments.
+//
+// Observability flags:
+//
+//	-metrics-addr :9090   serve Prometheus text-format metrics on
+//	                      /metrics and net/http/pprof on /debug/pprof/
+//	-trace run.jsonl      write solver/scheduler spans as JSON Lines
+//	-log-level debug      structured (log/slog) logging level
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -23,9 +31,15 @@ import (
 	"wavesched/internal/metrics"
 	"wavesched/internal/netgraph"
 	"wavesched/internal/schedule"
+	"wavesched/internal/telemetry"
+	"wavesched/internal/telemetry/telhttp"
 	"wavesched/internal/timeslice"
 	"wavesched/internal/workload"
 )
+
+// tracer is the process-wide trace sink; nil (the default) disables
+// span tracing throughout the solver and scheduler layers.
+var tracer *telemetry.Tracer
 
 func main() {
 	var (
@@ -40,8 +54,37 @@ func main() {
 		alpha    = flag.Float64("alpha", 0.1, "stage-2 fairness slack")
 		bmax     = flag.Float64("bmax", 5, "RET extension ceiling")
 		verbose  = flag.Bool("verbose", false, "dump per-slice assignments")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/pprof on this address, e.g. :9090")
+		tracePath   = flag.String("trace", "", "write solver/scheduler trace events (JSONL) to this file")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, or error")
 	)
 	flag.Parse()
+
+	if err := setupLogging(*logLevel); err != nil {
+		fatal("%v", err)
+	}
+	if *metricsAddr != "" {
+		_, addr, err := telhttp.ListenAndServe(*metricsAddr, telemetry.Default())
+		if err != nil {
+			fatal("%v", err)
+		}
+		slog.Info("telemetry endpoint up", "addr", addr.String(),
+			"metrics", "/metrics", "pprof", "/debug/pprof/")
+	}
+	if *tracePath != "" {
+		tr, err := telemetry.OpenTraceFile(*tracePath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer func() {
+			if err := tr.Close(); err != nil {
+				slog.Warn("closing trace file", "err", err)
+			}
+		}()
+		tracer = tr
+		slog.Info("tracing enabled", "file", *tracePath)
+	}
 
 	if *netPath == "" {
 		fatal("-net is required")
@@ -167,7 +210,26 @@ func nodeLabel(g *netgraph.Graph, v netgraph.NodeID) string {
 }
 
 func lpOptions() lp.Options {
-	return lp.Options{Pricing: lp.PartialDantzig}
+	return lp.Options{Pricing: lp.PartialDantzig, Tracer: tracer}
+}
+
+// setupLogging installs a text slog handler on stderr at the given level.
+func setupLogging(level string) error {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", level)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
+	return nil
 }
 
 func runMaxThroughput(g *netgraph.Graph, jobs []job.Job, slices int, sliceLen float64, k int, alpha float64, verbose bool) {
@@ -179,16 +241,24 @@ func runMaxThroughput(g *netgraph.Graph, jobs []job.Job, slices int, sliceLen fl
 	if err != nil {
 		fatal("%v", err)
 	}
-	res, err := schedule.MaxThroughput(inst, schedule.Config{Alpha: alpha, AlphaGrowth: 0.1})
+	res, err := schedule.MaxThroughput(inst, schedule.Config{
+		Alpha: alpha, AlphaGrowth: 0.1, Solver: lpOptions(),
+	})
 	if err != nil {
 		fatal("%v", err)
 	}
 	fmt.Printf("Z* = %.4f  (%s)\n", res.ZStar, loadWord(res.ZStar))
 	fmt.Printf("weighted throughput: LP %.4f  LPD %.4f  LPDAR %.4f\n",
 		res.LP.WeightedThroughput(), res.LPD.WeightedThroughput(), res.LPDAR.WeightedThroughput())
-	fmt.Printf("times: stage1 %v (%d iters)  stage2 %v (%d iters)  integerize %v\n\n",
+	fmt.Printf("times: stage1 %v (%d iters)  stage2 %v (%d iters)  integerize %v\n",
 		res.Stage1Time, res.Stage1Iters, res.Stage2Time, res.Stage2Iters,
 		res.TruncateTime+res.AdjustTime)
+	zs := make([]float64, inst.NumJobs())
+	for idx := range zs {
+		zs[idx] = res.LPDAR.Throughput(idx)
+	}
+	fmt.Printf("Z_i distribution (LPDAR): min %.3f  p50 %.3f  p90 %.3f  max %.3f\n\n",
+		metrics.Min(zs), metrics.Percentile(zs, 50), metrics.Percentile(zs, 90), metrics.Max(zs))
 
 	t := metrics.NewTable("per-job throughput Z_i (LPDAR)", "job", "src->dst", "size", "Z_i", "delivered")
 	for idx, j := range inst.Jobs {
@@ -213,7 +283,7 @@ func runRET(g *netgraph.Graph, jobs []job.Job, sliceLen float64, k int, bmax flo
 	if err != nil {
 		fatal("%v", err)
 	}
-	res, err := schedule.SolveRET(inst, schedule.RETConfig{BMax: bmax})
+	res, err := schedule.SolveRET(inst, schedule.RETConfig{BMax: bmax, Solver: lpOptions()})
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -222,7 +292,15 @@ func runRET(g *netgraph.Graph, jobs []job.Job, sliceLen float64, k int, bmax flo
 	darEnd, _ := res.LPDAR.AverageEndTime()
 	fmt.Printf("fraction finished: LP %.2f  LPD %.2f  LPDAR %.2f\n",
 		res.LP.FractionFinished(), res.LPD.FractionFinished(), res.LPDAR.FractionFinished())
-	fmt.Printf("average end time (slices): LP %.2f  LPDAR %.2f\n\n", lpEnd, darEnd)
+	fmt.Printf("average end time (slices): LP %.2f  LPDAR %.2f\n", lpEnd, darEnd)
+	var ends []float64
+	for idx := range inst.Jobs {
+		if fs, ok := res.LPDAR.FinishSlice(idx); ok {
+			ends = append(ends, float64(fs+1))
+		}
+	}
+	fmt.Printf("finish slice (LPDAR): p50 %.1f  p90 %.1f  max %.1f\n\n",
+		metrics.Percentile(ends, 50), metrics.Percentile(ends, 90), metrics.Max(ends))
 
 	t := metrics.NewTable("per-job completion (LPDAR)", "job", "src->dst", "size", "orig end", "new end", "finish slice")
 	for idx, j := range inst.Jobs {

@@ -14,12 +14,34 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"wavesched/internal/job"
 	"wavesched/internal/lp"
 	"wavesched/internal/netgraph"
 	"wavesched/internal/schedule"
+	"wavesched/internal/telemetry"
 	"wavesched/internal/timeslice"
+)
+
+// Package-level instruments on the default telemetry registry.
+var (
+	telEpochSeconds = telemetry.Default().Histogram("controller_epoch_seconds",
+		"Wall time of one controller scheduling epoch in seconds.", nil)
+	telEpochs = telemetry.Default().Counter("controller_epochs_total",
+		"Scheduling epochs executed.")
+	telAdmitted = telemetry.Default().Counter("controller_jobs_admitted_total",
+		"Requests admitted into the active set.")
+	telRejected = telemetry.Default().Counter("controller_jobs_rejected_total",
+		"Requests rejected (admission control or unusable window).")
+	telCompleted = telemetry.Default().Counter("controller_jobs_completed_total",
+		"Jobs whose full demand was delivered.")
+	telExpired = telemetry.Default().Counter("controller_jobs_expired_total",
+		"Admitted jobs retired with unmet demand after their deadline passed.")
+	telActiveJobs = telemetry.Default().Gauge("controller_active_jobs",
+		"Admitted unfinished jobs after the most recent epoch.")
+	telUtilization = telemetry.Default().Gauge("controller_epoch_utilization",
+		"Scheduled/capacity ratio of the most recent committed period.")
 )
 
 // Policy selects the overload behaviour.
@@ -50,6 +72,9 @@ type Config struct {
 	Policy   Policy
 	BMax     float64 // RET search ceiling (PolicyRET); default 10
 	Solver   lp.Options
+	// Tracer, when non-nil, receives a span per epoch and is threaded
+	// down into the scheduling and LP layers via Solver.
+	Tracer *telemetry.Tracer
 }
 
 func (c Config) validate() error {
@@ -133,7 +158,23 @@ func New(g *netgraph.Graph, cfg Config) (*Controller, error) {
 	if cfg.BMax == 0 {
 		cfg.BMax = 10
 	}
+	if cfg.Tracer != nil && cfg.Solver.Tracer == nil {
+		cfg.Solver.Tracer = cfg.Tracer
+	}
 	return &Controller{g: g, cfg: cfg}, nil
+}
+
+// record appends one job record and keeps the outcome counters current.
+func (c *Controller) record(r Record) {
+	switch {
+	case r.Rejected:
+		telRejected.Inc()
+	case r.Completed:
+		telCompleted.Inc()
+	default:
+		telExpired.Inc()
+	}
+	c.records = append(c.records, r)
 }
 
 // Now returns the controller's clock.
@@ -172,8 +213,25 @@ func (c *Controller) Idle() bool { return len(c.pending) == 0 && len(c.active) =
 func (c *Controller) RunEpoch() error {
 	c.Epochs++
 	now := c.now
+	start := time.Now()
+	sp := c.cfg.Tracer.Start("controller.epoch")
 	stat := EpochStat{Time: now}
-	defer func() { c.epochs = append(c.epochs, stat) }()
+	defer func() {
+		c.epochs = append(c.epochs, stat)
+		telEpochs.Inc()
+		telEpochSeconds.ObserveSince(start)
+		telAdmitted.Add(int64(stat.Admitted))
+		telActiveJobs.Set(float64(len(c.active)))
+		telUtilization.Set(stat.Utilization)
+		if c.cfg.Tracer != nil {
+			sp.End(
+				telemetry.KV("t", now),
+				telemetry.KV("active_jobs", stat.ActiveJobs),
+				telemetry.KV("admitted", stat.Admitted),
+				telemetry.KV("rejected", stat.Rejected),
+				telemetry.KV("utilization", stat.Utilization))
+		}
+	}()
 
 	// Under PolicyReject, admission control trims the pending list first:
 	// only the longest arrival-order prefix that keeps Z* ≥ 1 (together
@@ -184,7 +242,7 @@ func (c *Controller) RunEpoch() error {
 			return err
 		}
 		for _, j := range c.pending[admitted:] {
-			c.records = append(c.records, Record{Job: j, Rejected: true, FinishTime: now})
+			c.record(Record{Job: j, Rejected: true, FinishTime: now})
 			stat.Rejected++
 		}
 		c.pending = c.pending[:admitted]
@@ -199,7 +257,7 @@ func (c *Controller) RunEpoch() error {
 			usableEnd = now + (j.End-now)*(1+c.cfg.BMax)
 		}
 		if usableEnd-math.Max(j.Start, now) < c.cfg.SliceLen-1e-9 {
-			c.records = append(c.records, Record{Job: j, Rejected: true, FinishTime: now})
+			c.record(Record{Job: j, Rejected: true, FinishTime: now})
 			stat.Rejected++
 			continue
 		}
@@ -214,9 +272,9 @@ func (c *Controller) RunEpoch() error {
 	// slice: nothing further can be scheduled for them.
 	var usable []*activeJob
 	for _, aj := range c.active {
-		start := math.Max(aj.orig.Start, now)
-		if aj.effectiveEnd-start < c.cfg.SliceLen-1e-9 {
-			c.records = append(c.records, Record{
+		winStart := math.Max(aj.orig.Start, now)
+		if aj.effectiveEnd-winStart < c.cfg.SliceLen-1e-9 {
+			c.record(Record{
 				Job:        aj.orig,
 				Delivered:  aj.delivered,
 				FinishTime: aj.effectiveEnd,
@@ -431,7 +489,7 @@ func (c *Controller) applyPlan(plan *schedule.Assignment, fresh []*activeJob, no
 			if aj.remaining <= 1e-9 {
 				aj.remaining = 0
 				finish := grid.Start(j) + grid.Len(j)
-				c.records = append(c.records, Record{
+				c.record(Record{
 					Job:         aj.orig,
 					Delivered:   aj.delivered,
 					FinishTime:  finish,
@@ -449,7 +507,7 @@ func (c *Controller) applyPlan(plan *schedule.Assignment, fresh []*activeJob, no
 		case aj.remaining == 0:
 			// already recorded
 		case aj.effectiveEnd <= epochEnd+1e-9:
-			c.records = append(c.records, Record{
+			c.record(Record{
 				Job:        aj.orig,
 				Delivered:  aj.delivered,
 				FinishTime: aj.effectiveEnd,

@@ -14,6 +14,9 @@ type presolved struct {
 	varMap   []int     // original var -> reduced var, or -1 when fixed
 	fixedVal []float64 // value of fixed original vars (valid when varMap = -1)
 	rowMap   []int     // original row -> reduced row, or -1 when dropped
+
+	nFixed   int // variables eliminated by bound-fixing
+	nDropped int // rows eliminated (singleton and empty)
 }
 
 const presolveFixTol = 1e-11
@@ -135,8 +138,19 @@ func presolve(m *Model) (*presolved, error) {
 			}
 		}
 	}
+	nFixed, nDropped := 0, 0
+	for j := 0; j < n; j++ {
+		if fixed[j] {
+			nFixed++
+		}
+	}
+	for k := range rows {
+		if rows[k].dead {
+			nDropped++
+		}
+	}
 	if infeasible {
-		return &presolved{status: Infeasible}, nil
+		return &presolved{status: Infeasible, nFixed: nFixed, nDropped: nDropped}, nil
 	}
 
 	// Build the reduced model.
@@ -145,6 +159,8 @@ func presolve(m *Model) (*presolved, error) {
 		varMap:   make([]int, n),
 		fixedVal: make([]float64, n),
 		rowMap:   make([]int, nr),
+		nFixed:   nFixed,
+		nDropped: nDropped,
 	}
 	red := NewModel(m.name+"-presolved", m.sense)
 	for j := 0; j < n; j++ {

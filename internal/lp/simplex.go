@@ -3,6 +3,8 @@ package lp
 import (
 	"fmt"
 	"math"
+
+	"wavesched/internal/telemetry"
 )
 
 // Status reports the outcome of a solve.
@@ -64,6 +66,10 @@ type Options struct {
 	// singleton-row bound tightening, empty-row elimination) before the
 	// simplex. Duals of presolve-eliminated rows are reported as 0.
 	Presolve bool
+	// Tracer, when non-nil, receives a span per solve plus presolve and
+	// infeasibility diagnostic events. Nil disables tracing at the cost
+	// of a nil check.
+	Tracer *telemetry.Tracer
 }
 
 func (o Options) withDefaults(m, n int) Options {

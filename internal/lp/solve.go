@@ -3,6 +3,9 @@ package lp
 import (
 	"fmt"
 	"math"
+	"time"
+
+	"wavesched/internal/telemetry"
 )
 
 // Solution is the result of solving a Model.
@@ -29,17 +32,68 @@ func (m *Model) SolveWith(opt Options) (*Solution, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
+	start := time.Now()
+	sp := opt.Tracer.Start("lp.solve")
+	sol, err := m.solveValidated(opt)
+	telSolveSeconds.ObserveSince(start)
+	if sol != nil {
+		telPivots.Add(int64(sol.Iters))
+		if c, ok := telSolvesByStatus[sol.Status]; ok {
+			c.Inc()
+		}
+		if sol.Status == Infeasible {
+			telInfeasible.Inc()
+		}
+	}
+	if opt.Tracer != nil {
+		attrs := []telemetry.Attr{
+			telemetry.KV("model", m.name),
+			telemetry.KV("vars", len(m.vars)),
+			telemetry.KV("rows", len(m.rows)),
+		}
+		if err != nil {
+			attrs = append(attrs, telemetry.KV("error", err.Error()))
+		}
+		if sol != nil {
+			attrs = append(attrs,
+				telemetry.KV("status", sol.Status.String()),
+				telemetry.KV("iters", sol.Iters))
+			if sol.Status == Optimal {
+				attrs = append(attrs, telemetry.KV("objective", sol.Objective))
+			}
+		}
+		sp.End(attrs...)
+	}
+	return sol, err
+}
+
+// solveValidated runs the presolve-then-simplex pipeline on an
+// already-validated model. It is separate from SolveWith so the presolve
+// recursion does not double-count solve metrics.
+func (m *Model) solveValidated(opt Options) (*Solution, error) {
 	if opt.Presolve {
 		ps, err := presolve(m)
 		if err != nil {
 			return nil, err
+		}
+		telPresolveFixedVars.Add(int64(ps.nFixed))
+		telPresolveDroppedRows.Add(int64(ps.nDropped))
+		if opt.Tracer != nil && (ps.nFixed > 0 || ps.nDropped > 0 || ps.status == Infeasible) {
+			opt.Tracer.Event("lp.presolve",
+				telemetry.KV("model", m.name),
+				telemetry.KV("fixed_vars", ps.nFixed),
+				telemetry.KV("dropped_rows", ps.nDropped),
+				telemetry.KV("infeasible", ps.status == Infeasible))
 		}
 		if ps.status == Infeasible {
 			return &Solution{Status: Infeasible}, nil
 		}
 		inner := opt
 		inner.Presolve = false
-		sol, err := ps.reduced.SolveWith(inner)
+		if err := ps.reduced.Validate(); err != nil {
+			return nil, fmt.Errorf("lp: presolve produced invalid model: %w", err)
+		}
+		sol, err := ps.reduced.solveValidated(inner)
 		if err != nil {
 			return nil, err
 		}
@@ -171,6 +225,8 @@ func (m *Model) solveCore(opt Options) (*simplex, *Solution, error) {
 
 	// Phase 1: minimize the sum of artificial values.
 	st, err := s.runPhase()
+	phase1Iters := s.iters
+	telPhase1Pivots.Add(int64(phase1Iters))
 	if err != nil {
 		return nil, &Solution{Status: Numerical, Iters: s.iters}, err
 	}
@@ -181,6 +237,12 @@ func (m *Model) solveCore(opt Options) (*simplex, *Solution, error) {
 		return nil, &Solution{Status: Numerical, Iters: s.iters}, fmt.Errorf("lp: phase 1 reported unbounded")
 	}
 	if obj := s.objective(); obj > 1e-6 {
+		if opt.Tracer != nil {
+			opt.Tracer.Event("lp.infeasible",
+				telemetry.KV("model", m.name),
+				telemetry.KV("phase1_residual", obj),
+				telemetry.KV("phase1_pivots", phase1Iters))
+		}
 		return nil, &Solution{Status: Infeasible, Iters: s.iters}, nil
 	}
 
@@ -199,6 +261,7 @@ func (m *Model) solveCore(opt Options) (*simplex, *Solution, error) {
 	s.blandMode = false
 	s.degenRun = 0
 	st, err = s.runPhase()
+	telPhase2Pivots.Add(int64(s.iters - phase1Iters))
 	if err != nil {
 		return nil, &Solution{Status: Numerical, Iters: s.iters}, err
 	}

@@ -1,0 +1,33 @@
+package lp
+
+import "wavesched/internal/telemetry"
+
+// Package-level instruments on the default telemetry registry. Counter
+// and histogram updates are a handful of atomic operations per *solve*
+// (never per pivot), so they stay enabled unconditionally; span tracing
+// is gated on Options.Tracer being non-nil.
+var (
+	telSolveSeconds = telemetry.Default().Histogram("lp_solve_seconds",
+		"Wall time of lp.Model.SolveWith in seconds.", nil)
+	telPivots = telemetry.Default().Counter("lp_pivots_total",
+		"Simplex pivots across both phases, summed over all solves.")
+	telPhase1Pivots = telemetry.Default().Counter("lp_phase1_pivots_total",
+		"Simplex pivots spent in phase 1 (finding a feasible basis).")
+	telPhase2Pivots = telemetry.Default().Counter("lp_phase2_pivots_total",
+		"Simplex pivots spent in phase 2 (optimizing the real objective).")
+	telInfeasible = telemetry.Default().Counter("lp_infeasible_total",
+		"Solves that proved the model infeasible.")
+	telPresolveFixedVars = telemetry.Default().Counter("lp_presolve_fixed_vars_total",
+		"Variables eliminated by presolve bound-fixing.")
+	telPresolveDroppedRows = telemetry.Default().Counter("lp_presolve_dropped_rows_total",
+		"Rows eliminated by presolve (singleton and empty rows).")
+
+	telSolvesByStatus = func() map[Status]*telemetry.Counter {
+		m := make(map[Status]*telemetry.Counter)
+		for _, st := range []Status{Optimal, Infeasible, Unbounded, IterLimit, Numerical} {
+			m[st] = telemetry.Default().CounterWith("lp_solves_total",
+				"LP solves by final status.", map[string]string{"status": st.String()})
+		}
+		return m
+	}()
+)

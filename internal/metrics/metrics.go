@@ -4,6 +4,7 @@
 package metrics
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
 	"math"
@@ -38,8 +39,13 @@ func StdDev(xs []float64) float64 {
 	return math.Sqrt(s / float64(len(xs)-1))
 }
 
-// Min returns the smallest sample (+Inf for none).
+// Min returns the smallest sample. For no samples it returns 0, matching
+// Mean and Median (previously it returned +Inf, which leaked into
+// rendered tables).
 func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
 	m := math.Inf(1)
 	for _, x := range xs {
 		if x < m {
@@ -49,8 +55,12 @@ func Min(xs []float64) float64 {
 	return m
 }
 
-// Max returns the largest sample (−Inf for none).
+// Max returns the largest sample. For no samples it returns 0, matching
+// Mean and Median (previously it returned −Inf).
 func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
 	m := math.Inf(-1)
 	for _, x := range xs {
 		if x > m {
@@ -58,6 +68,31 @@ func Max(xs []float64) float64 {
 		}
 	}
 	return m
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) of the samples
+// using linear interpolation between order statistics (the same rule as
+// numpy's default). It returns 0 for no samples; p is clamped to [0, 100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo] + frac*(s[hi]-s[lo])
 }
 
 // Median returns the median (0 for no samples).
@@ -150,16 +185,19 @@ func (t *Table) Render(w io.Writer) error {
 	return err
 }
 
-// RenderCSV writes the table as CSV (no quoting; cells must not contain
-// commas or newlines).
+// RenderCSV writes the table as RFC 4180 CSV. Cells containing commas,
+// quotes, or newlines are quoted, so labels like `Waxman, n=50` survive
+// a round trip.
 func (t *Table) RenderCSV(w io.Writer) error {
-	var b strings.Builder
-	b.WriteString(strings.Join(t.Headers, ","))
-	b.WriteByte('\n')
-	for _, row := range t.Rows {
-		b.WriteString(strings.Join(row, ","))
-		b.WriteByte('\n')
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
 	}
-	_, err := io.WriteString(w, b.String())
-	return err
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }

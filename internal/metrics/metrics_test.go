@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"bytes"
+	"encoding/csv"
 	"math"
 	"strings"
 	"testing"
@@ -40,8 +41,40 @@ func TestMinMaxMedian(t *testing.T) {
 	if Median(nil) != 0 {
 		t.Error("Median(nil)")
 	}
-	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
-		t.Error("empty min/max")
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty Min/Max should return 0 like Mean")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile(nil) should be 0")
+	}
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 15}, {100, 50}, {50, 35},
+		{25, 20}, {75, 40},
+		// rank = 40/100·(5−1) = 1.6 → 20 + 0.6·(35−20) = 29.
+		{40, 29},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	// Clamping.
+	if Percentile(xs, -5) != 15 || Percentile(xs, 250) != 50 {
+		t.Error("out-of-range p not clamped")
+	}
+	// Percentile must not reorder the caller's slice.
+	orig := []float64{3, 1, 2}
+	Percentile(orig, 50)
+	if orig[0] != 3 || orig[1] != 1 || orig[2] != 2 {
+		t.Error("input slice mutated")
+	}
+	// Median agreement.
+	if math.Abs(Percentile(xs, 50)-Median(xs)) > 1e-9 {
+		t.Error("p50 != median")
 	}
 }
 
@@ -101,6 +134,29 @@ func TestTableCSV(t *testing.T) {
 	}
 	if buf.String() != "x,y\n1,2\n" {
 		t.Errorf("csv = %q", buf.String())
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tab := NewTable("t", "label", "value")
+	tab.AddRow(`Waxman, n=50`, "1.5")
+	tab.AddRow("multi\nline", `says "hi"`)
+	var buf bytes.Buffer
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output does not re-parse as CSV: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[1][0] != "Waxman, n=50" || rows[1][1] != "1.5" {
+		t.Errorf("comma cell round trip: %q", rows[1])
+	}
+	if rows[2][0] != "multi\nline" || rows[2][1] != `says "hi"` {
+		t.Errorf("newline/quote cell round trip: %q", rows[2])
 	}
 }
 

@@ -87,6 +87,9 @@ func AdjustRates(a *Assignment, opts AdjustOptions) *Assignment {
 		jobOrder[k] = k
 	}
 
+	// Per-pass grant accounting for the telemetry counters.
+	var grants, granted int64
+
 	for j := 0; j < ns; j++ {
 		if opts.Order == OrderDeficitFirst {
 			sort.SliceStable(jobOrder, func(a, b int) bool {
@@ -128,9 +131,14 @@ func AdjustRates(a *Assignment, opts AdjustOptions) *Assignment {
 					rb[eid][j] -= rbp
 				}
 				deficit[k] -= float64(rbp) * sliceLen
+				grants++
+				granted += int64(rbp)
 			}
 		}
 	}
+	telAdjustPasses.Inc()
+	telAdjustments.Add(grants)
+	telAdjustWavelengths.Add(granted)
 	return out
 }
 

@@ -7,6 +7,7 @@ import (
 	"wavesched/internal/job"
 	"wavesched/internal/lp"
 	"wavesched/internal/netgraph"
+	"wavesched/internal/telemetry"
 	"wavesched/internal/timeslice"
 )
 
@@ -95,18 +96,35 @@ type RETResult struct {
 func SolveRET(inst *Instance, cfg RETConfig) (*RETResult, error) {
 	cfg = cfg.withDefaults()
 	res := &RETResult{}
+	tracer := cfg.Solver.Tracer
+	retSpan := tracer.Start("schedule.ret")
+
+	// probe wraps the feasibility solves of the binary search with the
+	// step counter and the b-trajectory trace.
+	probe := func(b float64, stage string) (bool, int, error) {
+		feasible, _, iters, err := solveSubRET(inst, b, cfg, false)
+		telRETSearchSteps.Inc()
+		if tracer != nil && err == nil {
+			tracer.Event("ret.search_step",
+				telemetry.KV("b", b),
+				telemetry.KV("stage", stage),
+				telemetry.KV("feasible", feasible),
+				telemetry.KV("iters", iters))
+		}
+		return feasible, iters, err
+	}
 
 	searchStart := time.Now()
 	// Feasibility of SUB-RET is monotone in b: larger b only widens
 	// windows. First check b = 0, then b = BMax, then bisect.
-	feas0, _, iters, err := solveSubRET(inst, 0, cfg, false)
+	feas0, iters, err := probe(0, "b0")
 	res.LPIters += iters
 	if err != nil {
 		return nil, err
 	}
 	bhat := 0.0
 	if !feas0 {
-		feasMax, _, iters, err := solveSubRET(inst, cfg.BMax, cfg, false)
+		feasMax, iters, err := probe(cfg.BMax, "bmax")
 		res.LPIters += iters
 		if err != nil {
 			return nil, err
@@ -117,7 +135,7 @@ func SolveRET(inst *Instance, cfg RETConfig) (*RETResult, error) {
 		lo, hi := 0.0, cfg.BMax
 		for hi-lo > cfg.Eps {
 			mid := (lo + hi) / 2
-			feasible, _, iters, err := solveSubRET(inst, mid, cfg, false)
+			feasible, iters, err := probe(mid, "bisect")
 			res.LPIters += iters
 			if err != nil {
 				return nil, err
@@ -159,7 +177,21 @@ func SolveRET(inst *Instance, cfg RETConfig) (*RETResult, error) {
 			res.LPDAR = lpdar
 			res.Rounds = round
 			res.SolveTime = time.Since(solveStart)
+			telRETDeltaRounds.Add(int64(round))
+			telRETFinalB.Set(b)
+			retSpan.End(
+				telemetry.KV("jobs", inst.NumJobs()),
+				telemetry.KV("bhat", res.BHat),
+				telemetry.KV("b", res.B),
+				telemetry.KV("delta_rounds", round),
+				telemetry.KV("lp_iters", res.LPIters))
 			return res, nil
+		}
+		if tracer != nil {
+			tracer.Event("ret.delta_round",
+				telemetry.KV("round", round),
+				telemetry.KV("b", b),
+				telemetry.KV("next_b", b+cfg.Delta))
 		}
 		b += cfg.Delta
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"wavesched/internal/lp"
+	"wavesched/internal/telemetry"
 )
 
 // Stage1Result is the outcome of the maximum-concurrent-throughput LP.
@@ -53,12 +54,23 @@ func SolveStage1(inst *Instance, opts lp.Options) (*Stage1Result, error) {
 		return nil, fmt.Errorf("schedule: stage 1: solver returned %v", sol.Status)
 	}
 	a := extractAssignment(inst, xvars, sol)
-	return &Stage1Result{
+	res := &Stage1Result{
 		ZStar: sol.Value(z),
 		Frac:  a,
 		Iters: sol.Iters,
 		Time:  time.Since(start),
-	}, nil
+	}
+	telStage1Solves.Inc()
+	telStage1Seconds.Observe(res.Time.Seconds())
+	telStage1ZStar.Set(res.ZStar)
+	if opts.Tracer != nil {
+		opts.Tracer.Event("schedule.stage1",
+			telemetry.KV("jobs", inst.NumJobs()),
+			telemetry.KV("zstar", res.ZStar),
+			telemetry.KV("iters", res.Iters),
+			telemetry.KV("overloaded", res.Overloaded()))
+	}
+	return res, nil
 }
 
 // flowVars records the LP variable of each (job, path, slice) triple, or

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"wavesched/internal/lp"
+	"wavesched/internal/telemetry"
 )
 
 // Config tunes the two-stage maximizing-throughput algorithm.
@@ -92,9 +93,23 @@ func MaxThroughputWithZ(inst *Instance, s1 *Stage1Result, cfg Config) (*Result, 
 			res.Alpha = alpha
 			res.Stage1Iters = s1.Iters
 			res.Stage1Time = s1.Time
+			telStage2Seconds.Observe((res.Stage2Time + res.TruncateTime + res.AdjustTime).Seconds())
+			if cfg.Solver.Tracer != nil {
+				cfg.Solver.Tracer.Event("schedule.stage2",
+					telemetry.KV("alpha", alpha),
+					telemetry.KV("iters", res.Stage2Iters),
+					telemetry.KV("lp_throughput", res.LP.WeightedThroughput()),
+					telemetry.KV("lpdar_throughput", res.LPDAR.WeightedThroughput()))
+			}
 			return res, nil
 		}
 		if status == lp.Infeasible && cfg.AlphaGrowth > 0 && alpha+cfg.AlphaGrowth <= cfg.MaxAlpha {
+			telStage2AlphaRetries.Inc()
+			if cfg.Solver.Tracer != nil {
+				cfg.Solver.Tracer.Event("schedule.stage2_alpha_retry",
+					telemetry.KV("alpha", alpha),
+					telemetry.KV("next_alpha", alpha+cfg.AlphaGrowth))
+			}
 			alpha += cfg.AlphaGrowth // Remark 1: increase α and retry
 			continue
 		}

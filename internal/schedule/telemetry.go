@@ -1,0 +1,32 @@
+package schedule
+
+import "wavesched/internal/telemetry"
+
+// Package-level instruments on the default telemetry registry; a few
+// atomic updates per algorithm stage, never per inner-loop element.
+var (
+	telStage1Solves = telemetry.Default().Counter("schedule_stage1_solves_total",
+		"Stage-1 maximum-concurrent-throughput LP solves.")
+	telStage1Seconds = telemetry.Default().Histogram("schedule_stage1_seconds",
+		"Wall time of stage-1 solves in seconds.", nil)
+	telStage1ZStar = telemetry.Default().Gauge("schedule_stage1_zstar",
+		"Z* from the most recent stage-1 solve.")
+	telStage2Seconds = telemetry.Default().Histogram("schedule_stage2_seconds",
+		"Wall time of stage-2 solve + integerization in seconds.", nil)
+	telStage2AlphaRetries = telemetry.Default().Counter("schedule_stage2_alpha_retries_total",
+		"Stage-2 retries forced by an infeasible fairness floor (Remark 1).")
+
+	telAdjustPasses = telemetry.Default().Counter("lpdar_passes_total",
+		"LPDAR greedy bandwidth-adjustment passes (Algorithm 1 runs).")
+	telAdjustments = telemetry.Default().Counter("lpdar_adjustments_total",
+		"Individual LPDAR grant decisions: one per (slice, job, path) that received residual wavelengths.")
+	telAdjustWavelengths = telemetry.Default().Counter("lpdar_wavelength_slices_granted_total",
+		"Wavelength-slices re-granted by LPDAR on top of the truncated LP solution.")
+
+	telRETSearchSteps = telemetry.Default().Counter("ret_search_steps_total",
+		"SUB-RET feasibility probes during the binary search for b-hat.")
+	telRETDeltaRounds = telemetry.Default().Counter("ret_delta_rounds_total",
+		"Delta-extension rounds after b-hat before LPDAR completed every job.")
+	telRETFinalB = telemetry.Default().Gauge("ret_b_final",
+		"Final extension factor b of the most recent RET solve.")
+)

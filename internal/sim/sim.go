@@ -12,6 +12,19 @@ import (
 
 	"wavesched/internal/controller"
 	"wavesched/internal/job"
+	"wavesched/internal/telemetry"
+)
+
+// Package-level instruments on the default telemetry registry.
+var (
+	telQueueDepth = telemetry.Default().Gauge("sim_event_queue_depth",
+		"Events pending in the discrete-event queue.")
+	telVirtualTime = telemetry.Default().Gauge("sim_virtual_time",
+		"Virtual time of the most recently dispatched event.")
+	telArrivals = telemetry.Default().Counter("sim_arrival_events_total",
+		"Job-arrival events dispatched.")
+	telEpochEvents = telemetry.Default().Counter("sim_epoch_events_total",
+		"Epoch events dispatched to the controller.")
 )
 
 // EventKind discriminates event types.
@@ -121,12 +134,16 @@ func Run(ctrl *controller.Controller, jobs []job.Job, maxTime float64) (*RunResu
 		if maxTime > 0 && ev.Time > maxTime {
 			break
 		}
+		telQueueDepth.Set(float64(q.Len()))
+		telVirtualTime.Set(ev.Time)
 		switch ev.Kind {
 		case EventArrival:
+			telArrivals.Inc()
 			if err := ctrl.Submit(ev.Job); err != nil {
 				return nil, fmt.Errorf("sim: submit job %d: %w", ev.Job.ID, err)
 			}
 		case EventEpoch:
+			telEpochEvents.Inc()
 			if err := ctrl.RunEpoch(); err != nil {
 				return nil, err
 			}

@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders every registered instrument in the Prometheus
+// text exposition format (version 0.0.4). Instruments appear in
+// registration order; HELP and TYPE headers are emitted once per metric
+// name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	seen := make(map[string]bool)
+	header := func(name, help, typ string) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		if help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, escapeHelp(help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, typ)
+	}
+	r.each(func(key string, ins any) {
+		switch m := ins.(type) {
+		case *Counter:
+			header(m.name, m.help, "counter")
+			fmt.Fprintf(&b, "%s %d\n", series(m.name, m.labels, nil), m.Value())
+		case *Gauge:
+			header(m.name, m.help, "gauge")
+			fmt.Fprintf(&b, "%s %s\n", series(m.name, m.labels, nil), formatFloat(m.Value()))
+		case *Histogram:
+			header(m.name, m.help, "histogram")
+			cum := uint64(0)
+			for i, bound := range m.bounds {
+				cum += m.counts[i].Load()
+				fmt.Fprintf(&b, "%s %d\n",
+					series(m.name+"_bucket", m.labels, map[string]string{"le": formatFloat(bound)}), cum)
+			}
+			fmt.Fprintf(&b, "%s %d\n",
+				series(m.name+"_bucket", m.labels, map[string]string{"le": "+Inf"}), m.Count())
+			fmt.Fprintf(&b, "%s %s\n", series(m.name+"_sum", m.labels, nil), formatFloat(m.Sum()))
+			fmt.Fprintf(&b, "%s %d\n", series(m.name+"_count", m.labels, nil), m.Count())
+		}
+	})
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// series renders a sample name with the union of constant and extra
+// labels, sorted by key.
+func series(name string, labels, extra map[string]string) string {
+	if len(labels) == 0 && len(extra) == 0 {
+		return name
+	}
+	merged := make(map[string]string, len(labels)+len(extra))
+	for k, v := range labels {
+		merged[k] = v
+	}
+	for k, v := range extra {
+		merged[k] = v
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, merged[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// round-trip representation, with +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strings.TrimSuffix(fmt.Sprintf("%g", v), ".0")
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,57 @@
+// Package telhttp exposes a telemetry registry over HTTP: Prometheus
+// text-format metrics on /metrics and the net/http/pprof profiling
+// endpoints under /debug/pprof/. It lives apart from the core telemetry
+// package so instrumented libraries do not pull net/http into every
+// binary.
+package telhttp
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"wavesched/internal/telemetry"
+)
+
+// MetricsHandler serves reg in Prometheus text format.
+func MetricsHandler(reg *telemetry.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			// Headers are already out; nothing useful to do but drop.
+			return
+		}
+	})
+}
+
+// Handler returns the full operational mux: /metrics plus /debug/pprof/.
+func Handler(reg *telemetry.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(reg))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ListenAndServe starts serving Handler(reg) on addr in a background
+// goroutine and returns the server (for Shutdown) and the bound address
+// (useful with ":0"). The error covers listen failures only; serve
+// errors after startup are dropped, as the endpoint is best-effort
+// observability.
+func ListenAndServe(addr string, reg *telemetry.Registry) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("telhttp: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           Handler(reg),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr(), nil
+}

@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value attribute attached to a span or event.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// KV builds an attribute.
+func KV(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// Tracer writes structured spans and point events as JSON Lines, one
+// object per line. All methods are safe for concurrent use, and every
+// method on a nil *Tracer is a no-op, so call sites thread a possibly-nil
+// tracer and pay only a nil check when tracing is disabled.
+//
+// Record schema (one JSON object per line):
+//
+//	{"ts":"<RFC3339Nano>","kind":"span","id":7,"name":"lp.solve",
+//	 "dur_us":1234.5,"attrs":{"status":"optimal","iters":42}}
+//	{"ts":"<RFC3339Nano>","kind":"event","id":8,"name":"ret.search_step",
+//	 "attrs":{"b":1.25,"feasible":true}}
+//
+// Span records are emitted once, when the span ends; dur_us is the span's
+// wall-clock duration in microseconds.
+type Tracer struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	closer io.Closer
+	seq    atomic.Int64
+	err    error // first write error, reported by Close
+}
+
+// NewTracer returns a tracer writing JSONL records to w.
+func NewTracer(w io.Writer) *Tracer {
+	t := &Tracer{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		t.closer = c
+	}
+	return t
+}
+
+// OpenTraceFile creates (or truncates) path and returns a tracer writing
+// to it. Close flushes and closes the file.
+func OpenTraceFile(path string) (*Tracer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: open trace file: %w", err)
+	}
+	return NewTracer(f), nil
+}
+
+// record is the JSONL wire form.
+type record struct {
+	TS    string         `json:"ts"`
+	Kind  string         `json:"kind"`
+	ID    int64          `json:"id"`
+	Name  string         `json:"name"`
+	DurUS *float64       `json:"dur_us,omitempty"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+func (t *Tracer) write(rec record) {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return // unmarshalable attr; drop the record rather than fail the run
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if _, err := t.w.Write(line); err != nil {
+		t.err = err
+		return
+	}
+	if err := t.w.WriteByte('\n'); err != nil {
+		t.err = err
+	}
+}
+
+// Span is an in-progress timed operation. The zero Span (from a nil
+// tracer) is valid and End on it is a no-op.
+type Span struct {
+	t     *Tracer
+	name  string
+	id    int64
+	start time.Time
+}
+
+// Start begins a span. End emits the record.
+func (t *Tracer) Start(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, id: t.seq.Add(1), start: time.Now()}
+}
+
+// End finishes the span, attaching the given attributes.
+func (s Span) End(attrs ...Attr) {
+	if s.t == nil {
+		return
+	}
+	now := time.Now()
+	dur := float64(now.Sub(s.start)) / float64(time.Microsecond)
+	s.t.write(record{
+		TS:    now.UTC().Format(time.RFC3339Nano),
+		Kind:  "span",
+		ID:    s.id,
+		Name:  s.name,
+		DurUS: &dur,
+		Attrs: attrMap(attrs),
+	})
+}
+
+// Event emits a point-in-time record.
+func (t *Tracer) Event(name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.write(record{
+		TS:    time.Now().UTC().Format(time.RFC3339Nano),
+		Kind:  "event",
+		ID:    t.seq.Add(1),
+		Name:  name,
+		Attrs: attrMap(attrs),
+	})
+}
+
+// Flush forces buffered records out.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Close flushes and closes the underlying writer, returning the first
+// error seen on any write.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ferr := t.w.Flush()
+	if t.closer != nil {
+		if cerr := t.closer.Close(); ferr == nil {
+			ferr = cerr
+		}
+	}
+	if t.err != nil {
+		return t.err
+	}
+	return ferr
+}

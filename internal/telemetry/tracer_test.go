@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("anything")
+	sp.End(KV("k", 1))
+	tr.Event("ev")
+	if err := tr.Flush(); err != nil {
+		t.Error(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTracerEmitsParseableJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	sp := tr.Start("lp.solve")
+	sp.End(KV("status", "optimal"), KV("iters", 42))
+	tr.Event("ret.search_step", KV("b", 1.5), KV("feasible", true))
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	var span struct {
+		TS    string         `json:"ts"`
+		Kind  string         `json:"kind"`
+		Name  string         `json:"name"`
+		DurUS float64        `json:"dur_us"`
+		Attrs map[string]any `json:"attrs"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &span); err != nil {
+		t.Fatalf("span line not JSON: %v", err)
+	}
+	if span.Kind != "span" || span.Name != "lp.solve" || span.DurUS < 0 {
+		t.Errorf("span = %+v", span)
+	}
+	if span.Attrs["status"] != "optimal" || span.Attrs["iters"] != float64(42) {
+		t.Errorf("span attrs = %v", span.Attrs)
+	}
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatalf("event line not JSON: %v", err)
+	}
+	if ev["kind"] != "event" || ev["name"] != "ret.search_step" {
+		t.Errorf("event = %v", ev)
+	}
+}
+
+// TestTracerConcurrent checks that concurrent spans and events produce
+// whole lines (no interleaving); run with -race.
+func TestTracerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	var wg sync.WaitGroup
+	const workers = 8
+	const perWorker = 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sp := tr.Start("op")
+				sp.End(KV("i", i))
+				tr.Event("tick", KV("i", i))
+			}
+		}()
+	}
+	wg.Wait()
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != workers*perWorker*2 {
+		t.Fatalf("lines = %d, want %d", len(lines), workers*perWorker*2)
+	}
+	for i, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("line %d is not valid JSON: %q", i, line)
+		}
+	}
+}
