@@ -6,10 +6,17 @@
 //	wavesched -net net.json -jobs jobs.json -algo maxthroughput -slices 10
 //	wavesched -net net.json -jobs jobs.json -algo ret -bmax 5
 //	wavesched -net net.json -gen 20 -gen-seed 7 -algo maxthroughput
+//	wavesched -net net.json -gen 20 -algo sim -tau 2 -mtbf 50 -mttr 4 -max-time 100
 //
 // With -gen N a random workload of N jobs is generated instead of -jobs.
 // The tool prints Z*, per-job throughputs, and the integer LPDAR schedule
 // summary; -verbose dumps the per-slice wavelength assignments.
+//
+// -algo sim drives the periodic controller (period -tau, policy -policy)
+// over the workload. Link failures can be injected from a JSON trace
+// (-fail-trace) or drawn from a seeded per-link exponential MTBF/MTTR
+// process (-mtbf/-mttr/-fail-seed, bounded by -max-time); the run ends
+// with a per-job disruption report.
 //
 // Observability flags:
 //
@@ -54,6 +61,14 @@ func main() {
 		alpha    = flag.Float64("alpha", 0.1, "stage-2 fairness slack")
 		bmax     = flag.Float64("bmax", 5, "RET extension ceiling")
 		verbose  = flag.Bool("verbose", false, "dump per-slice assignments")
+
+		tau       = flag.Float64("tau", 2, "scheduling period for -algo sim (multiple of -slice-len)")
+		policy    = flag.String("policy", "maxthroughput", "controller policy for -algo sim: maxthroughput, ret, or reject")
+		maxTime   = flag.Float64("max-time", 0, "stop the simulation at this virtual time (0 = run until drained)")
+		failTrace = flag.String("fail-trace", "", "JSON link failure/repair trace to inject (-algo sim)")
+		mtbf      = flag.Float64("mtbf", 0, "generate link failures with this mean time between failures (0 = off; -algo sim)")
+		mttr      = flag.Float64("mttr", 1, "mean time to repair for generated failures (-algo sim)")
+		failSeed  = flag.Int64("fail-seed", 1, "seed for the generated failure process (-algo sim)")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/pprof on this address, e.g. :9090")
 		tracePath   = flag.String("trace", "", "write solver/scheduler trace events (JSONL) to this file")
@@ -143,8 +158,17 @@ func main() {
 		runAdmit(g, jobs, *slices, *sliceLen, *k)
 	case "bottleneck":
 		runBottleneck(g, jobs, *slices, *sliceLen, *k)
+	case "sim":
+		err := runSim(os.Stdout, g, jobs, simOptions{
+			Tau: *tau, SliceLen: *sliceLen, K: *k, Alpha: *alpha, BMax: *bmax,
+			Policy: *policy, MaxTime: *maxTime,
+			FailTrace: *failTrace, MTBF: *mtbf, MTTR: *mttr, FailSeed: *failSeed,
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
 	default:
-		fatal("unknown -algo %q (want maxthroughput, ret, admit, or bottleneck)", *algo)
+		fatal("unknown -algo %q (want maxthroughput, ret, admit, bottleneck, or sim)", *algo)
 	}
 }
 

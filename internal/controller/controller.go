@@ -8,10 +8,19 @@
 // PolicyMaxThroughput guarantees end times and reduces effective job sizes
 // (action ii), and PolicyRET extends end times so every job completes in
 // full (action iii).
+//
+// The controller also models link failures: LinkDown/LinkUp events credit
+// the bytes already delivered under the committed schedule, reroute or
+// drop the transfers the failure disrupts, and replan the rest of the
+// period over the residual topology. When the regular policy pipeline
+// cannot produce a plan (solver failure, timeout, or a panic in a plugged
+// component), the epoch degrades through a fixed chain — LPDAR → LPD →
+// carry forward the previous schedule — instead of halting the network.
 package controller
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 	"time"
@@ -19,6 +28,7 @@ import (
 	"wavesched/internal/job"
 	"wavesched/internal/lp"
 	"wavesched/internal/netgraph"
+	"wavesched/internal/paths"
 	"wavesched/internal/schedule"
 	"wavesched/internal/telemetry"
 	"wavesched/internal/timeslice"
@@ -42,6 +52,21 @@ var (
 		"Admitted unfinished jobs after the most recent epoch.")
 	telUtilization = telemetry.Default().Gauge("controller_epoch_utilization",
 		"Scheduled/capacity ratio of the most recent committed period.")
+
+	telLinkDown = telemetry.Default().Counter("controller_link_down_events_total",
+		"Link-failure events applied to the topology.")
+	telLinkUp = telemetry.Default().Counter("controller_link_up_events_total",
+		"Link-repair events applied to the topology.")
+	telReschedOnTime = telemetry.Default().Counter("controller_jobs_rescheduled_ontime_total",
+		"Disrupted jobs rescheduled with their original deadline still met.")
+	telReschedLate = telemetry.Default().Counter("controller_jobs_rescheduled_late_total",
+		"Disrupted jobs rescheduled past their original deadline.")
+	telDroppedJobs = telemetry.Default().Counter("controller_jobs_disrupted_dropped_total",
+		"Disrupted jobs dropped because no residual route or window remained.")
+	telDegraded = telemetry.Default().Counter("controller_epochs_degraded_total",
+		"Epochs that fell back below the full policy pipeline.")
+	telEpochPanics = telemetry.Default().Counter("controller_epoch_panics_total",
+		"Panics recovered inside epoch planning.")
 )
 
 // Policy selects the overload behaviour.
@@ -63,6 +88,19 @@ const (
 	PolicyReject
 )
 
+// Degradation tiers recorded per epoch (EpochStat.Tier).
+const (
+	// TierFull: the configured policy pipeline produced the plan.
+	TierFull = "full"
+	// TierLPD: the policy failed; the plan is the truncated stage-1 LP.
+	TierLPD = "lpd"
+	// TierCarry: all solves failed; the previous period's schedule was
+	// carried forward, restricted at settlement to links still alive.
+	TierCarry = "carry"
+	// TierIdle: no plan and nothing to carry; the period transfers nothing.
+	TierIdle = "idle"
+)
+
 // Config tunes the controller.
 type Config struct {
 	Tau      float64 // scheduling period; must be a multiple of SliceLen
@@ -72,9 +110,15 @@ type Config struct {
 	Policy   Policy
 	BMax     float64 // RET search ceiling (PolicyRET); default 10
 	Solver   lp.Options
+	// Weight overrides the stage-2 objective weight function
+	// (PolicyMaxThroughput/PolicyReject); nil keeps the paper's D_i.
+	Weight schedule.WeightFunc
 	// Tracer, when non-nil, receives a span per epoch and is threaded
 	// down into the scheduling and LP layers via Solver.
 	Tracer *telemetry.Tracer
+	// Logger receives degraded-epoch and recovery diagnostics; nil
+	// selects slog.Default().
+	Logger *slog.Logger
 }
 
 func (c Config) validate() error {
@@ -88,6 +132,9 @@ func (c Config) validate() error {
 	if math.Abs(ratio-math.Round(ratio)) > 1e-9 || ratio < 1 {
 		return fmt.Errorf("controller: Tau (%g) must be a positive multiple of SliceLen (%g)", c.Tau, c.SliceLen)
 	}
+	if c.Policy < PolicyMaxThroughput || c.Policy > PolicyReject {
+		return fmt.Errorf("controller: unknown policy %d", c.Policy)
+	}
 	return nil
 }
 
@@ -99,6 +146,45 @@ type Record struct {
 	MetDeadline bool    // finished by the *requested* end time
 	Completed   bool    // demand fully delivered (possibly late under RET)
 	Rejected    bool    // never admitted (window already unusable)
+	Disrupted   bool    // dropped mid-transfer by a link failure
+}
+
+// DisruptionOutcome classifies what happened to a job whose committed
+// schedule a link failure invalidated.
+type DisruptionOutcome int
+
+// Disruption outcomes.
+const (
+	// RescheduledOnTime: the job was replanned over the residual topology
+	// and still projects to finish by its original end time.
+	RescheduledOnTime DisruptionOutcome = iota
+	// RescheduledLate: the job was replanned but projects to finish after
+	// its original end time (or not within the current plan at all).
+	RescheduledLate
+	// DisruptedDropped: no residual route or usable window remained; the
+	// job was retired with unmet demand.
+	DisruptedDropped
+)
+
+// String names the outcome.
+func (o DisruptionOutcome) String() string {
+	switch o {
+	case RescheduledOnTime:
+		return "rescheduled-on-time"
+	case RescheduledLate:
+		return "rescheduled-late"
+	case DisruptedDropped:
+		return "dropped"
+	}
+	return fmt.Sprintf("DisruptionOutcome(%d)", int(o))
+}
+
+// Disruption records one job disturbed by one link failure.
+type Disruption struct {
+	JobID   job.ID
+	Time    float64
+	Edge    netgraph.EdgeID
+	Outcome DisruptionOutcome
 }
 
 // activeJob is an admitted transfer in progress.
@@ -108,19 +194,49 @@ type activeJob struct {
 	delivered float64
 	// effectiveEnd is the deadline currently in force (extended under RET).
 	effectiveEnd float64
+	// retired marks a job that already has a final record (completed,
+	// expired, or dropped); retired jobs take no further part in
+	// settlement or planning.
+	retired bool
+}
+
+// commitment is the schedule in force for the current period. Transfers
+// are settled lazily — at the next epoch, at link events, or when records
+// are read — so a failure mid-period can credit exactly the bytes
+// delivered before it and replan the remainder.
+type commitment struct {
+	plan    *schedule.Assignment
+	fresh   []*activeJob // aligned with plan's job indices
+	start   float64      // period start (kτ, or the replan instant)
+	end     float64      // period end ((k+1)τ)
+	settled float64      // transfers credited up to this instant
 }
 
 // Controller is the periodic network controller. It is not safe for
 // concurrent use.
 type Controller struct {
-	g   *netgraph.Graph
-	cfg Config
+	g      *netgraph.Graph
+	cfg    Config
+	logger *slog.Logger
 
 	now     float64
 	pending []job.Job
 	active  []*activeJob
 	records []Record
 	epochs  []EpochStat
+
+	commit    *commitment
+	prevPlan  *schedule.Assignment
+	prevFresh []*activeJob
+
+	// down is the set of currently-failed links; resid caches the residual
+	// topology derived from it (invalidated on every link event).
+	down  map[netgraph.EdgeID]bool
+	resid *netgraph.Graph
+	// zeroWave lists edges that carry no wavelengths even when healthy.
+	zeroWave map[netgraph.EdgeID]bool
+
+	disruptions []Disruption
 
 	// Epochs counts RunEpoch calls.
 	Epochs int
@@ -135,6 +251,8 @@ type EpochStat struct {
 	Scheduled   float64 // wavelength·time units committed in [kτ, (k+1)τ)
 	Capacity    float64 // total wavelength·time units available in the period
 	Utilization float64 // Scheduled / Capacity (0 when idle)
+	Degraded    bool    // the full policy pipeline did not produce the plan
+	Tier        string  // TierFull, TierLPD, TierCarry, or TierIdle
 }
 
 // EpochStats returns the per-epoch utilization history.
@@ -161,7 +279,20 @@ func New(g *netgraph.Graph, cfg Config) (*Controller, error) {
 	if cfg.Tracer != nil && cfg.Solver.Tracer == nil {
 		cfg.Solver.Tracer = cfg.Tracer
 	}
-	return &Controller{g: g, cfg: cfg}, nil
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	ctrl := &Controller{g: g, cfg: cfg, logger: logger}
+	for _, e := range g.Edges() {
+		if e.Wavelengths == 0 {
+			if ctrl.zeroWave == nil {
+				ctrl.zeroWave = make(map[netgraph.EdgeID]bool)
+			}
+			ctrl.zeroWave[e.ID] = true
+		}
+	}
+	return ctrl, nil
 }
 
 // record appends one job record and keeps the outcome counters current.
@@ -171,10 +302,24 @@ func (c *Controller) record(r Record) {
 		telRejected.Inc()
 	case r.Completed:
 		telCompleted.Inc()
+	case r.Disrupted:
+		// counted per disruption outcome, not here
 	default:
 		telExpired.Inc()
 	}
 	c.records = append(c.records, r)
+}
+
+func (c *Controller) addDisruption(id job.ID, t float64, e netgraph.EdgeID, o DisruptionOutcome) {
+	switch o {
+	case RescheduledOnTime:
+		telReschedOnTime.Inc()
+	case RescheduledLate:
+		telReschedLate.Inc()
+	case DisruptedDropped:
+		telDroppedJobs.Inc()
+	}
+	c.disruptions = append(c.disruptions, Disruption{JobID: id, Time: t, Edge: e, Outcome: o})
 }
 
 // Now returns the controller's clock.
@@ -190,27 +335,269 @@ func (c *Controller) Submit(j job.Job) error {
 	return nil
 }
 
-// Records returns the accounting for all finished (or rejected) jobs.
+// Records returns the accounting for all finished (or rejected) jobs. Any
+// outstanding commitment is settled first, so the accounting reflects
+// everything the committed schedule will deliver.
 func (c *Controller) Records() []Record {
+	c.settleAll()
 	out := make([]Record, len(c.records))
 	copy(out, c.records)
 	return out
 }
 
-// ActiveCount returns the number of admitted unfinished jobs.
-func (c *Controller) ActiveCount() int { return len(c.active) }
+// Disruptions returns every (job, link-failure) disturbance so far, in
+// event order.
+func (c *Controller) Disruptions() []Disruption {
+	out := make([]Disruption, len(c.disruptions))
+	copy(out, c.disruptions)
+	return out
+}
+
+// DownLinks returns the currently-failed edges in ascending ID order.
+func (c *Controller) DownLinks() []netgraph.EdgeID {
+	out := make([]netgraph.EdgeID, 0, len(c.down))
+	for e := range c.down {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// ActiveCount returns the number of admitted jobs that will still be
+// unfinished once the committed period completes.
+func (c *Controller) ActiveCount() int { return c.projectedActiveCount() }
 
 // PendingCount returns the number of buffered, not-yet-scheduled requests.
 func (c *Controller) PendingCount() int { return len(c.pending) }
 
 // Idle reports whether no work remains.
-func (c *Controller) Idle() bool { return len(c.pending) == 0 && len(c.active) == 0 }
+func (c *Controller) Idle() bool {
+	return len(c.pending) == 0 && c.projectedActiveCount() == 0
+}
 
-// RunEpoch performs one scheduling instant at the current time: admit the
-// pending requests, re-optimize all unfinished jobs, commit the integer
-// schedule for [now, now+τ), apply the resulting transfers, and advance
-// the clock by τ.
+// graph returns the topology planning should use: the full graph, or the
+// residual topology with every failed link at zero wavelengths.
+func (c *Controller) graph() *netgraph.Graph {
+	if len(c.down) == 0 {
+		return c.g
+	}
+	if c.resid == nil {
+		r, err := c.g.WithLinksDown(c.DownLinks()...)
+		if err != nil { // unreachable: LinkDown validates IDs
+			return c.g
+		}
+		c.resid = r
+	}
+	return c.resid
+}
+
+// hasRoute reports whether src→dst is connected over healthy links.
+func (c *Controller) hasRoute(j job.Job) bool {
+	var banned map[netgraph.EdgeID]bool
+	if len(c.zeroWave) > 0 || len(c.down) > 0 {
+		banned = make(map[netgraph.EdgeID]bool, len(c.zeroWave)+len(c.down))
+		for e := range c.zeroWave {
+			banned[e] = true
+		}
+		for e := range c.down {
+			banned[e] = true
+		}
+	}
+	_, ok := paths.Shortest(c.g, j.Src, j.Dst, paths.UnitCost, banned, nil)
+	return ok
+}
+
+// blockedEdges returns the settlement filter: the current down set plus
+// extra (either may be empty), or nil when no link is blocked.
+func (c *Controller) blockedEdges(extra map[netgraph.EdgeID]bool) map[netgraph.EdgeID]bool {
+	if len(c.down) == 0 && len(extra) == 0 {
+		return nil
+	}
+	blocked := make(map[netgraph.EdgeID]bool, len(c.down)+len(extra))
+	for e := range c.down {
+		blocked[e] = true
+	}
+	for e := range extra {
+		blocked[e] = true
+	}
+	return blocked
+}
+
+func pathBlocked(p paths.Path, blocked map[netgraph.EdgeID]bool) bool {
+	for _, e := range p.Edges {
+		if blocked[e] {
+			return true
+		}
+	}
+	return false
+}
+
+// settle credits transfers under the committed plan for every slice ending
+// in (settled, until], excluding flow on paths crossing a blocked link
+// (the down set plus extra), and finalizes the period when it is fully
+// settled.
+func (c *Controller) settle(until float64, extra map[netgraph.EdgeID]bool) {
+	cm := c.commit
+	if cm == nil {
+		return
+	}
+	if until > cm.end {
+		until = cm.end
+	}
+	if until > cm.settled+1e-9 {
+		grid := cm.plan.Inst.Grid
+		blocked := c.blockedEdges(extra)
+		for k, aj := range cm.fresh {
+			if aj.retired {
+				continue
+			}
+			for j := 0; j < grid.Num(); j++ {
+				end := grid.Start(j) + grid.Len(j)
+				if end <= cm.settled+1e-9 {
+					continue
+				}
+				if end > until+1e-9 {
+					break
+				}
+				got := 0.0
+				for p := range cm.plan.X[k] {
+					if blocked != nil && pathBlocked(cm.plan.Inst.JobPaths[k][p], blocked) {
+						continue
+					}
+					got += cm.plan.X[k][p][j] * grid.Len(j)
+				}
+				if got <= 0 {
+					continue
+				}
+				if got > aj.remaining {
+					got = aj.remaining
+				}
+				aj.remaining -= got
+				aj.delivered += got
+				if aj.remaining <= 1e-9 {
+					aj.remaining = 0
+					aj.retired = true
+					c.record(Record{
+						Job:         aj.orig,
+						Delivered:   aj.delivered,
+						FinishTime:  end,
+						MetDeadline: end <= aj.orig.End+1e-9,
+						Completed:   true,
+					})
+					break
+				}
+			}
+		}
+		cm.settled = until
+	} else if until > cm.settled {
+		cm.settled = until
+	}
+	if cm.settled >= cm.end-1e-9 {
+		c.finalize()
+	}
+}
+
+// settleAll settles the outstanding commitment through the end of its
+// period.
+func (c *Controller) settleAll() {
+	if c.commit != nil {
+		c.settle(c.commit.end, nil)
+	}
+}
+
+// finalize closes the fully-settled period: jobs whose effective deadline
+// falls inside it are retired as expired, the schedule is kept as the
+// carry-forward fallback, and the commitment is cleared.
+func (c *Controller) finalize() {
+	cm := c.commit
+	var still []*activeJob
+	for _, aj := range c.active {
+		switch {
+		case aj.retired:
+			// already recorded
+		case aj.effectiveEnd <= cm.end+1e-9:
+			aj.retired = true
+			c.record(Record{
+				Job:        aj.orig,
+				Delivered:  aj.delivered,
+				FinishTime: aj.effectiveEnd,
+				Completed:  false,
+			})
+		default:
+			still = append(still, aj)
+		}
+	}
+	c.active = still
+	c.prevPlan, c.prevFresh = cm.plan, cm.fresh
+	c.commit = nil
+}
+
+// projectedActiveCount returns how many admitted jobs will remain
+// unfinished after the outstanding commitment settles, without mutating
+// any state.
+func (c *Controller) projectedActiveCount() int {
+	cm := c.commit
+	if cm == nil {
+		n := 0
+		for _, aj := range c.active {
+			if !aj.retired {
+				n++
+			}
+		}
+		return n
+	}
+	idx := make(map[*activeJob]int, len(cm.fresh))
+	for k, aj := range cm.fresh {
+		idx[aj] = k
+	}
+	grid := cm.plan.Inst.Grid
+	blocked := c.blockedEdges(nil)
+	n := 0
+	for _, aj := range c.active {
+		if aj.retired {
+			continue
+		}
+		rem := aj.remaining
+		if k, ok := idx[aj]; ok && rem > 1e-9 {
+			for j := 0; j < grid.Num(); j++ {
+				end := grid.Start(j) + grid.Len(j)
+				if end <= cm.settled+1e-9 {
+					continue
+				}
+				if end > cm.end+1e-9 {
+					break
+				}
+				got := 0.0
+				for p := range cm.plan.X[k] {
+					if blocked != nil && pathBlocked(cm.plan.Inst.JobPaths[k][p], blocked) {
+						continue
+					}
+					got += cm.plan.X[k][p][j] * grid.Len(j)
+				}
+				if got > rem {
+					got = rem
+				}
+				rem -= got
+				if rem <= 1e-9 {
+					rem = 0
+					break
+				}
+			}
+		}
+		if rem > 1e-9 && aj.effectiveEnd > cm.end+1e-9 {
+			n++
+		}
+	}
+	return n
+}
+
+// RunEpoch performs one scheduling instant at the current time: settle the
+// previous period, admit the pending requests, re-optimize all unfinished
+// jobs, commit the integer schedule for [now, now+τ), and advance the
+// clock by τ. Transfers under the new schedule are credited lazily — at
+// the next epoch, at link events, or when Records is read.
 func (c *Controller) RunEpoch() error {
+	c.settleAll()
 	c.Epochs++
 	now := c.now
 	start := time.Now()
@@ -221,15 +608,23 @@ func (c *Controller) RunEpoch() error {
 		telEpochs.Inc()
 		telEpochSeconds.ObserveSince(start)
 		telAdmitted.Add(int64(stat.Admitted))
-		telActiveJobs.Set(float64(len(c.active)))
+		telActiveJobs.Set(float64(c.projectedActiveCount()))
 		telUtilization.Set(stat.Utilization)
+		if stat.Degraded {
+			telDegraded.Inc()
+		}
 		if c.cfg.Tracer != nil {
-			sp.End(
+			attrs := []telemetry.Attr{
 				telemetry.KV("t", now),
 				telemetry.KV("active_jobs", stat.ActiveJobs),
 				telemetry.KV("admitted", stat.Admitted),
 				telemetry.KV("rejected", stat.Rejected),
-				telemetry.KV("utilization", stat.Utilization))
+				telemetry.KV("utilization", stat.Utilization),
+			}
+			if stat.Degraded {
+				attrs = append(attrs, telemetry.KV("tier", stat.Tier))
+			}
+			sp.End(attrs...)
 		}
 	}()
 
@@ -250,13 +645,14 @@ func (c *Controller) RunEpoch() error {
 
 	// Move pending requests into the active set, rejecting those whose
 	// deadline cannot accommodate even one slice from now on (under
-	// PolicyMaxThroughput; RET can extend them).
+	// PolicyMaxThroughput; RET can extend them) and those with no route
+	// over the surviving topology.
 	for _, j := range c.pending {
 		usableEnd := j.End
 		if c.cfg.Policy == PolicyRET {
 			usableEnd = now + (j.End-now)*(1+c.cfg.BMax)
 		}
-		if usableEnd-math.Max(j.Start, now) < c.cfg.SliceLen-1e-9 {
+		if usableEnd-math.Max(j.Start, now) < c.cfg.SliceLen-1e-9 || !c.hasRoute(j) {
 			c.record(Record{Job: j, Rejected: true, FinishTime: now})
 			stat.Rejected++
 			continue
@@ -272,8 +668,12 @@ func (c *Controller) RunEpoch() error {
 	// slice: nothing further can be scheduled for them.
 	var usable []*activeJob
 	for _, aj := range c.active {
+		if aj.retired {
+			continue
+		}
 		winStart := math.Max(aj.orig.Start, now)
 		if aj.effectiveEnd-winStart < c.cfg.SliceLen-1e-9 {
+			aj.retired = true
 			c.record(Record{
 				Job:        aj.orig,
 				Delivered:  aj.delivered,
@@ -291,7 +691,47 @@ func (c *Controller) RunEpoch() error {
 		return nil
 	}
 
-	// Build the scheduling instance over a grid starting at now.
+	// Build the scheduling instance and solve, degrading instead of
+	// failing: full policy → LPD → carry-forward → idle.
+	inst, fresh, err := c.buildInstance(now)
+	var plan *schedule.Assignment
+	tier := ""
+	if err != nil {
+		c.logDegrade(now, "instance build failed", err)
+	} else {
+		plan, tier = c.solveChain(inst, fresh, now)
+	}
+	cmFresh := fresh
+	if plan == nil {
+		if c.prevPlan != nil {
+			plan, cmFresh, tier = c.prevPlan, c.prevFresh, TierCarry
+		} else {
+			tier = TierIdle
+		}
+		c.logger.Warn("controller: degraded epoch", "t", now, "tier", tier)
+	}
+	stat.Tier = tier
+	stat.Degraded = tier != TierFull
+
+	stat.ActiveJobs = len(fresh)
+	stat.Scheduled, stat.Capacity = c.periodUsage(plan, now)
+	if stat.Capacity > 0 {
+		stat.Utilization = stat.Scheduled / stat.Capacity
+	}
+	if plan != nil {
+		c.commit = &commitment{
+			plan: plan, fresh: cmFresh,
+			start: now, end: now + c.cfg.Tau, settled: now,
+		}
+	}
+	c.now += c.cfg.Tau
+	return nil
+}
+
+// buildInstance snapshots the live jobs and builds the scheduling instance
+// over a grid starting at now, on the residual topology. The snapshot is
+// returned even when instance construction fails.
+func (c *Controller) buildInstance(now float64) (*schedule.Instance, []*activeJob, error) {
 	jobs, fresh := c.snapshotJobs(now)
 	horizon := job.MaxEnd(jobs)
 	if c.cfg.Policy == PolicyRET {
@@ -303,31 +743,82 @@ func (c *Controller) RunEpoch() error {
 	}
 	grid, err := timeslice.Uniform(now, c.cfg.SliceLen, n)
 	if err != nil {
-		return err
+		return nil, fresh, err
 	}
-	inst, err := schedule.NewInstance(c.g, grid, jobs, c.cfg.K)
+	inst, err := schedule.NewInstance(c.graph(), grid, jobs, c.cfg.K)
 	if err != nil {
-		return fmt.Errorf("controller: epoch at t=%g: %w", now, err)
+		return nil, fresh, fmt.Errorf("controller: epoch at t=%g: %w", now, err)
 	}
+	return inst, fresh, nil
+}
 
+// solveChain runs the degradation chain over one instance: the configured
+// policy pipeline first, then plain LPD (truncated stage-1). Both solves
+// are panic-guarded. Returns (nil, "") when every tier fails.
+func (c *Controller) solveChain(inst *schedule.Instance, fresh []*activeJob, now float64) (*schedule.Assignment, string) {
 	var plan *schedule.Assignment
+	err := c.guard(func() error {
+		var e error
+		plan, e = c.solvePolicy(inst, fresh, now)
+		return e
+	})
+	if err == nil && plan != nil {
+		return plan, TierFull
+	}
+	c.logDegrade(now, "policy solve failed", err)
+
+	plan = nil
+	err = c.guard(func() error {
+		s1, e := schedule.SolveStage1(inst, c.cfg.Solver)
+		if e != nil {
+			return e
+		}
+		plan = s1.Frac.Truncate()
+		return nil
+	})
+	if err == nil && plan != nil {
+		return plan, TierLPD
+	}
+	c.logDegrade(now, "stage-1 LPD failed", err)
+	return nil, ""
+}
+
+// guard runs f, converting a panic into an error so one poisoned solve
+// cannot take down the controller.
+func (c *Controller) guard(f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			telEpochPanics.Inc()
+			err = fmt.Errorf("controller: recovered panic in epoch planning: %v", r)
+		}
+	}()
+	return f()
+}
+
+func (c *Controller) logDegrade(now float64, msg string, err error) {
+	c.logger.Warn("controller: "+msg, "t", now, "err", err)
+}
+
+// solvePolicy runs the configured policy over the instance. Under RET a
+// successful solve also extends the effective deadlines of the snapshot.
+func (c *Controller) solvePolicy(inst *schedule.Instance, fresh []*activeJob, now float64) (*schedule.Assignment, error) {
 	switch c.cfg.Policy {
 	case PolicyMaxThroughput, PolicyReject:
 		res, err := schedule.MaxThroughput(inst, schedule.Config{
 			Alpha: c.cfg.Alpha, AlphaGrowth: 0.1, Solver: c.cfg.Solver,
+			Weight: c.cfg.Weight,
 		})
 		if err != nil {
-			return fmt.Errorf("controller: epoch at t=%g: %w", now, err)
+			return nil, fmt.Errorf("controller: epoch at t=%g: %w", now, err)
 		}
-		plan = res.LPDAR
+		return res.LPDAR, nil
 	case PolicyRET:
 		res, err := schedule.SolveRET(inst, schedule.RETConfig{
 			BMax: c.cfg.BMax, Solver: c.cfg.Solver,
 		})
 		if err != nil {
-			return fmt.Errorf("controller: epoch at t=%g: %w", now, err)
+			return nil, fmt.Errorf("controller: epoch at t=%g: %w", now, err)
 		}
-		plan = res.LPDAR
 		// Renegotiated deadlines: extend every active job's effective end.
 		for i, aj := range fresh {
 			ext := now + (aj.orig.End-now)*(1+res.B)
@@ -335,28 +826,288 @@ func (c *Controller) RunEpoch() error {
 				fresh[i].effectiveEnd = ext
 			}
 		}
+		return res.LPDAR, nil
 	default:
-		return fmt.Errorf("controller: unknown policy %d", c.cfg.Policy)
+		return nil, fmt.Errorf("controller: unknown policy %d", c.cfg.Policy)
+	}
+}
+
+// LinkDown fails edge e at time t: bytes delivered before t are credited
+// (the slice straddling t counts only paths avoiding e), unreachable jobs
+// are dropped, and the rest of the period is replanned over the residual
+// topology. Disrupted jobs are classified as rescheduled on time,
+// rescheduled late, or dropped.
+func (c *Controller) LinkDown(e netgraph.EdgeID, t float64) error {
+	if int(e) < 0 || int(e) >= c.g.NumEdges() {
+		return fmt.Errorf("controller: unknown edge %d", e)
+	}
+	if c.down[e] {
+		return nil
+	}
+	telLinkDown.Inc()
+
+	// Credit everything delivered before the failure under the old down
+	// set, then the straddling slice with the failed link excluded.
+	b := t
+	if c.commit != nil {
+		c.settle(t, nil)
+	}
+	disrupted := make(map[*activeJob]bool)
+	if cm := c.commit; cm != nil {
+		se := straddleEnd(cm, t)
+		c.settle(se, map[netgraph.EdgeID]bool{e: true})
+	}
+	if cm := c.commit; cm != nil {
+		b = cm.settled
+		// Jobs whose remaining committed flow crosses e are disrupted.
+		for k, aj := range cm.fresh {
+			if !aj.retired && planUsesEdge(cm.plan, k, e, t) {
+				disrupted[aj] = true
+			}
+		}
 	}
 
-	stat.ActiveJobs = len(fresh)
-	stat.Scheduled, stat.Capacity = c.periodUsage(plan, now)
-	if stat.Capacity > 0 {
-		stat.Utilization = stat.Scheduled / stat.Capacity
+	if c.down == nil {
+		c.down = make(map[netgraph.EdgeID]bool)
 	}
-	c.applyPlan(plan, fresh, now)
-	c.now += c.cfg.Tau
+	c.down[e] = true
+	c.resid = nil
+
+	// Drop jobs with no route left.
+	for _, aj := range c.active {
+		if aj.retired || c.hasRoute(aj.orig) {
+			continue
+		}
+		aj.retired = true
+		c.record(Record{
+			Job:        aj.orig,
+			Delivered:  aj.delivered,
+			FinishTime: t,
+			Completed:  false,
+			Disrupted:  true,
+		})
+		c.addDisruption(aj.orig.ID, t, e, DisruptedDropped)
+		delete(disrupted, aj)
+	}
+
+	if c.commit != nil {
+		c.replanAfterFailure(b, e, t, disrupted)
+	}
 	return nil
+}
+
+// LinkUp repairs edge e at time t. The running plan (built without e) stays
+// in force; the restored capacity is used from the next epoch on. Bytes are
+// settled through the slice straddling t under the old down set, so a
+// carried-forward schedule never retroactively credits flow over a link
+// that was down for part of the slice.
+func (c *Controller) LinkUp(e netgraph.EdgeID, t float64) error {
+	if int(e) < 0 || int(e) >= c.g.NumEdges() {
+		return fmt.Errorf("controller: unknown edge %d", e)
+	}
+	if !c.down[e] {
+		return nil
+	}
+	telLinkUp.Inc()
+	if c.commit != nil {
+		c.settle(t, nil)
+	}
+	if cm := c.commit; cm != nil {
+		c.settle(straddleEnd(cm, t), nil)
+	}
+	delete(c.down, e)
+	c.resid = nil
+	return nil
+}
+
+// straddleEnd returns the end of the plan slice strictly containing t, or
+// t itself when t falls on a slice boundary or outside the grid.
+func straddleEnd(cm *commitment, t float64) float64 {
+	grid := cm.plan.Inst.Grid
+	for j := 0; j < grid.Num(); j++ {
+		s := grid.Start(j)
+		e := s + grid.Len(j)
+		if s < t-1e-9 && t < e-1e-9 {
+			return e
+		}
+		if s >= t {
+			break
+		}
+	}
+	return t
+}
+
+// planUsesEdge reports whether job k's plan routes flow over edge e on any
+// slice ending after t.
+func planUsesEdge(plan *schedule.Assignment, k int, e netgraph.EdgeID, t float64) bool {
+	grid := plan.Inst.Grid
+	for p, path := range plan.Inst.JobPaths[k] {
+		onEdge := false
+		for _, eid := range path.Edges {
+			if eid == e {
+				onEdge = true
+				break
+			}
+		}
+		if !onEdge {
+			continue
+		}
+		for j := 0; j < grid.Num(); j++ {
+			if grid.Start(j)+grid.Len(j) <= t+1e-9 {
+				continue
+			}
+			if plan.X[k][p][j] > 1e-9 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// replanAfterFailure re-solves the rest of the committed period [b, end)
+// over the residual topology and classifies the disrupted jobs. When every
+// solve fails, the old plan is kept and settlement's down-filter restricts
+// it to surviving links (the carry tier of the degradation chain).
+func (c *Controller) replanAfterFailure(b float64, e netgraph.EdgeID, t float64, disrupted map[*activeJob]bool) {
+	cm := c.commit
+	if b >= cm.end-1e-9 {
+		return // period effectively over; the next epoch replans anyway
+	}
+
+	// Retire jobs whose window from b cannot hold a whole slice: they can
+	// receive nothing more, replanned or not.
+	for _, aj := range c.active {
+		if aj.retired {
+			continue
+		}
+		winStart := math.Max(aj.orig.Start, b)
+		if aj.effectiveEnd-winStart >= c.cfg.SliceLen-1e-9 {
+			continue
+		}
+		aj.retired = true
+		if disrupted[aj] {
+			c.record(Record{
+				Job:        aj.orig,
+				Delivered:  aj.delivered,
+				FinishTime: t,
+				Completed:  false,
+				Disrupted:  true,
+			})
+			c.addDisruption(aj.orig.ID, t, e, DisruptedDropped)
+			delete(disrupted, aj)
+		} else {
+			c.record(Record{
+				Job:        aj.orig,
+				Delivered:  aj.delivered,
+				FinishTime: aj.effectiveEnd,
+				Completed:  false,
+			})
+		}
+	}
+
+	live := 0
+	for _, aj := range c.active {
+		if !aj.retired {
+			live++
+		}
+	}
+	if live == 0 {
+		c.prevPlan, c.prevFresh = cm.plan, cm.fresh
+		c.commit = nil
+		return
+	}
+
+	inst, fresh, err := c.buildInstance(b)
+	var plan *schedule.Assignment
+	if err != nil {
+		c.logDegrade(b, "replan after link failure: instance build failed", err)
+	} else {
+		plan, _ = c.solveChain(inst, fresh, b)
+	}
+	if plan != nil {
+		c.commit = &commitment{
+			plan: plan, fresh: fresh,
+			start: b, end: cm.end, settled: b,
+		}
+	} else {
+		// Carry tier: keep the old plan; the settlement filter excludes
+		// every path over a failed link.
+		c.logger.Warn("controller: replan failed, carrying schedule on residual links", "t", t, "edge", int(e))
+	}
+
+	// Classify the surviving disrupted jobs by their projected finish
+	// under whatever plan is now in force.
+	for _, aj := range c.active {
+		if aj.retired || !disrupted[aj] {
+			continue
+		}
+		finish, ok := c.projectedFinish(aj)
+		if ok && finish <= aj.orig.End+1e-9 {
+			c.addDisruption(aj.orig.ID, t, e, RescheduledOnTime)
+		} else {
+			c.addDisruption(aj.orig.ID, t, e, RescheduledLate)
+		}
+	}
+}
+
+// projectedFinish simulates the in-force plan over its whole horizon (not
+// just the committed period) and returns when the job's residual demand
+// completes; ok is false when the plan never completes it.
+func (c *Controller) projectedFinish(aj *activeJob) (float64, bool) {
+	cm := c.commit
+	if cm == nil {
+		return 0, false
+	}
+	k := -1
+	for i, f := range cm.fresh {
+		if f == aj {
+			k = i
+			break
+		}
+	}
+	if k < 0 {
+		return 0, false
+	}
+	grid := cm.plan.Inst.Grid
+	blocked := c.blockedEdges(nil)
+	rem := aj.remaining
+	for j := 0; j < grid.Num(); j++ {
+		end := grid.Start(j) + grid.Len(j)
+		if end <= cm.settled+1e-9 {
+			continue
+		}
+		got := 0.0
+		for p := range cm.plan.X[k] {
+			if blocked != nil && pathBlocked(cm.plan.Inst.JobPaths[k][p], blocked) {
+				continue
+			}
+			got += cm.plan.X[k][p][j] * grid.Len(j)
+		}
+		if got > rem {
+			got = rem
+		}
+		rem -= got
+		if rem <= 1e-9 {
+			return end, true
+		}
+	}
+	return 0, false
 }
 
 // periodUsage measures how much of the committed period's network
 // capacity the plan uses: scheduled wavelength·time units and the total
 // available over all edges and slices inside [now, now+τ).
 func (c *Controller) periodUsage(plan *schedule.Assignment, now float64) (scheduled, capacity float64) {
+	if plan == nil {
+		return 0, 0
+	}
 	grid := plan.Inst.Grid
 	epochEnd := now + c.cfg.Tau
 	load := plan.EdgeLoads()
 	for j := 0; j < grid.Num(); j++ {
+		if grid.Start(j)+grid.Len(j) <= now+1e-9 {
+			continue // carried-forward grids can start before this period
+		}
 		if grid.Start(j) >= epochEnd-1e-9 {
 			break
 		}
@@ -378,7 +1129,7 @@ func (c *Controller) admitPrefix(now float64) (int, error) {
 	})
 	base, _ := c.snapshotJobs(now)
 	usable := func(j job.Job) bool {
-		return j.End-math.Max(j.Start, now) >= c.cfg.SliceLen-1e-9
+		return j.End-math.Max(j.Start, now) >= c.cfg.SliceLen-1e-9 && c.hasRoute(j)
 	}
 	feasible := func(n int) (bool, error) {
 		jobs := append([]job.Job(nil), base...)
@@ -407,7 +1158,7 @@ func (c *Controller) admitPrefix(now float64) (int, error) {
 		if err != nil {
 			return false, err
 		}
-		inst, err := schedule.NewInstance(c.g, grid, jobs, c.cfg.K)
+		inst, err := schedule.NewInstance(c.graph(), grid, jobs, c.cfg.K)
 		if err != nil {
 			return false, err
 		}
@@ -442,13 +1193,16 @@ func (c *Controller) admitPrefix(now float64) (int, error) {
 	return lo, nil
 }
 
-// snapshotJobs builds the job list for this epoch: each active job with
-// its residual demand and a window clipped to start no earlier than now.
-// It also returns the active jobs aligned with the job list.
+// snapshotJobs builds the job list for this epoch: each live active job
+// with its residual demand and a window clipped to start no earlier than
+// now. It also returns the active jobs aligned with the job list.
 func (c *Controller) snapshotJobs(now float64) ([]job.Job, []*activeJob) {
 	jobs := make([]job.Job, 0, len(c.active))
 	fresh := make([]*activeJob, 0, len(c.active))
 	for _, aj := range c.active {
+		if aj.retired {
+			continue
+		}
 		j := aj.orig
 		j.Size = aj.remaining
 		if j.Start < now {
@@ -464,68 +1218,13 @@ func (c *Controller) snapshotJobs(now float64) ([]job.Job, []*activeJob) {
 	return jobs, fresh
 }
 
-// applyPlan transfers data for the slices inside [now, now+τ), updates
-// residuals, and retires finished or expired jobs.
-func (c *Controller) applyPlan(plan *schedule.Assignment, fresh []*activeJob, now float64) {
-	grid := plan.Inst.Grid
-	epochEnd := now + c.cfg.Tau
-	for k, aj := range fresh {
-		for j := 0; j < grid.Num(); j++ {
-			if grid.Start(j) >= epochEnd-1e-9 {
-				break
-			}
-			got := 0.0
-			for p := range plan.X[k] {
-				got += plan.X[k][p][j] * grid.Len(j)
-			}
-			if got <= 0 {
-				continue
-			}
-			if got > aj.remaining {
-				got = aj.remaining
-			}
-			aj.remaining -= got
-			aj.delivered += got
-			if aj.remaining <= 1e-9 {
-				aj.remaining = 0
-				finish := grid.Start(j) + grid.Len(j)
-				c.record(Record{
-					Job:         aj.orig,
-					Delivered:   aj.delivered,
-					FinishTime:  finish,
-					MetDeadline: finish <= aj.orig.End+1e-9,
-					Completed:   true,
-				})
-				break
-			}
-		}
-	}
-	// Retire: finished jobs, and jobs whose effective deadline passed.
-	var still []*activeJob
-	for _, aj := range fresh {
-		switch {
-		case aj.remaining == 0:
-			// already recorded
-		case aj.effectiveEnd <= epochEnd+1e-9:
-			c.record(Record{
-				Job:        aj.orig,
-				Delivered:  aj.delivered,
-				FinishTime: aj.effectiveEnd,
-				Completed:  false,
-			})
-		default:
-			still = append(still, aj)
-		}
-	}
-	c.active = still
-}
-
 // Summary aggregates the records.
 type Summary struct {
 	Total       int
 	Completed   int
 	MetDeadline int
 	Rejected    int
+	Disrupted   int // dropped mid-transfer by link failures
 	Delivered   float64
 	Requested   float64
 	AvgFinish   float64 // over completed jobs
@@ -541,6 +1240,9 @@ func Summarize(records []Record) Summary {
 		if r.Rejected {
 			s.Rejected++
 			continue
+		}
+		if r.Disrupted {
+			s.Disrupted++
 		}
 		if r.Completed {
 			s.Completed++

@@ -1,0 +1,107 @@
+package integration
+
+import (
+	"testing"
+
+	"wavesched/internal/controller"
+	"wavesched/internal/job"
+	"wavesched/internal/netgraph"
+	"wavesched/internal/sim"
+	"wavesched/internal/workload"
+)
+
+// TestFailureRunConservation drives a seeded workload over a Waxman
+// topology with a seeded MTBF/MTTR failure process and checks the
+// controller's job accounting is conserved: the run finishes without a
+// panic or error, every submitted job ends in exactly one final record,
+// and delivered bytes never exceed requested bytes per job.
+func TestFailureRunConservation(t *testing.T) {
+	g, err := netgraph.Waxman(netgraph.WaxmanConfig{
+		Nodes: 12, LinkPairs: 24, Wavelengths: 3, GbpsPerWave: 20.0 / 3, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := workload.Generate(g, workload.Config{
+		Jobs: 14, Seed: 8, GBToDemand: 0.05, MinWindow: 4, MaxWindow: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failures, err := sim.GenerateFailures(g, sim.FailureConfig{
+		MTBF: 30, MTTR: 4, Seed: 9, MaxTime: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) == 0 {
+		t.Fatal("failure trace is empty; the test exercises nothing")
+	}
+
+	run := func() *sim.RunResult {
+		ctrl, err := controller.New(g, controller.Config{
+			Tau: 2, SliceLen: 1, K: 3, Policy: controller.PolicyMaxThroughput,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.RunWithFailures(ctrl, jobs, failures, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+
+	// Conservation: every submitted job has exactly one final record.
+	seen := map[job.ID]int{}
+	for _, r := range res.Records {
+		seen[r.Job.ID]++
+	}
+	for _, j := range jobs {
+		if seen[j.ID] != 1 {
+			t.Errorf("job %d has %d records, want exactly 1", j.ID, seen[j.ID])
+		}
+	}
+	if len(res.Records) != len(jobs) {
+		t.Errorf("records = %d, want %d", len(res.Records), len(jobs))
+	}
+
+	// Per-job sanity: delivery bounded by demand; completed means full.
+	for _, r := range res.Records {
+		if r.Delivered < -1e-9 || r.Delivered > r.Job.Size+1e-6 {
+			t.Errorf("job %d delivered %g outside [0, %g]", r.Job.ID, r.Delivered, r.Job.Size)
+		}
+		if r.Completed && r.Delivered < r.Job.Size-1e-6 {
+			t.Errorf("job %d marked completed with %g of %g delivered", r.Job.ID, r.Delivered, r.Job.Size)
+		}
+		if r.Rejected && r.Delivered != 0 {
+			t.Errorf("job %d rejected but delivered %g", r.Job.ID, r.Delivered)
+		}
+	}
+
+	// Every disruption refers to a submitted job; drops match the records.
+	ids := map[job.ID]bool{}
+	for _, j := range jobs {
+		ids[j.ID] = true
+	}
+	drops := 0
+	for _, d := range res.Disruptions {
+		if !ids[d.JobID] {
+			t.Errorf("disruption %+v names an unknown job", d)
+		}
+		if d.Outcome == controller.DisruptedDropped {
+			drops++
+		}
+	}
+	if res.Summary.Disrupted != drops {
+		t.Errorf("summary counts %d dropped jobs, disruption log has %d", res.Summary.Disrupted, drops)
+	}
+
+	// Determinism: the same seeds reproduce the same run exactly.
+	res2 := run()
+	if len(res2.Records) != len(res.Records) || res2.Summary != res.Summary ||
+		len(res2.Disruptions) != len(res.Disruptions) {
+		t.Error("identical seeds produced different runs")
+	}
+}

@@ -76,3 +76,26 @@ func TestReadCSVErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestReadJSONRejectsDuplicateIDs(t *testing.T) {
+	text := `[
+  {"id":7,"arrival":0,"src":0,"dst":1,"size":5,"start":0,"end":2},
+  {"id":7,"arrival":1,"src":2,"dst":3,"size":4,"start":1,"end":3}
+]`
+	if _, err := ReadJSON(strings.NewReader(text)); err == nil {
+		t.Error("duplicate job IDs accepted by ReadJSON")
+	} else if !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("error %q does not mention the duplicate", err)
+	}
+}
+
+func TestReadCSVRejectsDuplicateIDs(t *testing.T) {
+	trace := "id,arrival,src,dst,size,start,end\n" +
+		"7,0,0,1,5,0,2\n" +
+		"7,1,2,3,4,1,3\n"
+	if _, err := ReadCSV(strings.NewReader(trace)); err == nil {
+		t.Error("duplicate job IDs accepted by ReadCSV")
+	} else if !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("error %q does not mention the duplicate", err)
+	}
+}

@@ -1,6 +1,10 @@
 package lp
 
-import "math"
+import (
+	"errors"
+	"math"
+	"time"
+)
 
 // dualStatus reports the outcome of a dual-simplex run.
 type dualStatus int
@@ -29,6 +33,10 @@ func (s *simplex) dualSimplex() (dualStatus, error) {
 	for {
 		if s.iters >= s.opt.MaxIter {
 			return dualIterLimit, nil
+		}
+		if s.deadlineExceeded() {
+			telTimeouts.Inc()
+			return dualStall, ErrTimeLimit
 		}
 
 		// Leaving variable: the basic with the largest bound violation.
@@ -206,6 +214,10 @@ func (inc *Incremental) Solve() (*Solution, error) {
 	}
 
 	s := inc.s
+	if inc.opt.TimeLimit > 0 {
+		s.deadline = time.Now().Add(inc.opt.TimeLimit)
+		s.untilTick = 0
+	}
 	// Refresh structural bounds from the model; slack and artificial
 	// bounds are invariant.
 	for j := 0; j < s.nStruct; j++ {
@@ -221,6 +233,12 @@ func (inc *Incremental) Solve() (*Solution, error) {
 		return inc.fullSolve()
 	}
 	st, err := s.dualSimplex()
+	if errors.Is(err, ErrTimeLimit) {
+		// Retrying from scratch would double the wall-clock budget, which
+		// defeats the point of a deadline: surface the timeout directly.
+		inc.valid = false
+		return &Solution{Status: TimeLimit, Iters: s.iters}, err
+	}
 	if err != nil || st == dualStall {
 		return inc.fullSolve()
 	}
@@ -235,7 +253,12 @@ func (inc *Incremental) Solve() (*Solution, error) {
 	// Safety net: confirm dual feasibility with the primal pricing; clean
 	// up any residual attractive columns (tolerance drift).
 	if q := s.price(); q >= 0 {
-		if stp, err := s.runPhase(); err != nil || stp != Optimal {
+		stp, err := s.runPhase()
+		if errors.Is(err, ErrTimeLimit) {
+			inc.valid = false
+			return &Solution{Status: TimeLimit, Iters: s.iters}, err
+		}
+		if err != nil || stp != Optimal {
 			return inc.fullSolve()
 		}
 	}

@@ -1,8 +1,10 @@
 package lp
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"wavesched/internal/telemetry"
 )
@@ -17,7 +19,15 @@ const (
 	Unbounded
 	IterLimit
 	Numerical
+	// TimeLimit means the wall-clock budget (Options.TimeLimit) expired
+	// before the solve finished; the accompanying error is ErrTimeLimit.
+	TimeLimit
 )
+
+// ErrTimeLimit is returned (possibly wrapped) when a solve exceeds
+// Options.TimeLimit. Callers implementing degradation chains should test
+// for it with errors.Is.
+var ErrTimeLimit = errors.New("lp: time limit exceeded")
 
 func (s Status) String() string {
 	switch s {
@@ -31,6 +41,8 @@ func (s Status) String() string {
 		return "iteration limit"
 	case Numerical:
 		return "numerical failure"
+	case TimeLimit:
+		return "time limit"
 	}
 	return fmt.Sprintf("Status(%d)", int(s))
 }
@@ -62,6 +74,12 @@ type Options struct {
 	RefactorEvery int     // eta updates between refactorizations; ≤0 selects 64
 	Pricing       Pricing
 	DegenLimit    int // degenerate pivots before the Bland fallback; ≤0 selects 1000
+	// TimeLimit is the wall-clock budget for one solve. When it expires the
+	// primal and dual pivot loops abort with ErrTimeLimit (Status
+	// TimeLimit). Zero means unlimited. The deadline is checked every
+	// deadlineCheckEvery pivots, so very short limits overshoot by at most
+	// that many pivots.
+	TimeLimit time.Duration
 	// Presolve applies safe model reductions (fixed-variable substitution,
 	// singleton-row bound tightening, empty-row elimination) before the
 	// simplex. Duals of presolve-eliminated rows are reported as 0.
@@ -125,6 +143,28 @@ type simplex struct {
 	scratch   []float64 // length m
 	yRow      []float64 // BTRAN result, by row
 	wBuf      []float64 // ratio-test column buffer, by slot
+	deadline  time.Time // zero value: no wall-clock limit
+	untilTick int       // pivots until the next wall-clock check
+}
+
+// deadlineCheckEvery spaces out the wall-clock checks so the time syscall
+// stays off the per-pivot hot path.
+const deadlineCheckEvery = 64
+
+// deadlineExceeded reports whether the wall-clock budget has expired. It
+// only looks at the clock once every deadlineCheckEvery calls — and on the
+// first call of each pivot loop, so an already-expired deadline aborts
+// before any pivot.
+func (s *simplex) deadlineExceeded() bool {
+	if s.deadline.IsZero() {
+		return false
+	}
+	if s.untilTick > 0 {
+		s.untilTick--
+		return false
+	}
+	s.untilTick = deadlineCheckEvery - 1
+	return time.Now().After(s.deadline)
 }
 
 // nTotal is the column count including artificials.
@@ -425,6 +465,10 @@ func (s *simplex) runPhase() (Status, error) {
 	for {
 		if s.iters >= s.opt.MaxIter {
 			return IterLimit, nil
+		}
+		if s.deadlineExceeded() {
+			telTimeouts.Inc()
+			return TimeLimit, ErrTimeLimit
 		}
 		q := s.price()
 		if q < 0 {

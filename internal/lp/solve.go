@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -179,6 +180,10 @@ func (m *Model) solveCore(opt Options) (*simplex, *Solution, error) {
 	for j := range s.pos {
 		s.pos[j] = -1
 	}
+	if opt.TimeLimit > 0 {
+		s.deadline = time.Now().Add(opt.TimeLimit)
+		s.untilTick = 0
+	}
 
 	s.nStruct = nVars
 
@@ -228,6 +233,9 @@ func (m *Model) solveCore(opt Options) (*simplex, *Solution, error) {
 	phase1Iters := s.iters
 	telPhase1Pivots.Add(int64(phase1Iters))
 	if err != nil {
+		if errors.Is(err, ErrTimeLimit) {
+			return nil, &Solution{Status: TimeLimit, Iters: s.iters}, err
+		}
 		return nil, &Solution{Status: Numerical, Iters: s.iters}, err
 	}
 	if st == IterLimit {
@@ -263,6 +271,9 @@ func (m *Model) solveCore(opt Options) (*simplex, *Solution, error) {
 	st, err = s.runPhase()
 	telPhase2Pivots.Add(int64(s.iters - phase1Iters))
 	if err != nil {
+		if errors.Is(err, ErrTimeLimit) {
+			return nil, &Solution{Status: TimeLimit, Iters: s.iters}, err
+		}
 		return nil, &Solution{Status: Numerical, Iters: s.iters}, err
 	}
 	if st != Optimal {

@@ -21,10 +21,12 @@ var (
 		"Variables eliminated by presolve bound-fixing.")
 	telPresolveDroppedRows = telemetry.Default().Counter("lp_presolve_dropped_rows_total",
 		"Rows eliminated by presolve (singleton and empty rows).")
+	telTimeouts = telemetry.Default().Counter("lp_solve_timeouts_total",
+		"Solves aborted because the wall-clock Options.TimeLimit expired.")
 
 	telSolvesByStatus = func() map[Status]*telemetry.Counter {
 		m := make(map[Status]*telemetry.Counter)
-		for _, st := range []Status{Optimal, Infeasible, Unbounded, IterLimit, Numerical} {
+		for _, st := range []Status{Optimal, Infeasible, Unbounded, IterLimit, Numerical, TimeLimit} {
 			m[st] = telemetry.Default().CounterWith("lp_solves_total",
 				"LP solves by final status.", map[string]string{"status": st.String()})
 		}

@@ -1,0 +1,38 @@
+package netgraph
+
+import "fmt"
+
+// Clone returns a deep copy of the graph. Node and edge IDs are preserved,
+// so IDs obtained from the original address the same elements in the copy.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		Name:  g.Name,
+		nodes: make([]Node, len(g.nodes)),
+		edges: make([]Edge, len(g.edges)),
+		out:   make([][]EdgeID, len(g.out)),
+	}
+	copy(c.nodes, g.nodes)
+	copy(c.edges, g.edges)
+	for v, adj := range g.out {
+		if adj != nil {
+			c.out[v] = append([]EdgeID(nil), adj...)
+		}
+	}
+	return c
+}
+
+// WithLinksDown returns the residual topology after the given edges fail:
+// a copy of the graph in which each failed edge keeps its ID and endpoints
+// but carries zero wavelengths, so it contributes no capacity and path
+// search treats it as unusable. The original graph is not modified.
+// Duplicate IDs in down are allowed.
+func (g *Graph) WithLinksDown(down ...EdgeID) (*Graph, error) {
+	c := g.Clone()
+	for _, e := range down {
+		if int(e) < 0 || int(e) >= len(c.edges) {
+			return nil, fmt.Errorf("netgraph: unknown edge %d", e)
+		}
+		c.edges[e].Wavelengths = 0
+	}
+	return c, nil
+}

@@ -1,0 +1,75 @@
+package netgraph
+
+import "testing"
+
+func TestClone(t *testing.T) {
+	g := New("orig")
+	a := g.AddNode("a", 0, 0)
+	b := g.AddNode("b", 1, 0)
+	c := g.AddNode("c", 2, 0)
+	if err := g.AddPair(a, b, 4, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddPair(b, c, 2, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	cl := g.Clone()
+	if cl.NumNodes() != g.NumNodes() || cl.NumEdges() != g.NumEdges() {
+		t.Fatalf("clone size %d/%d, want %d/%d",
+			cl.NumNodes(), cl.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		if cl.Edge(EdgeID(i)) != g.Edge(EdgeID(i)) {
+			t.Errorf("edge %d differs: %+v vs %+v", i, cl.Edge(EdgeID(i)), g.Edge(EdgeID(i)))
+		}
+	}
+
+	// Mutating the clone must not leak into the original.
+	cl.edges[0].Wavelengths = 99
+	cl.AddNode("d", 3, 0)
+	if g.Edge(0).Wavelengths == 99 || g.NumNodes() != 3 {
+		t.Error("clone mutation leaked into the original")
+	}
+	// And adjacency slices must be independent.
+	if _, err := cl.AddEdge(a, c, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Out(a)) != 1 {
+		t.Errorf("original out-degree of a changed to %d", len(g.Out(a)))
+	}
+}
+
+func TestWithLinksDown(t *testing.T) {
+	g := New("res")
+	a := g.AddNode("a", 0, 0)
+	b := g.AddNode("b", 1, 0)
+	if err := g.AddPair(a, b, 4, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := g.WithLinksDown(0, 0) // duplicates allowed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Edge(0).Wavelengths != 0 {
+		t.Errorf("down edge kept %d wavelengths", r.Edge(0).Wavelengths)
+	}
+	if r.Edge(1).Wavelengths != 4 {
+		t.Errorf("alive edge lost capacity: %d", r.Edge(1).Wavelengths)
+	}
+	// IDs and endpoints survive so schedules indexed by EdgeID stay valid.
+	if e := r.Edge(0); e.ID != 0 || e.From != a || e.To != b {
+		t.Errorf("down edge identity changed: %+v", e)
+	}
+	if g.Edge(0).Wavelengths != 4 {
+		t.Error("WithLinksDown modified the receiver")
+	}
+
+	if _, err := g.WithLinksDown(EdgeID(99)); err == nil {
+		t.Error("unknown edge accepted")
+	}
+	if _, err := g.WithLinksDown(EdgeID(-1)); err == nil {
+		t.Error("negative edge accepted")
+	}
+}

@@ -162,10 +162,18 @@ func makePath(g *netgraph.Graph, src netgraph.NodeID, edges []netgraph.EdgeID, c
 // KShortest returns up to k loopless paths from src to dst in
 // non-decreasing cost order, using Yen's algorithm.
 func KShortest(g *netgraph.Graph, src, dst netgraph.NodeID, k int, cost CostFunc) []Path {
+	return KShortestAvoiding(g, src, dst, k, cost, nil)
+}
+
+// KShortestAvoiding is KShortest restricted to paths that use no edge in
+// avoid (nil means no restriction) — the residual-topology variant used
+// when links are down.
+func KShortestAvoiding(g *netgraph.Graph, src, dst netgraph.NodeID, k int, cost CostFunc,
+	avoid map[netgraph.EdgeID]bool) []Path {
 	if k <= 0 || src == dst {
 		return nil
 	}
-	first, ok := Shortest(g, src, dst, cost, nil, nil)
+	first, ok := Shortest(g, src, dst, cost, avoid, nil)
 	if !ok {
 		return nil
 	}
@@ -181,7 +189,10 @@ func KShortest(g *netgraph.Graph, src, dst netgraph.NodeID, k int, cost CostFunc
 			spur := prev.Nodes[i]
 			rootEdges := prev.Edges[:i]
 
-			bannedEdges := make(map[netgraph.EdgeID]bool)
+			bannedEdges := make(map[netgraph.EdgeID]bool, len(avoid))
+			for eid := range avoid {
+				bannedEdges[eid] = true
+			}
 			bannedNodes := make(map[netgraph.NodeID]bool)
 			// Ban edges used by earlier results that share the same root.
 			for _, rp := range result {
@@ -226,10 +237,20 @@ func KShortest(g *netgraph.Graph, src, dst netgraph.NodeID, k int, cost CostFunc
 // contend with each other on any link — useful when wavelength continuity
 // matters or for survivability-style provisioning.
 func EdgeDisjoint(g *netgraph.Graph, src, dst netgraph.NodeID, k int, cost CostFunc) []Path {
+	return EdgeDisjointAvoiding(g, src, dst, k, cost, nil)
+}
+
+// EdgeDisjointAvoiding is EdgeDisjoint restricted to paths that use no
+// edge in avoid (nil means no restriction).
+func EdgeDisjointAvoiding(g *netgraph.Graph, src, dst netgraph.NodeID, k int, cost CostFunc,
+	avoid map[netgraph.EdgeID]bool) []Path {
 	if k <= 0 || src == dst {
 		return nil
 	}
-	banned := make(map[netgraph.EdgeID]bool)
+	banned := make(map[netgraph.EdgeID]bool, len(avoid))
+	for eid := range avoid {
+		banned[eid] = true
+	}
 	var out []Path
 	for len(out) < k {
 		p, ok := Shortest(g, src, dst, cost, banned, nil)

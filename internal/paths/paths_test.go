@@ -272,3 +272,52 @@ func TestDisjointDetectsSharing(t *testing.T) {
 		t.Error("duplicate paths reported disjoint")
 	}
 }
+
+func TestKShortestAvoiding(t *testing.T) {
+	// Ring 0..3: clockwise 0->1->2 and counter-clockwise 0->3->2 both
+	// reach node 2. Avoiding the first clockwise edge leaves only the
+	// counter-clockwise route.
+	g := netgraph.Ring(4, 1, 1)
+	var e01 netgraph.EdgeID = -1
+	for _, e := range g.Edges() {
+		if e.From == 0 && e.To == 1 {
+			e01 = e.ID
+		}
+	}
+	if e01 < 0 {
+		t.Fatal("ring has no 0->1 edge")
+	}
+
+	all := KShortest(g, 0, 2, 4, UnitCost)
+	if len(all) != 2 {
+		t.Fatalf("unrestricted KShortest found %d paths, want 2", len(all))
+	}
+	avoid := map[netgraph.EdgeID]bool{e01: true}
+	got := KShortestAvoiding(g, 0, 2, 4, UnitCost, avoid)
+	if len(got) != 1 {
+		t.Fatalf("avoiding KShortest found %d paths, want 1", len(got))
+	}
+	for _, eid := range got[0].Edges {
+		if eid == e01 {
+			t.Error("avoided edge appears on the returned path")
+		}
+	}
+
+	dj := EdgeDisjointAvoiding(g, 0, 2, 4, UnitCost, avoid)
+	if len(dj) != 1 {
+		t.Fatalf("avoiding EdgeDisjoint found %d paths, want 1", len(dj))
+	}
+	for _, eid := range dj[0].Edges {
+		if eid == e01 {
+			t.Error("avoided edge appears on the disjoint path")
+		}
+	}
+
+	// Avoiding every outgoing edge of the source yields nothing.
+	for _, eid := range g.Out(0) {
+		avoid[eid] = true
+	}
+	if got := KShortestAvoiding(g, 0, 2, 4, UnitCost, avoid); len(got) != 0 {
+		t.Errorf("fully-banned source still yielded %d paths", len(got))
+	}
+}

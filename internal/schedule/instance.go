@@ -118,6 +118,19 @@ func NewInstanceOpts(g *netgraph.Graph, grid *timeslice.Grid, jobs []job.Job, op
 		opts.Cost = paths.UnitCost
 	}
 	inst := &Instance{G: g, Grid: grid, Jobs: jobs}
+	// Dead links (zero wavelengths — e.g. failed links in a residual
+	// topology) can never carry flow, so keep them out of path sets
+	// entirely; otherwise a job whose only allowed paths cross a dead link
+	// would be admitted and then starve.
+	var avoid map[netgraph.EdgeID]bool
+	for _, e := range g.Edges() {
+		if e.Wavelengths == 0 {
+			if avoid == nil {
+				avoid = make(map[netgraph.EdgeID]bool)
+			}
+			avoid[e.ID] = true
+		}
+	}
 	cache := make(map[[2]netgraph.NodeID][]paths.Path)
 	for _, j := range jobs {
 		first, last, ok := grid.Window(j.Start, j.End)
@@ -129,9 +142,9 @@ func NewInstanceOpts(g *netgraph.Graph, grid *timeslice.Grid, jobs []job.Job, op
 		ps, seen := cache[key]
 		if !seen {
 			if opts.DisjointPaths {
-				ps = paths.EdgeDisjoint(g, j.Src, j.Dst, opts.K, opts.Cost)
+				ps = paths.EdgeDisjointAvoiding(g, j.Src, j.Dst, opts.K, opts.Cost, avoid)
 			} else {
-				ps = paths.KShortest(g, j.Src, j.Dst, opts.K, opts.Cost)
+				ps = paths.KShortestAvoiding(g, j.Src, j.Dst, opts.K, opts.Cost, avoid)
 			}
 			cache[key] = ps
 		}
@@ -142,6 +155,20 @@ func NewInstanceOpts(g *netgraph.Graph, grid *timeslice.Grid, jobs []job.Job, op
 		inst.windows = append(inst.windows, window{first, last})
 	}
 	return inst, nil
+}
+
+// MaskLinksDown zeroes C_e(j) for every listed edge over the inclusive
+// slice range [firstSlice, lastSlice] — the per-slice capacity mask for a
+// link outage known (or predicted) to span those slices.
+func (in *Instance) MaskLinksDown(down []netgraph.EdgeID, firstSlice, lastSlice int) error {
+	for _, e := range down {
+		for j := firstSlice; j <= lastSlice; j++ {
+			if err := in.SetCapacity(e, j, 0); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // Window returns the inclusive usable slice range of job index k.

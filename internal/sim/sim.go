@@ -12,6 +12,7 @@ import (
 
 	"wavesched/internal/controller"
 	"wavesched/internal/job"
+	"wavesched/internal/netgraph"
 	"wavesched/internal/telemetry"
 )
 
@@ -25,28 +26,49 @@ var (
 		"Job-arrival events dispatched.")
 	telEpochEvents = telemetry.Default().Counter("sim_epoch_events_total",
 		"Epoch events dispatched to the controller.")
+	telLinkEvents = telemetry.Default().Counter("sim_link_events_total",
+		"Link failure/repair events dispatched to the controller.")
 )
 
 // EventKind discriminates event types.
 type EventKind int
 
-// Event kinds.
+// Event kinds. New kinds must be appended so the values stay stable.
 const (
 	// EventArrival delivers a job request to the controller.
 	EventArrival EventKind = iota
 	// EventEpoch triggers one AC/scheduling run.
 	EventEpoch
+	// EventLinkDown fails a link.
+	EventLinkDown
+	// EventLinkUp repairs a link.
+	EventLinkUp
 )
 
 // Event is one timed occurrence.
 type Event struct {
 	Time float64
 	Kind EventKind
-	Job  job.Job // for EventArrival
-	seq  int     // tie-break for deterministic ordering
+	Job  job.Job         // for EventArrival
+	Edge netgraph.EdgeID // for EventLinkDown/EventLinkUp
+	seq  int             // tie-break for deterministic ordering
 }
 
-// eventQueue is a binary min-heap over (Time, seq).
+// kindRank orders same-instant events: arrivals at exactly kτ are
+// collected by the epoch at kτ, per the paper's "(k−1)τ < A ≤ kτ"
+// convention, and link state changes apply before the epoch replans.
+func kindRank(k EventKind) int {
+	switch k {
+	case EventArrival:
+		return 0
+	case EventLinkDown, EventLinkUp:
+		return 1
+	default: // EventEpoch
+		return 2
+	}
+}
+
+// eventQueue is a binary min-heap over (Time, kind rank, seq).
 type eventQueue []Event
 
 func (q eventQueue) Len() int { return len(q) }
@@ -54,10 +76,8 @@ func (q eventQueue) Less(i, j int) bool {
 	if q[i].Time != q[j].Time {
 		return q[i].Time < q[j].Time
 	}
-	if q[i].Kind != q[j].Kind {
-		// Arrivals at exactly kτ are collected by the epoch at kτ, per the
-		// paper's "(k−1)τ < A ≤ kτ" convention: deliver arrivals first.
-		return q[i].Kind == EventArrival
+	if ri, rj := kindRank(q[i].Kind), kindRank(q[j].Kind); ri != rj {
+		return ri < rj
 	}
 	return q[i].seq < q[j].seq
 }
@@ -100,16 +120,24 @@ func (s *Queue) Len() int { return len(s.q) }
 
 // RunResult is the outcome of a simulation run.
 type RunResult struct {
-	Records []controller.Record
-	Summary controller.Summary
-	Epochs  int
-	EndTime float64
+	Records     []controller.Record
+	Summary     controller.Summary
+	Epochs      int
+	EndTime     float64
+	Disruptions []controller.Disruption
 }
 
 // Run feeds the jobs (by arrival time) into the controller and executes
 // epochs until all work drains or maxTime passes. The controller must be
 // freshly constructed (clock at 0).
 func Run(ctrl *controller.Controller, jobs []job.Job, maxTime float64) (*RunResult, error) {
+	return RunWithFailures(ctrl, jobs, nil, maxTime)
+}
+
+// RunWithFailures is Run with a link failure/repair trace injected into
+// the event stream. Link events at exactly kτ apply before the epoch at
+// kτ, so the controller replans on the updated topology.
+func RunWithFailures(ctrl *controller.Controller, jobs []job.Job, failures []LinkEvent, maxTime float64) (*RunResult, error) {
 	if ctrl.Now() != 0 {
 		return nil, fmt.Errorf("sim: controller clock already at %g", ctrl.Now())
 	}
@@ -120,9 +148,18 @@ func Run(ctrl *controller.Controller, jobs []job.Job, maxTime float64) (*RunResu
 	for _, j := range ordered {
 		q.Schedule(Event{Time: j.Arrival, Kind: EventArrival, Job: j})
 	}
+	for _, le := range failures {
+		kind := EventLinkDown
+		if le.Up {
+			kind = EventLinkUp
+		}
+		q.Schedule(Event{Time: le.Time, Kind: kind, Edge: le.Edge})
+	}
 
 	// Epoch events are scheduled lazily: one at a time, so the run stops
-	// as soon as the system drains.
+	// as soon as the system drains. Only undelivered arrivals (not queued
+	// link events) keep the epoch chain alive.
+	pendingArrivals := len(ordered)
 	tau := nextEpochAfter(ctrl)
 	q.Schedule(Event{Time: tau, Kind: EventEpoch})
 
@@ -139,8 +176,19 @@ func Run(ctrl *controller.Controller, jobs []job.Job, maxTime float64) (*RunResu
 		switch ev.Kind {
 		case EventArrival:
 			telArrivals.Inc()
+			pendingArrivals--
 			if err := ctrl.Submit(ev.Job); err != nil {
 				return nil, fmt.Errorf("sim: submit job %d: %w", ev.Job.ID, err)
+			}
+		case EventLinkDown:
+			telLinkEvents.Inc()
+			if err := ctrl.LinkDown(ev.Edge, ev.Time); err != nil {
+				return nil, fmt.Errorf("sim: link down %d at t=%g: %w", ev.Edge, ev.Time, err)
+			}
+		case EventLinkUp:
+			telLinkEvents.Inc()
+			if err := ctrl.LinkUp(ev.Edge, ev.Time); err != nil {
+				return nil, fmt.Errorf("sim: link up %d at t=%g: %w", ev.Edge, ev.Time, err)
 			}
 		case EventEpoch:
 			telEpochEvents.Inc()
@@ -149,7 +197,7 @@ func Run(ctrl *controller.Controller, jobs []job.Job, maxTime float64) (*RunResu
 			}
 			// Keep ticking while work remains (in the controller or still
 			// queued as future arrivals).
-			if !ctrl.Idle() || q.Len() > 0 {
+			if !ctrl.Idle() || pendingArrivals > 0 {
 				q.Schedule(Event{Time: nextEpochAfter(ctrl), Kind: EventEpoch})
 			}
 		}
@@ -157,10 +205,11 @@ func Run(ctrl *controller.Controller, jobs []job.Job, maxTime float64) (*RunResu
 
 	records := ctrl.Records()
 	return &RunResult{
-		Records: records,
-		Summary: controller.Summarize(records),
-		Epochs:  ctrl.Epochs,
-		EndTime: ctrl.Now(),
+		Records:     records,
+		Summary:     controller.Summarize(records),
+		Epochs:      ctrl.Epochs,
+		EndTime:     ctrl.Now(),
+		Disruptions: ctrl.Disruptions(),
 	}, nil
 }
 
