@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-telemetry clean
+.PHONY: check vet build test race race-serve bench bench-telemetry clean
 
-check: vet build race
+check: vet build race-serve race
 
 vet:
 	$(GO) vet ./...
@@ -18,6 +18,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Focused race gate for the concurrent serving stack: the HTTP daemon's
+# single-writer discipline and the controller it serializes. Fast subset
+# run before the full race suite.
+race-serve:
+	$(GO) test -race ./internal/server/... ./internal/controller/...
 
 # Full benchmark harness at quick scale (minutes).
 bench:

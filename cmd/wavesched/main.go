@@ -7,10 +7,16 @@
 //	wavesched -net net.json -jobs jobs.json -algo ret -bmax 5
 //	wavesched -net net.json -gen 20 -gen-seed 7 -algo maxthroughput
 //	wavesched -net net.json -gen 20 -algo sim -tau 2 -mtbf 50 -mttr 4 -max-time 100
+//	wavesched serve -net net.json -addr :8080 -tau 2s -wal /var/lib/wavesched
 //
 // With -gen N a random workload of N jobs is generated instead of -jobs.
 // The tool prints Z*, per-job throughputs, and the integer LPDAR schedule
 // summary; -verbose dumps the per-slice wavelength assignments.
+//
+// The serve subcommand runs the scheduler as a long-lived daemon: an
+// HTTP JSON job API, a wall-clock epoch loop, and (with -wal) a durable
+// event log replayed on restart. See DESIGN.md §9. -algo sim accepts
+// -json to emit the run result in the daemon's wire format.
 //
 // -algo sim drives the periodic controller (period -tau, policy -policy)
 // over the workload. Link failures can be injected from a JSON trace
@@ -49,6 +55,12 @@ import (
 var tracer *telemetry.Tracer
 
 func main() {
+	// Subcommand dispatch before flag parsing: `wavesched serve` runs the
+	// long-lived scheduler daemon with its own flag set.
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveMain(os.Args[2:])
+		return
+	}
 	var (
 		netPath  = flag.String("net", "", "network JSON (required)")
 		jobsPath = flag.String("jobs", "", "jobs JSON")
@@ -61,6 +73,7 @@ func main() {
 		alpha    = flag.Float64("alpha", 0.1, "stage-2 fairness slack")
 		bmax     = flag.Float64("bmax", 5, "RET extension ceiling")
 		verbose  = flag.Bool("verbose", false, "dump per-slice assignments")
+		jsonOut  = flag.Bool("json", false, "emit the -algo sim result as JSON instead of text")
 
 		tau       = flag.Float64("tau", 2, "scheduling period for -algo sim (multiple of -slice-len)")
 		policy    = flag.String("policy", "maxthroughput", "controller policy for -algo sim: maxthroughput, ret, or reject")
@@ -145,9 +158,11 @@ func main() {
 		fatal("provide -jobs or -gen")
 	}
 
-	fmt.Printf("network %q: %d nodes, %d directed edges, %d wavelengths/link\n",
-		g.Name, g.NumNodes(), g.NumEdges(), g.Edge(0).Wavelengths)
-	fmt.Printf("jobs: %d, total demand %.2f wavelength-slices\n\n", len(jobs), totalSize(jobs))
+	if !(*algo == "sim" && *jsonOut) { // keep stdout pure JSON under -json
+		fmt.Printf("network %q: %d nodes, %d directed edges, %d wavelengths/link\n",
+			g.Name, g.NumNodes(), g.NumEdges(), g.Edge(0).Wavelengths)
+		fmt.Printf("jobs: %d, total demand %.2f wavelength-slices\n\n", len(jobs), totalSize(jobs))
+	}
 
 	switch *algo {
 	case "maxthroughput":
@@ -161,7 +176,7 @@ func main() {
 	case "sim":
 		err := runSim(os.Stdout, g, jobs, simOptions{
 			Tau: *tau, SliceLen: *sliceLen, K: *k, Alpha: *alpha, BMax: *bmax,
-			Policy: *policy, MaxTime: *maxTime,
+			Policy: *policy, MaxTime: *maxTime, JSON: *jsonOut,
 			FailTrace: *failTrace, MTBF: *mtbf, MTTR: *mttr, FailSeed: *failSeed,
 		})
 		if err != nil {

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"wavesched/internal/controller"
+	"wavesched/internal/netgraph"
+	"wavesched/internal/server"
+)
+
+// serveOptions collects the `wavesched serve` flags.
+type serveOptions struct {
+	Addr          string
+	NetPath       string
+	Tau           time.Duration // wall-clock period; the virtual τ is Tau.Seconds()
+	SliceLen      float64
+	Policy        string
+	K             int
+	Alpha         float64
+	BMax          float64
+	WALDir        string
+	SnapshotEvery int
+	LogLevel      string
+}
+
+// parseServeFlags parses the serve subcommand's argument list.
+func parseServeFlags(args []string) (serveOptions, error) {
+	var o serveOptions
+	fs := flag.NewFlagSet("wavesched serve", flag.ContinueOnError)
+	fs.StringVar(&o.Addr, "addr", ":8080", "HTTP listen address for the job API, /metrics, and /debug/pprof")
+	fs.StringVar(&o.NetPath, "net", "", "network JSON (required)")
+	fs.DurationVar(&o.Tau, "tau", 2*time.Second, "wall-clock scheduling period; one epoch runs per period, advancing the virtual clock by τ = the period in seconds")
+	fs.Float64Var(&o.SliceLen, "slice-len", 1, "slice duration in virtual seconds (τ must be a multiple)")
+	fs.StringVar(&o.Policy, "policy", "maxthroughput", "controller policy: maxthroughput, ret, or reject")
+	fs.IntVar(&o.K, "k", 4, "allowed paths per job")
+	fs.Float64Var(&o.Alpha, "alpha", 0.1, "stage-2 fairness slack")
+	fs.Float64Var(&o.BMax, "bmax", 5, "RET extension ceiling")
+	fs.StringVar(&o.WALDir, "wal", "", "directory for the durable WAL/snapshot log (empty = in-memory)")
+	fs.IntVar(&o.SnapshotEvery, "snapshot-every", 1024, "compact the WAL into the snapshot after this many entries (0 = never)")
+	fs.StringVar(&o.LogLevel, "log-level", "info", "log level: debug, info, warn, or error")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if o.NetPath == "" {
+		return o, fmt.Errorf("serve: -net is required")
+	}
+	if o.Tau <= 0 {
+		return o, fmt.Errorf("serve: -tau must be positive")
+	}
+	return o, nil
+}
+
+// buildServer loads the topology and constructs the daemon core from the
+// parsed options (shared by runServe and its tests).
+func buildServer(o serveOptions) (*server.Server, *netgraph.Graph, error) {
+	policy, err := parsePolicy(o.Policy)
+	if err != nil {
+		return nil, nil, err
+	}
+	nf, err := os.Open(o.NetPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	var g *netgraph.Graph
+	if strings.HasSuffix(o.NetPath, ".brite") {
+		g, err = netgraph.ReadBRITE(nf, 0)
+	} else {
+		g, err = netgraph.ReadJSON(nf)
+	}
+	nf.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err := server.New(g, server.Config{
+		Controller: controller.Config{
+			Tau: o.Tau.Seconds(), SliceLen: o.SliceLen, K: o.K,
+			Alpha: o.Alpha, BMax: o.BMax, Policy: policy,
+			Solver: lpOptions(), Tracer: tracer,
+		},
+		Period:        o.Tau,
+		WALDir:        o.WALDir,
+		SnapshotEvery: o.SnapshotEvery,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, g, nil
+}
+
+// runServe is the `wavesched serve` entry point: it runs the scheduler
+// daemon until ctx is cancelled (SIGINT/SIGTERM in production), then
+// shuts down gracefully — stop accepting HTTP, settle the in-flight
+// commitment, release the WAL.
+func runServe(ctx context.Context, w io.Writer, args []string) error {
+	o, err := parseServeFlags(args)
+	if err != nil {
+		return err
+	}
+	if err := setupLogging(o.LogLevel); err != nil {
+		return err
+	}
+	srv, g, err := buildServer(o)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", o.Addr)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	fmt.Fprintf(w, "wavesched serve: %q (%d nodes, %d edges) on http://%s  τ=%s policy=%s",
+		g.Name, g.NumNodes(), g.NumEdges(), ln.Addr(), o.Tau, o.Policy)
+	if o.WALDir != "" {
+		fmt.Fprintf(w, "  wal=%s", o.WALDir)
+	}
+	fmt.Fprintln(w)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- httpSrv.Serve(ln) }()
+	loopDone := make(chan struct{})
+	go func() { defer close(loopDone); _ = srv.Run(ctx) }()
+
+	var serveErr error
+	select {
+	case <-ctx.Done():
+		slog.Info("serve: shutting down")
+	case err := <-httpErr:
+		serveErr = fmt.Errorf("serve: http: %w", err)
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && serveErr == nil {
+		serveErr = fmt.Errorf("serve: shutdown: %w", err)
+	}
+	<-loopDone
+	if err := srv.Close(); err != nil && serveErr == nil {
+		serveErr = fmt.Errorf("serve: close: %w", err)
+	}
+	return serveErr
+}
+
+// serveMain wires runServe to the process: signal-driven cancellation
+// and fatal error reporting.
+func serveMain(args []string) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := runServe(ctx, os.Stdout, args); err != nil {
+		fatal("%v", err)
+	}
+}

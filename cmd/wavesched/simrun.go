@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -21,6 +22,7 @@ type simOptions struct {
 	BMax     float64
 	Policy   string
 	MaxTime  float64
+	JSON     bool // emit the run result as JSON instead of text
 
 	FailTrace string  // JSON link-event trace to inject
 	MTBF      float64 // generate failures with this mean up-time (0 = off)
@@ -95,6 +97,9 @@ func runSim(w io.Writer, g *netgraph.Graph, jobs []job.Job, o simOptions) error 
 	if err != nil {
 		return err
 	}
+	if o.JSON {
+		return writeSimJSON(w, ctrl, res)
+	}
 
 	s := res.Summary
 	fmt.Fprintf(w, "simulated %d epochs to t=%.2f (τ=%g, policy %s, %d link events)\n",
@@ -136,4 +141,30 @@ func runSim(w io.Writer, g *netgraph.Graph, jobs []job.Job, o simOptions) error 
 		}
 	}
 	return nil
+}
+
+// simJSON is the -json shape of a sim run: the same wire types the serve
+// daemon's API uses, so downstream tooling can consume either source.
+type simJSON struct {
+	Epochs      int                         `json:"epochs"`
+	EndTime     float64                     `json:"end_time"`
+	Summary     controller.SummaryJSON      `json:"summary"`
+	Records     []controller.RecordJSON     `json:"records"`
+	EpochStats  []controller.EpochStatJSON  `json:"epoch_stats"`
+	Disruptions []controller.DisruptionJSON `json:"disruptions"`
+}
+
+func writeSimJSON(w io.Writer, ctrl *controller.Controller, res *sim.RunResult) error {
+	recs := append([]controller.Record(nil), res.Records...)
+	controller.SortRecordsByFinish(recs)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(simJSON{
+		Epochs:      res.Epochs,
+		EndTime:     res.EndTime,
+		Summary:     res.Summary.JSON(),
+		Records:     controller.RecordsJSON(recs),
+		EpochStats:  controller.EpochStatsJSON(ctrl.EpochStats()),
+		Disruptions: controller.DisruptionsJSON(res.Disruptions),
+	})
 }

@@ -19,6 +19,7 @@
 package controller
 
 import (
+	"errors"
 	"fmt"
 	"log/slog"
 	"math"
@@ -325,11 +326,24 @@ func (c *Controller) addDisruption(id job.ID, t float64, e netgraph.EdgeID, o Di
 // Now returns the controller's clock.
 func (c *Controller) Now() float64 { return c.now }
 
+// ErrTooLate reports a submission whose requested end time has already
+// passed the controller's clock: no epoch can ever schedule it, under any
+// policy (RET extensions are measured from the planning instant, so a
+// dead window stays dead). Test with errors.Is.
+var ErrTooLate = errors.New("deadline already passed")
+
 // Submit buffers a request for the next scheduling instant. Requests whose
-// window is already unusable are rejected immediately.
+// window is already unusable are rejected immediately: a job whose end
+// time precedes the controller clock gets a rejected record and
+// ErrTooLate instead of being silently buffered for a planning run that
+// could never serve it.
 func (c *Controller) Submit(j job.Job) error {
 	if err := j.Validate(); err != nil {
 		return err
+	}
+	if j.End <= c.now+1e-9 {
+		c.record(Record{Job: j, Rejected: true, FinishTime: c.now})
+		return fmt.Errorf("controller: job %d: %w", j.ID, ErrTooLate)
 	}
 	c.pending = append(c.pending, j)
 	return nil
@@ -343,6 +357,104 @@ func (c *Controller) Records() []Record {
 	out := make([]Record, len(c.records))
 	copy(out, c.records)
 	return out
+}
+
+// CurrentRecords returns the accounting as of the last settlement,
+// without settling the outstanding commitment. Unlike Records it never
+// mutates controller state, so periodic status polls (the HTTP server's
+// GET handlers) cannot perturb mid-period failure handling or replay
+// determinism. Jobs that will complete later in the committed period do
+// not appear until settlement reaches them.
+func (c *Controller) CurrentRecords() []Record {
+	out := make([]Record, len(c.records))
+	copy(out, c.records)
+	return out
+}
+
+// JobState labels one job's position in its lifecycle.
+type JobState string
+
+// Job lifecycle states, as reported by JobStatuses.
+const (
+	// JobPending: submitted, waiting for the next scheduling instant.
+	JobPending JobState = "pending"
+	// JobActive: admitted and unfinished as of the last settlement.
+	JobActive JobState = "active"
+	// JobCompleted: full demand delivered.
+	JobCompleted JobState = "completed"
+	// JobExpired: retired with unmet demand after its window died.
+	JobExpired JobState = "expired"
+	// JobRejected: never admitted.
+	JobRejected JobState = "rejected"
+	// JobDropped: dropped mid-transfer by a link failure.
+	JobDropped JobState = "dropped"
+)
+
+// RecordState classifies a final record into its lifecycle state.
+func RecordState(r Record) JobState {
+	switch {
+	case r.Rejected:
+		return JobRejected
+	case r.Completed:
+		return JobCompleted
+	case r.Disrupted:
+		return JobDropped
+	default:
+		return JobExpired
+	}
+}
+
+// JobStatus is one job's lifecycle view: final records carry their
+// outcome, in-flight jobs their progress as of the last settlement.
+type JobStatus struct {
+	Job          job.Job
+	State        JobState
+	Delivered    float64
+	Remaining    float64 // demand left (0 for final states)
+	EffectiveEnd float64 // deadline in force (extended under RET)
+	FinishTime   float64 // final states only
+	MetDeadline  bool    // final states only
+}
+
+// JobStatuses returns a status per known job — finished first (record
+// order), then active, then pending — without settling the outstanding
+// commitment (see CurrentRecords).
+func (c *Controller) JobStatuses() []JobStatus {
+	out := make([]JobStatus, 0, len(c.records)+len(c.active)+len(c.pending))
+	for _, r := range c.records {
+		out = append(out, JobStatus{
+			Job: r.Job, State: RecordState(r),
+			Delivered: r.Delivered, EffectiveEnd: r.Job.End,
+			FinishTime: r.FinishTime, MetDeadline: r.MetDeadline,
+		})
+	}
+	for _, aj := range c.active {
+		if aj.retired {
+			continue
+		}
+		out = append(out, JobStatus{
+			Job: aj.orig, State: JobActive,
+			Delivered: aj.delivered, Remaining: aj.remaining,
+			EffectiveEnd: aj.effectiveEnd,
+		})
+	}
+	for _, j := range c.pending {
+		out = append(out, JobStatus{
+			Job: j, State: JobPending, Remaining: j.Size, EffectiveEnd: j.End,
+		})
+	}
+	return out
+}
+
+// CommittedSchedule returns the integer assignment currently in force and
+// its period bounds, or ok=false when no commitment is outstanding (idle,
+// or between settlement and the next epoch). The assignment is shared,
+// not copied: callers must treat it as read-only.
+func (c *Controller) CommittedSchedule() (plan *schedule.Assignment, start, end float64, ok bool) {
+	if c.commit == nil {
+		return nil, 0, 0, false
+	}
+	return c.commit.plan, c.commit.start, c.commit.end, true
 }
 
 // Disruptions returns every (job, link-failure) disturbance so far, in

@@ -1,0 +1,164 @@
+package controller
+
+// Wire-format views of the controller's status types. The HTTP server
+// (internal/server) and the CLI's -json report share these structs so the
+// two surfaces can never drift apart; field names are part of the public
+// API and must stay stable.
+
+// RecordJSON is the wire form of one final job record.
+type RecordJSON struct {
+	JobID       int     `json:"job_id"`
+	Src         int     `json:"src"`
+	Dst         int     `json:"dst"`
+	Size        float64 `json:"size"`
+	Arrival     float64 `json:"arrival"`
+	Start       float64 `json:"start"`
+	End         float64 `json:"end"`
+	State       string  `json:"state"`
+	Delivered   float64 `json:"delivered"`
+	FinishTime  float64 `json:"finish_time"`
+	MetDeadline bool    `json:"met_deadline"`
+	Completed   bool    `json:"completed"`
+	Rejected    bool    `json:"rejected"`
+	Disrupted   bool    `json:"disrupted"`
+}
+
+// JSON converts the record to its wire form.
+func (r Record) JSON() RecordJSON {
+	return RecordJSON{
+		JobID: int(r.Job.ID), Src: int(r.Job.Src), Dst: int(r.Job.Dst),
+		Size: r.Job.Size, Arrival: r.Job.Arrival,
+		Start: r.Job.Start, End: r.Job.End,
+		State:     string(RecordState(r)),
+		Delivered: r.Delivered, FinishTime: r.FinishTime,
+		MetDeadline: r.MetDeadline, Completed: r.Completed,
+		Rejected: r.Rejected, Disrupted: r.Disrupted,
+	}
+}
+
+// RecordsJSON converts a record slice to wire form (never nil, so it
+// marshals as [] rather than null).
+func RecordsJSON(records []Record) []RecordJSON {
+	out := make([]RecordJSON, 0, len(records))
+	for _, r := range records {
+		out = append(out, r.JSON())
+	}
+	return out
+}
+
+// EpochStatJSON is the wire form of one epoch's summary.
+type EpochStatJSON struct {
+	Time        float64 `json:"t"`
+	ActiveJobs  int     `json:"active_jobs"`
+	Admitted    int     `json:"admitted"`
+	Rejected    int     `json:"rejected"`
+	Scheduled   float64 `json:"scheduled"`
+	Capacity    float64 `json:"capacity"`
+	Utilization float64 `json:"utilization"`
+	Degraded    bool    `json:"degraded"`
+	Tier        string  `json:"tier"`
+}
+
+// JSON converts the epoch stat to its wire form.
+func (s EpochStat) JSON() EpochStatJSON {
+	return EpochStatJSON{
+		Time: s.Time, ActiveJobs: s.ActiveJobs,
+		Admitted: s.Admitted, Rejected: s.Rejected,
+		Scheduled: s.Scheduled, Capacity: s.Capacity,
+		Utilization: s.Utilization, Degraded: s.Degraded, Tier: s.Tier,
+	}
+}
+
+// EpochStatsJSON converts an epoch-stat slice to wire form (never nil).
+func EpochStatsJSON(stats []EpochStat) []EpochStatJSON {
+	out := make([]EpochStatJSON, 0, len(stats))
+	for _, s := range stats {
+		out = append(out, s.JSON())
+	}
+	return out
+}
+
+// DisruptionJSON is the wire form of one disruption.
+type DisruptionJSON struct {
+	JobID   int     `json:"job_id"`
+	Time    float64 `json:"t"`
+	Edge    int     `json:"edge"`
+	Outcome string  `json:"outcome"`
+}
+
+// JSON converts the disruption to its wire form.
+func (d Disruption) JSON() DisruptionJSON {
+	return DisruptionJSON{
+		JobID: int(d.JobID), Time: d.Time,
+		Edge: int(d.Edge), Outcome: d.Outcome.String(),
+	}
+}
+
+// DisruptionsJSON converts a disruption slice to wire form (never nil).
+func DisruptionsJSON(ds []Disruption) []DisruptionJSON {
+	out := make([]DisruptionJSON, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, d.JSON())
+	}
+	return out
+}
+
+// SummaryJSON is the wire form of the aggregate run summary.
+type SummaryJSON struct {
+	Total       int     `json:"total"`
+	Completed   int     `json:"completed"`
+	MetDeadline int     `json:"met_deadline"`
+	Rejected    int     `json:"rejected"`
+	Disrupted   int     `json:"disrupted"`
+	Delivered   float64 `json:"delivered"`
+	Requested   float64 `json:"requested"`
+	AvgFinish   float64 `json:"avg_finish"`
+}
+
+// JSON converts the summary to its wire form.
+func (s Summary) JSON() SummaryJSON {
+	return SummaryJSON{
+		Total: s.Total, Completed: s.Completed, MetDeadline: s.MetDeadline,
+		Rejected: s.Rejected, Disrupted: s.Disrupted,
+		Delivered: s.Delivered, Requested: s.Requested, AvgFinish: s.AvgFinish,
+	}
+}
+
+// JobStatusJSON is the wire form of one job's lifecycle status.
+type JobStatusJSON struct {
+	JobID        int     `json:"job_id"`
+	Src          int     `json:"src"`
+	Dst          int     `json:"dst"`
+	Size         float64 `json:"size"`
+	Arrival      float64 `json:"arrival"`
+	Start        float64 `json:"start"`
+	End          float64 `json:"end"`
+	State        string  `json:"state"`
+	Delivered    float64 `json:"delivered"`
+	Remaining    float64 `json:"remaining"`
+	EffectiveEnd float64 `json:"effective_end"`
+	FinishTime   float64 `json:"finish_time"`
+	MetDeadline  bool    `json:"met_deadline"`
+}
+
+// JSON converts the status to its wire form.
+func (s JobStatus) JSON() JobStatusJSON {
+	return JobStatusJSON{
+		JobID: int(s.Job.ID), Src: int(s.Job.Src), Dst: int(s.Job.Dst),
+		Size: s.Job.Size, Arrival: s.Job.Arrival,
+		Start: s.Job.Start, End: s.Job.End,
+		State:     string(s.State),
+		Delivered: s.Delivered, Remaining: s.Remaining,
+		EffectiveEnd: s.EffectiveEnd, FinishTime: s.FinishTime,
+		MetDeadline: s.MetDeadline,
+	}
+}
+
+// JobStatusesJSON converts a status slice to wire form (never nil).
+func JobStatusesJSON(statuses []JobStatus) []JobStatusJSON {
+	out := make([]JobStatusJSON, 0, len(statuses))
+	for _, s := range statuses {
+		out = append(out, s.JSON())
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package controller
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"wavesched/internal/job"
+	"wavesched/internal/netgraph"
+)
+
+// TestRecordJSONStableFieldNames pins the wire-format field names shared
+// by the HTTP server and the CLI's -json report. Renaming a field here is
+// an API break.
+func TestRecordJSONStableFieldNames(t *testing.T) {
+	r := Record{
+		Job:       job.Job{ID: 7, Src: 0, Dst: 1, Size: 4, Start: 0, End: 4},
+		Delivered: 4, FinishTime: 2, MetDeadline: true, Completed: true,
+	}
+	b, err := json.Marshal(r.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"job_id", "src", "dst", "size", "arrival", "start", "end", "state",
+		"delivered", "finish_time", "met_deadline", "completed", "rejected", "disrupted",
+	}
+	for _, k := range want {
+		if _, ok := m[k]; !ok {
+			t.Errorf("record JSON missing field %q", k)
+		}
+	}
+	if len(m) != len(want) {
+		t.Errorf("record JSON has %d fields, want %d: %v", len(m), len(want), m)
+	}
+	if m["state"] != "completed" {
+		t.Errorf("state = %v, want completed", m["state"])
+	}
+}
+
+func TestRecordState(t *testing.T) {
+	cases := []struct {
+		r    Record
+		want JobState
+	}{
+		{Record{Rejected: true}, JobRejected},
+		{Record{Completed: true}, JobCompleted},
+		{Record{Disrupted: true}, JobDropped},
+		{Record{}, JobExpired},
+	}
+	for i, c := range cases {
+		if got := RecordState(c.r); got != c.want {
+			t.Errorf("case %d: state %q, want %q", i, got, c.want)
+		}
+	}
+}
+
+func TestEpochStatAndDisruptionJSON(t *testing.T) {
+	es := EpochStat{Time: 2, ActiveJobs: 3, Admitted: 1, Scheduled: 4,
+		Capacity: 8, Utilization: 0.5, Degraded: true, Tier: TierLPD}
+	b, err := json.Marshal(es.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"t", "active_jobs", "admitted", "rejected",
+		"scheduled", "capacity", "utilization", "degraded", "tier"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("epoch stat JSON missing field %q", k)
+		}
+	}
+
+	d := Disruption{JobID: 3, Time: 1.5, Edge: 2, Outcome: RescheduledLate}
+	db, err := json.Marshal(d.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"job_id":3,"t":1.5,"edge":2,"outcome":"rescheduled-late"}`; string(db) != want {
+		t.Errorf("disruption JSON = %s, want %s", db, want)
+	}
+
+	// Empty slices marshal as [], not null: the server's list endpoints
+	// rely on it.
+	if b, _ := json.Marshal(RecordsJSON(nil)); string(b) != "[]" {
+		t.Errorf("RecordsJSON(nil) = %s, want []", b)
+	}
+	if b, _ := json.Marshal(EpochStatsJSON(nil)); string(b) != "[]" {
+		t.Errorf("EpochStatsJSON(nil) = %s, want []", b)
+	}
+	if b, _ := json.Marshal(DisruptionsJSON(nil)); string(b) != "[]" {
+		t.Errorf("DisruptionsJSON(nil) = %s, want []", b)
+	}
+	if b, _ := json.Marshal(JobStatusesJSON(nil)); string(b) != "[]" {
+		t.Errorf("JobStatusesJSON(nil) = %s, want []", b)
+	}
+}
+
+// TestSubmitTooLate covers the satellite bugfix: submitting a job whose
+// deadline is behind the controller clock returns ErrTooLate and records
+// an immediate rejection instead of buffering a dead request.
+func TestSubmitTooLate(t *testing.T) {
+	g := netgraph.Line(2, 2, 10)
+	c := newCtrl(t, g, PolicyMaxThroughput)
+	for i := 0; i < 3; i++ { // advance the clock to t=3
+		if err := c.RunEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := c.Submit(job.Job{ID: 1, Src: 0, Dst: 1, Size: 1, Start: 0, End: 2})
+	if !errors.Is(err, ErrTooLate) {
+		t.Fatalf("Submit err = %v, want ErrTooLate", err)
+	}
+	if c.PendingCount() != 0 {
+		t.Errorf("pending = %d, want 0 (too-late job must not be buffered)", c.PendingCount())
+	}
+	recs := c.Records()
+	if len(recs) != 1 || !recs[0].Rejected {
+		t.Fatalf("records = %+v, want one rejection", recs)
+	}
+	if recs[0].FinishTime != 3 {
+		t.Errorf("rejection finish time %g, want 3 (submit instant)", recs[0].FinishTime)
+	}
+
+	// A live window is still accepted on the same clock.
+	if err := c.Submit(job.Job{ID: 2, Src: 0, Dst: 1, Size: 1, Start: 0, End: 6}); err != nil {
+		t.Fatalf("live job rejected: %v", err)
+	}
+
+	// RET extends windows from the planning instant, so a dead window is
+	// just as dead there.
+	cr := newCtrl(t, g, PolicyRET)
+	for i := 0; i < 3; i++ {
+		if err := cr.RunEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cr.Submit(job.Job{ID: 1, Src: 0, Dst: 1, Size: 1, Start: 0, End: 3}); !errors.Is(err, ErrTooLate) {
+		t.Errorf("RET Submit err = %v, want ErrTooLate", err)
+	}
+}
+
+// TestLinkUpNeverDown covers the satellite edge case: repairing an edge
+// that was never down is a no-op, not an error, and emits no events.
+func TestLinkUpNeverDown(t *testing.T) {
+	g := netgraph.Line(3, 2, 10)
+	c := newCtrl(t, g, PolicyMaxThroughput)
+	if err := c.Submit(job.Job{ID: 1, Src: 0, Dst: 2, Size: 2, Start: 0, End: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LinkUp(0, 0.5); err != nil {
+		t.Fatalf("LinkUp on a healthy edge: %v", err)
+	}
+	if got := c.DownLinks(); len(got) != 0 {
+		t.Errorf("down links = %v, want none", got)
+	}
+	// Out-of-range edges still error.
+	if err := c.LinkUp(netgraph.EdgeID(g.NumEdges()), 0.5); err == nil {
+		t.Error("LinkUp on an unknown edge accepted")
+	}
+	// The run is undisturbed: the job still completes on time.
+	for i := 0; i < 6 && !c.Idle(); i++ {
+		if err := c.RunEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := c.Records()
+	if len(recs) != 1 || !recs[0].Completed || !recs[0].MetDeadline {
+		t.Fatalf("records = %+v, want one on-time completion", recs)
+	}
+	if len(c.Disruptions()) != 0 {
+		t.Errorf("disruptions = %v, want none", c.Disruptions())
+	}
+}
+
+// TestJobStatusesNonMutating checks that the status view reports pending,
+// active, and final jobs without settling the outstanding commitment.
+func TestJobStatusesNonMutating(t *testing.T) {
+	g := netgraph.Line(2, 2, 10)
+	c := newCtrl(t, g, PolicyMaxThroughput)
+	if err := c.Submit(job.Job{ID: 1, Src: 0, Dst: 1, Size: 8, Start: 0, End: 8}); err != nil {
+		t.Fatal(err)
+	}
+	st := c.JobStatuses()
+	if len(st) != 1 || st[0].State != JobPending {
+		t.Fatalf("statuses = %+v, want one pending", st)
+	}
+	if err := c.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	st = c.JobStatuses()
+	if len(st) != 1 || st[0].State != JobActive {
+		t.Fatalf("statuses = %+v, want one active", st)
+	}
+	if st[0].Remaining != 8 {
+		t.Errorf("remaining = %g, want 8 (nothing settled yet)", st[0].Remaining)
+	}
+	if _, _, _, ok := c.CommittedSchedule(); !ok {
+		t.Fatal("no committed schedule after an epoch with active work")
+	}
+	// The view must not have settled the period: a mid-period failure
+	// still sees the commitment.
+	plan, start, end, _ := c.CommittedSchedule()
+	if plan == nil || start != 0 || end != 1 {
+		t.Errorf("committed period [%g, %g), want [0, 1)", start, end)
+	}
+	// Drain and check the final view matches Records.
+	for i := 0; i < 10 && !c.Idle(); i++ {
+		if err := c.RunEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := c.Records()
+	st = c.JobStatuses()
+	if len(st) != len(recs) {
+		t.Fatalf("statuses = %d, records = %d", len(st), len(recs))
+	}
+	if st[0].State != JobCompleted || st[0].Delivered != recs[0].Delivered {
+		t.Errorf("final status %+v does not match record %+v", st[0], recs[0])
+	}
+}

@@ -77,6 +77,40 @@ func TestReadCSVErrors(t *testing.T) {
 	}
 }
 
+// TestDegenerateJobsRejected: a zero-size transfer and an empty window
+// (S_i == E_i) both fail validation on read, in both formats, so no
+// degenerate 6-tuple can enter the pipeline from a trace file.
+func TestDegenerateJobsRejected(t *testing.T) {
+	jsonCases := map[string]string{
+		"zero size":    `[{"id":1,"arrival":0,"src":0,"dst":1,"size":0,"start":0,"end":2}]`,
+		"empty window": `[{"id":1,"arrival":0,"src":0,"dst":1,"size":5,"start":2,"end":2}]`,
+	}
+	for name, text := range jsonCases {
+		if _, err := ReadJSON(strings.NewReader(text)); err == nil {
+			t.Errorf("ReadJSON accepted %s job", name)
+		}
+	}
+	csvCases := map[string]string{
+		"zero size":    "id,arrival,src,dst,size,start,end\n1,0,0,1,0,0,2\n",
+		"empty window": "id,arrival,src,dst,size,start,end\n1,0,0,1,5,2,2\n",
+	}
+	for name, text := range csvCases {
+		if _, err := ReadCSV(strings.NewReader(text)); err == nil {
+			t.Errorf("ReadCSV accepted %s job", name)
+		}
+	}
+	// The same tuples fail Validate directly, so in-process submitters
+	// (HTTP API, sim) see the identical rule.
+	for name, j := range map[string]Job{
+		"zero size":    {ID: 1, Src: 0, Dst: 1, Size: 0, Start: 0, End: 2},
+		"empty window": {ID: 1, Src: 0, Dst: 1, Size: 5, Start: 2, End: 2},
+	} {
+		if err := j.Validate(); err == nil {
+			t.Errorf("Validate accepted %s job", name)
+		}
+	}
+}
+
 func TestReadJSONRejectsDuplicateIDs(t *testing.T) {
 	text := `[
   {"id":7,"arrival":0,"src":0,"dst":1,"size":5,"start":0,"end":2},

@@ -1,0 +1,386 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"wavesched/internal/controller"
+	"wavesched/internal/job"
+	"wavesched/internal/netgraph"
+	"wavesched/internal/store"
+	"wavesched/internal/telemetry"
+	"wavesched/internal/telemetry/telhttp"
+)
+
+// Handler returns the daemon's full HTTP surface: the /v1 JSON API plus
+// the operational endpoints (/metrics in Prometheus text format and
+// /debug/pprof/) on the same listener.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	s.route(mux, "POST /v1/jobs", s.handleSubmit)
+	s.route(mux, "GET /v1/jobs", s.handleListJobs)
+	s.route(mux, "GET /v1/jobs/{id}", s.handleGetJob)
+	s.route(mux, "GET /v1/schedule", s.handleSchedule)
+	s.route(mux, "POST /v1/links/{id}/down", s.handleLinkDown)
+	s.route(mux, "POST /v1/links/{id}/up", s.handleLinkUp)
+	s.route(mux, "GET /v1/healthz", s.handleHealthz)
+	s.route(mux, "GET /v1/stats", s.handleStats)
+
+	ops := telhttp.Handler(telemetry.Default())
+	mux.Handle("/metrics", ops)
+	mux.Handle("/debug/pprof/", ops)
+	return mux
+}
+
+// route registers a handler with request-count and latency metrics.
+func (s *Server) route(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
+	ctr := telemetry.Default().CounterWith("server_http_route_requests_total",
+		"HTTP API requests served, by route.", map[string]string{"route": pattern})
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		h(w, r)
+		ctr.Inc()
+		telRequests.Inc()
+		telRequestSeconds.ObserveSince(t0)
+	})
+}
+
+// errorJSON is the uniform error body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorJSON{Error: msg})
+}
+
+// submitRequest is the POST /v1/jobs body: the paper's 6-tuple with the
+// ID and arrival optional (the server assigns the next free ID and
+// stamps the arrival with the current virtual time).
+type submitRequest struct {
+	ID      *int     `json:"id"`
+	Src     int      `json:"src"`
+	Dst     int      `json:"dst"`
+	Size    float64  `json:"size"`
+	Start   float64  `json:"start"`
+	End     float64  `json:"end"`
+	Arrival *float64 `json:"arrival"`
+}
+
+// submitResponse acknowledges an admission request. State is "pending"
+// (buffered for the next scheduling instant) or "rejected".
+type submitResponse struct {
+	ID    int    `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	var req submitRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode job: "+err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+
+	j := job.Job{
+		Src: netgraph.NodeID(req.Src), Dst: netgraph.NodeID(req.Dst),
+		Size: req.Size, Start: req.Start, End: req.End,
+	}
+	if req.ID != nil {
+		j.ID = job.ID(*req.ID)
+	} else {
+		j.ID = job.ID(s.maxID + 1)
+	}
+	if req.Arrival != nil {
+		j.Arrival = *req.Arrival
+	} else {
+		// Stamp with the current virtual time, capped by the requested
+		// start so the 6-tuple invariant A ≤ S holds.
+		j.Arrival = s.virtualNow()
+		if j.Arrival > j.Start {
+			j.Arrival = j.Start
+		}
+	}
+	if s.seen[j.ID] {
+		telSubmitConflicts.Inc()
+		writeJSON(w, http.StatusConflict, submitResponse{
+			ID: int(j.ID), State: "rejected",
+			Error: "duplicate job id",
+		})
+		return
+	}
+	if err := j.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if int(j.Src) >= s.g.NumNodes() || int(j.Dst) >= s.g.NumNodes() || j.Src < 0 || j.Dst < 0 {
+		writeError(w, http.StatusBadRequest, "src/dst outside the network")
+		return
+	}
+
+	// Durability before acknowledgement: the fully-resolved job (assigned
+	// ID, stamped arrival) is fsynced to the WAL, then applied, so replay
+	// reproduces this submission exactly.
+	if err := s.logEvent(store.Entry{Type: store.EntrySubmit, Job: store.NewJobEntry(j)}); err != nil {
+		writeError(w, http.StatusInternalServerError, "wal append: "+err.Error())
+		return
+	}
+	s.noteID(j.ID)
+	if err := s.ctrl.Submit(j); err != nil {
+		if errors.Is(err, controller.ErrTooLate) {
+			telSubmitConflicts.Inc()
+			writeJSON(w, http.StatusConflict, submitResponse{
+				ID: int(j.ID), State: "rejected", Error: err.Error(),
+			})
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	telSubmitted.Inc()
+	writeJSON(w, http.StatusAccepted, submitResponse{ID: int(j.ID), State: "pending"})
+}
+
+// jobListResponse is the GET /v1/jobs body.
+type jobListResponse struct {
+	Jobs []controller.JobStatusJSON `json:"jobs"`
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	statuses := s.ctrl.JobStatuses()
+	s.mu.Unlock()
+	out := controller.JobStatusesJSON(statuses)
+	sort.SliceStable(out, func(a, b int) bool { return out[a].JobID < out[b].JobID })
+	writeJSON(w, http.StatusOK, jobListResponse{Jobs: out})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad job id")
+		return
+	}
+	s.mu.Lock()
+	statuses := s.ctrl.JobStatuses()
+	s.mu.Unlock()
+	for _, st := range statuses {
+		if int(st.Job.ID) == id {
+			writeJSON(w, http.StatusOK, st.JSON())
+			return
+		}
+	}
+	writeError(w, http.StatusNotFound, "unknown job")
+}
+
+// scheduleSlice is one slice of committed bandwidth on one path.
+type scheduleSlice struct {
+	Start float64 `json:"t"`
+	Len   float64 `json:"len"`
+	Waves float64 `json:"waves"`
+}
+
+// schedulePath is one path's committed assignment for one job.
+type schedulePath struct {
+	Path   int             `json:"path"`
+	Edges  []int           `json:"edges"`
+	Slices []scheduleSlice `json:"slices"`
+}
+
+// scheduleJob is one job's committed assignment.
+type scheduleJob struct {
+	JobID int            `json:"job_id"`
+	Paths []schedulePath `json:"paths"`
+}
+
+// scheduleResponse is the GET /v1/schedule body: the integer assignment
+// currently in force, nonzero entries only.
+type scheduleResponse struct {
+	Committed bool          `json:"committed"`
+	Start     float64       `json:"start,omitempty"`
+	End       float64       `json:"end,omitempty"`
+	Jobs      []scheduleJob `json:"jobs"`
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	plan, start, end, ok := s.ctrl.CommittedSchedule()
+	resp := scheduleResponse{Committed: ok, Jobs: []scheduleJob{}}
+	if ok {
+		resp.Start, resp.End = start, end
+		grid := plan.Inst.Grid
+		for k := range plan.X {
+			sj := scheduleJob{JobID: int(plan.Inst.Jobs[k].ID)}
+			for p := range plan.X[k] {
+				var slices []scheduleSlice
+				for j, v := range plan.X[k][p] {
+					if v > 0 {
+						slices = append(slices, scheduleSlice{
+							Start: grid.Start(j), Len: grid.Len(j), Waves: v,
+						})
+					}
+				}
+				if len(slices) == 0 {
+					continue
+				}
+				edges := make([]int, 0, len(plan.Inst.JobPaths[k][p].Edges))
+				for _, e := range plan.Inst.JobPaths[k][p].Edges {
+					edges = append(edges, int(e))
+				}
+				sj.Paths = append(sj.Paths, schedulePath{Path: p, Edges: edges, Slices: slices})
+			}
+			if len(sj.Paths) > 0 {
+				resp.Jobs = append(resp.Jobs, sj)
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// linkRequest optionally pins the virtual event time of a link
+// transition; omitted, the server stamps the current virtual time.
+type linkRequest struct {
+	Time *float64 `json:"t"`
+}
+
+// linkResponse reports the resulting down set.
+type linkResponse struct {
+	Edge int     `json:"edge"`
+	Time float64 `json:"t"`
+	Down []int   `json:"down"`
+}
+
+func (s *Server) handleLinkDown(w http.ResponseWriter, r *http.Request) {
+	s.handleLinkEvent(w, r, store.EntryLinkDown)
+}
+
+func (s *Server) handleLinkUp(w http.ResponseWriter, r *http.Request) {
+	s.handleLinkEvent(w, r, store.EntryLinkUp)
+}
+
+func (s *Server) handleLinkEvent(w http.ResponseWriter, r *http.Request, kind store.EntryType) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad link id")
+		return
+	}
+	var req linkRequest
+	if body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<16)); err == nil && len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, "decode body: "+err.Error())
+			return
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	if id < 0 || id >= s.g.NumEdges() {
+		writeError(w, http.StatusNotFound, "unknown link")
+		return
+	}
+	t := s.virtualNow()
+	if req.Time != nil {
+		t = *req.Time
+	}
+	if err := s.logEvent(store.Entry{Type: kind, Time: t, Edge: id}); err != nil {
+		writeError(w, http.StatusInternalServerError, "wal append: "+err.Error())
+		return
+	}
+	if kind == store.EntryLinkDown {
+		err = s.ctrl.LinkDown(netgraph.EdgeID(id), t)
+	} else {
+		err = s.ctrl.LinkUp(netgraph.EdgeID(id), t)
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	down := make([]int, 0)
+	for _, e := range s.ctrl.DownLinks() {
+		down = append(down, int(e))
+	}
+	writeJSON(w, http.StatusOK, linkResponse{Edge: id, Time: t, Down: down})
+}
+
+// healthzResponse is the GET /v1/healthz body.
+type healthzResponse struct {
+	Status     string  `json:"status"`
+	Epochs     int     `json:"epochs"`
+	VirtualNow float64 `json:"virtual_now"`
+	WALSeq     uint64  `json:"wal_seq"`
+	Durable    bool    `json:"durable"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := healthzResponse{
+		Status: "ok", Epochs: s.ctrl.Epochs, VirtualNow: s.virtualNow(),
+		Durable: s.wal != nil,
+	}
+	if s.closed {
+		resp.Status = "draining"
+	}
+	if s.wal != nil {
+		resp.WALSeq = s.wal.Seq()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statsResponse is the GET /v1/stats body: per-epoch history plus the
+// aggregate summary as of the last settlement.
+type statsResponse struct {
+	Epochs      []controller.EpochStatJSON  `json:"epochs"`
+	Summary     controller.SummaryJSON      `json:"summary"`
+	Disruptions []controller.DisruptionJSON `json:"disruptions"`
+	Pending     int                         `json:"pending"`
+	Active      int                         `json:"active"`
+	DownLinks   []int                       `json:"down_links"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	down := make([]int, 0)
+	for _, e := range s.ctrl.DownLinks() {
+		down = append(down, int(e))
+	}
+	writeJSON(w, http.StatusOK, statsResponse{
+		Epochs:      controller.EpochStatsJSON(s.ctrl.EpochStats()),
+		Summary:     controller.Summarize(s.ctrl.CurrentRecords()).JSON(),
+		Disruptions: controller.DisruptionsJSON(s.ctrl.Disruptions()),
+		Pending:     s.ctrl.PendingCount(),
+		Active:      s.ctrl.ActiveCount(),
+		DownLinks:   down,
+	})
+}

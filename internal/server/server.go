@@ -1,0 +1,297 @@
+// Package server turns the periodic controller into a long-running
+// network service: an HTTP JSON API for job admission, status, schedule
+// inspection, and fault injection, driven by a wall-clock epoch loop and
+// made durable by the store package's WAL/snapshot log.
+//
+// Concurrency follows a single-writer discipline: one mutex serializes
+// every state-changing path (HTTP submissions, link events, epoch ticks,
+// shutdown settlement) against the controller, whose own methods are not
+// safe for concurrent use. Read endpoints take the same mutex but only
+// call the controller's non-mutating views (CurrentRecords, JobStatuses,
+// CommittedSchedule), so polling can never perturb settlement order —
+// the property that keeps WAL replay byte-identical.
+//
+// Durability is event-sourced: every accepted admission, link event, and
+// epoch boundary is fsynced to the WAL before it is applied, and the
+// controller is deterministic, so a restarted daemon replays
+// snapshot+WAL through a fresh controller and arrives at byte-identical
+// state (see internal/store).
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"wavesched/internal/controller"
+	"wavesched/internal/job"
+	"wavesched/internal/netgraph"
+	"wavesched/internal/store"
+	"wavesched/internal/telemetry"
+)
+
+// Package-level instruments on the default telemetry registry.
+var (
+	telRequests = telemetry.Default().Counter("server_http_requests_total",
+		"HTTP API requests served.")
+	telRequestSeconds = telemetry.Default().Histogram("server_http_request_seconds",
+		"Wall time of one HTTP API request.", nil)
+	telSubmitted = telemetry.Default().Counter("server_jobs_submitted_total",
+		"Jobs accepted over the HTTP API.")
+	telSubmitConflicts = telemetry.Default().Counter("server_submit_conflicts_total",
+		"Submissions refused with HTTP 409 (duplicate ID or dead window).")
+	telTicks = telemetry.Default().Counter("server_epoch_ticks_total",
+		"Epoch ticks executed by the wall-clock loop or Tick.")
+	telIdleSkips = telemetry.Default().Counter("server_idle_ticks_skipped_total",
+		"Ticker firings skipped because the controller was idle.")
+)
+
+// Config tunes the serving layer. Controller carries the scheduling
+// configuration verbatim.
+type Config struct {
+	Controller controller.Config
+
+	// Period is the wall-clock duration of one scheduling period τ. The
+	// Run loop executes one epoch per period. Zero disables the loop;
+	// epochs then advance only through explicit Tick calls (tests, or an
+	// external clock source).
+	Period time.Duration
+
+	// WALDir enables durability: every admission, link event, and epoch
+	// boundary is logged there and replayed on restart. Empty runs
+	// in-memory only.
+	WALDir string
+
+	// SnapshotEvery compacts the WAL into the snapshot after this many
+	// live entries. Zero disables compaction. Ignored without WALDir.
+	SnapshotEvery int
+
+	// Logger receives serving diagnostics; nil selects slog.Default().
+	Logger *slog.Logger
+}
+
+// Server is the scheduler daemon's core: controller + WAL + clock.
+type Server struct {
+	mu     sync.Mutex
+	g      *netgraph.Graph
+	cfg    Config
+	ctrl   *controller.Controller
+	wal    *store.Log // nil when running in-memory
+	logger *slog.Logger
+
+	maxID     int // highest job ID seen (for auto-assignment)
+	seen      map[job.ID]bool
+	epochWall time.Time // wall instant of the most recent tick
+	closed    bool
+}
+
+// New builds a server over the graph. With Config.WALDir set, the
+// persisted event history is replayed through a fresh controller first,
+// restoring the pre-restart state exactly.
+func New(g *netgraph.Graph, cfg Config) (*Server, error) {
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	if cfg.Controller.Logger == nil {
+		cfg.Controller.Logger = logger
+	}
+	ctrl, err := controller.New(g, cfg.Controller)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		g: g, cfg: cfg, ctrl: ctrl, logger: logger,
+		seen: make(map[job.ID]bool), epochWall: time.Now(),
+	}
+	if cfg.WALDir != "" {
+		wal, entries, err := store.Open(cfg.WALDir, cfg.SnapshotEvery)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.replay(entries); err != nil {
+			wal.Close()
+			return nil, err
+		}
+		s.wal = wal
+		if len(entries) > 0 {
+			logger.Info("server: replayed event log",
+				"entries", len(entries), "epochs", ctrl.Epochs, "t", ctrl.Now())
+		}
+	}
+	return s, nil
+}
+
+// replay re-applies the persisted event history to the fresh controller.
+// The controller is deterministic, so this reconstructs the exact
+// pre-restart state.
+func (s *Server) replay(entries []store.Entry) error {
+	for _, e := range entries {
+		switch e.Type {
+		case store.EntrySubmit:
+			if e.Job == nil {
+				return fmt.Errorf("server: replay entry %d: submit without job", e.Seq)
+			}
+			j := e.Job.Job()
+			s.noteID(j.ID)
+			if err := s.ctrl.Submit(j); err != nil && !errors.Is(err, controller.ErrTooLate) {
+				return fmt.Errorf("server: replay entry %d: %w", e.Seq, err)
+			}
+		case store.EntryEpoch:
+			if err := s.ctrl.RunEpoch(); err != nil {
+				return fmt.Errorf("server: replay entry %d: %w", e.Seq, err)
+			}
+		case store.EntryLinkDown:
+			if err := s.ctrl.LinkDown(netgraph.EdgeID(e.Edge), e.Time); err != nil {
+				return fmt.Errorf("server: replay entry %d: %w", e.Seq, err)
+			}
+		case store.EntryLinkUp:
+			if err := s.ctrl.LinkUp(netgraph.EdgeID(e.Edge), e.Time); err != nil {
+				return fmt.Errorf("server: replay entry %d: %w", e.Seq, err)
+			}
+		default:
+			return fmt.Errorf("server: replay entry %d: unknown type %q", e.Seq, e.Type)
+		}
+	}
+	return nil
+}
+
+// noteID records a job ID for duplicate detection and auto-assignment.
+func (s *Server) noteID(id job.ID) {
+	s.seen[id] = true
+	if int(id) > s.maxID {
+		s.maxID = int(id)
+	}
+}
+
+// virtualNow maps the wall clock onto controller time: during a period
+// it interpolates linearly from the last tick; while idle (or without a
+// running loop) it pins to the next scheduling instant. Link events and
+// default arrival stamps use it, and its value is persisted in the WAL,
+// so replay never re-reads the wall clock.
+func (s *Server) virtualNow() float64 {
+	now := s.ctrl.Now()
+	if s.cfg.Period <= 0 || s.ctrl.Epochs == 0 {
+		return now
+	}
+	frac := float64(time.Since(s.epochWall)) / float64(s.cfg.Period)
+	if frac > 1 {
+		frac = 1
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	return now - s.cfg.Controller.Tau*(1-frac)
+}
+
+// logEvent appends to the WAL (when durable) before the event is applied.
+func (s *Server) logEvent(e store.Entry) error {
+	if s.wal == nil {
+		return nil
+	}
+	_, err := s.wal.Append(e)
+	return err
+}
+
+// Tick executes one scheduling epoch: WAL the boundary, then run
+// admission/planning and advance the virtual clock by τ. Safe to call
+// concurrently with HTTP traffic.
+func (s *Server) Tick() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tickLocked()
+}
+
+func (s *Server) tickLocked() error {
+	if s.closed {
+		return fmt.Errorf("server: closed")
+	}
+	if err := s.logEvent(store.Entry{Type: store.EntryEpoch}); err != nil {
+		return err
+	}
+	if err := s.ctrl.RunEpoch(); err != nil {
+		return err
+	}
+	s.epochWall = time.Now()
+	telTicks.Inc()
+	return nil
+}
+
+// busy reports whether an epoch would do anything: pending submissions,
+// unfinished admitted jobs, or an unsettled commitment.
+func (s *Server) busy() bool {
+	if s.ctrl.PendingCount() > 0 || s.ctrl.ActiveCount() > 0 {
+		return true
+	}
+	_, _, _, committed := s.ctrl.CommittedSchedule()
+	return committed
+}
+
+// Run drives the wall-clock epoch loop until ctx is cancelled. Ticker
+// firings while the system is fully idle are skipped — the virtual clock
+// freezes rather than filling the WAL with empty epochs — and resume
+// with the first submission. Run returns nil after ctx ends; call Close
+// to settle and release the WAL.
+func (s *Server) Run(ctx context.Context) error {
+	if s.cfg.Period <= 0 {
+		<-ctx.Done()
+		return nil
+	}
+	ticker := time.NewTicker(s.cfg.Period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				return nil
+			}
+			if !s.busy() {
+				telIdleSkips.Inc()
+				s.epochWall = time.Now()
+				s.mu.Unlock()
+				continue
+			}
+			err := s.tickLocked()
+			s.mu.Unlock()
+			if err != nil {
+				s.logger.Error("server: epoch tick failed", "err", err)
+			}
+		}
+	}
+}
+
+// Close settles the in-flight commitment — crediting every transfer the
+// committed schedule still owes — and closes the WAL. The server rejects
+// all traffic afterwards.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.ctrl.Records() // settle in-flight commitments
+	if s.wal != nil {
+		return s.wal.Close()
+	}
+	return nil
+}
+
+// Records settles and returns the controller's final accounting, for
+// tests and the drain path.
+func (s *Server) Records() []controller.Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrl.Records()
+}
+
+// Controller exposes the underlying controller for tests. Callers must
+// not mutate it while the server is live.
+func (s *Server) Controller() *controller.Controller { return s.ctrl }

@@ -7,6 +7,7 @@ package sim
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -178,7 +179,12 @@ func RunWithFailures(ctrl *controller.Controller, jobs []job.Job, failures []Lin
 			telArrivals.Inc()
 			pendingArrivals--
 			if err := ctrl.Submit(ev.Job); err != nil {
-				return nil, fmt.Errorf("sim: submit job %d: %w", ev.Job.ID, err)
+				// A dead-window arrival (deadline behind the epoch clock)
+				// already produced its rejected record inside Submit; the
+				// run goes on.
+				if !errors.Is(err, controller.ErrTooLate) {
+					return nil, fmt.Errorf("sim: submit job %d: %w", ev.Job.ID, err)
+				}
 			}
 		case EventLinkDown:
 			telLinkEvents.Inc()

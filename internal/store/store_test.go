@@ -1,0 +1,243 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"wavesched/internal/job"
+)
+
+func testJob(id int) job.Job {
+	return job.Job{ID: job.ID(id), Arrival: 0, Src: 0, Dst: 1, Size: 2, Start: 0, End: 4}
+}
+
+func appendAll(t *testing.T, l *Log, entries ...Entry) []Entry {
+	t.Helper()
+	out := make([]Entry, 0, len(entries))
+	for _, e := range entries {
+		got, err := l.Append(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, got)
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, entries, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("fresh log replayed %d entries", len(entries))
+	}
+	written := appendAll(t, l,
+		Entry{Type: EntrySubmit, Job: NewJobEntry(testJob(1))},
+		Entry{Type: EntryEpoch},
+		Entry{Type: EntryLinkDown, Time: 1.5, Edge: 3},
+		Entry{Type: EntryLinkUp, Time: 2.25, Edge: 3},
+		Entry{Type: EntryEpoch},
+	)
+	if l.Seq() != 5 {
+		t.Errorf("seq = %d, want 5", l.Seq())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, replayed, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if !reflect.DeepEqual(replayed, written) {
+		t.Fatalf("replayed %+v\nwant %+v", replayed, written)
+	}
+	if got := replayed[0].Job.Job(); got != testJob(1) {
+		t.Errorf("job round trip: %+v != %+v", got, testJob(1))
+	}
+	if l2.Seq() != 5 {
+		t.Errorf("reopened seq = %d, want 5", l2.Seq())
+	}
+	// Appends continue the sequence.
+	e, err := l2.Append(Entry{Type: EntryEpoch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Seq != 6 {
+		t.Errorf("next seq = %d, want 6", e.Seq)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, Entry{Type: EntryEpoch}, Entry{Type: EntryEpoch})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a partial line with no newline.
+	f, err := os.OpenFile(filepath.Join(dir, walName), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":3,"ty`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, replayed, err := Open(dir, 0)
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	defer l2.Close()
+	if len(replayed) != 2 {
+		t.Fatalf("replayed %d entries, want 2", len(replayed))
+	}
+	// The torn bytes are gone; the next append lands on a clean boundary.
+	e, err := l2.Append(Entry{Type: EntryLinkDown, Time: 1, Edge: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Seq != 3 {
+		t.Errorf("seq after torn tail = %d, want 3", e.Seq)
+	}
+	l2.Close()
+	_, replayed, err = Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != 3 || replayed[2].Type != EntryLinkDown {
+		t.Fatalf("replayed %+v, want 3 entries ending in link_down", replayed)
+	}
+}
+
+// TestMidFileCorruptionRejected: a bad line that is not the final line is
+// corruption, not a torn tail, and must fail the open.
+func TestMidFileCorruptionRejected(t *testing.T) {
+	dir := t.TempDir()
+	wal := filepath.Join(dir, walName)
+	content := `{"seq":1,"type":"epoch","edge":0}` + "\n" +
+		"garbage\n" +
+		`{"seq":2,"type":"epoch","edge":0}` + "\n"
+	if err := os.WriteFile(wal, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, 0); err == nil {
+		t.Fatal("mid-file corruption accepted")
+	}
+}
+
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var written []Entry
+	for i := 0; i < 8; i++ {
+		written = append(written, appendAll(t, l, Entry{Type: EntryEpoch})...)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// 8 appends with snapshotEvery=3: compactions at 3 and 6, so the
+	// snapshot holds 6 entries and the live WAL 2.
+	snap, _, err := readEntries(filepath.Join(dir, snapName), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 6 {
+		t.Errorf("snapshot entries = %d, want 6", len(snap))
+	}
+	wal, _, err := readEntries(filepath.Join(dir, walName), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wal) != 2 {
+		t.Errorf("live wal entries = %d, want 2", len(wal))
+	}
+
+	_, replayed, err := Open(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(replayed, written) {
+		t.Fatalf("replay after compaction: %+v\nwant %+v", replayed, written)
+	}
+}
+
+// TestStaleWALAfterCrashedCompaction simulates a crash between the
+// snapshot rename and the WAL truncate: the WAL still holds entries the
+// snapshot already absorbed. Open must drop the stale segment.
+func TestStaleWALAfterCrashedCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	written := appendAll(t, l,
+		Entry{Type: EntryEpoch},
+		Entry{Type: EntrySubmit, Job: NewJobEntry(testJob(1))},
+	)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-craft the crashed state: snapshot = full history, WAL intact.
+	walBytes, err := os.ReadFile(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, snapName), walBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, replayed, err := Open(dir, 0)
+	if err != nil {
+		t.Fatalf("open after crashed compaction: %v", err)
+	}
+	defer l2.Close()
+	if !reflect.DeepEqual(replayed, written) {
+		t.Fatalf("replayed %+v, want %+v (stale WAL must be dropped)", replayed, written)
+	}
+	if e, err := l2.Append(Entry{Type: EntryEpoch}); err != nil || e.Seq != 3 {
+		t.Fatalf("append after recovery: seq %d err %v, want seq 3", e.Seq, err)
+	}
+}
+
+func TestSeqGapRejected(t *testing.T) {
+	dir := t.TempDir()
+	wal := filepath.Join(dir, walName)
+	content := `{"seq":1,"type":"epoch","edge":0}` + "\n" +
+		`{"seq":3,"type":"epoch","edge":0}` + "\n"
+	if err := os.WriteFile(wal, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, 0); err == nil {
+		t.Fatal("seq gap accepted")
+	}
+}
+
+func TestClosedLogRejectsAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Entry{Type: EntryEpoch}); err == nil {
+		t.Fatal("append on a closed log accepted")
+	}
+	if err := l.Close(); err != nil { // double close is a no-op
+		t.Fatal(err)
+	}
+}
