@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race race-serve bench bench-telemetry clean
+.PHONY: check vet build test race race-serve bench bench-smoke bench-telemetry clean
 
 check: vet build race-serve race
 
@@ -28,6 +28,12 @@ race-serve:
 # Full benchmark harness at quick scale (minutes).
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# Benchmark smoke: one iteration of the telemetry-off guard and the
+# warm-vs-cold RET comparison, so the warm-start path is exercised (and
+# kept compiling) on every PR without paying for a full bench run.
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkSolveTelemetryOff$$|BenchmarkRETWarmVsCold' -benchtime 1x .
 
 # Guard for the telemetry layer's disabled-path cost: lp.SolveWith with
 # no tracer attached must stay within noise (<2%) of the seed solver.

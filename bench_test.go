@@ -95,6 +95,67 @@ func BenchmarkFig4(b *testing.B) {
 	last := rows[len(rows)-1]
 	b.ReportMetric(last.LPAvgEnd, "lp_avg_end_slices")
 	b.ReportMetric(last.LPDARAvgEnd, "lpdar_avg_end_slices")
+	b.ReportMetric(last.LPms, "lp_ms")
+}
+
+// retBenchInstance builds an overloaded QuickScale-sized RET instance
+// whose binary search needs the full probe ladder (b̂ well above 0).
+func retBenchInstance(b *testing.B) *schedule.Instance {
+	b.Helper()
+	const w = 4
+	g, err := netgraph.Waxman(netgraph.WaxmanConfig{
+		Nodes: 30, LinkPairs: 60, Wavelengths: w, GbpsPerWave: 20.0 / w, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs, err := workload.Generate(g, workload.Config{
+		Jobs: 12, Seed: 1001, GBToDemand: workload.GBToDemandFactor(20.0/w, 10),
+		MinWindow: 3, MaxWindow: 6, StartSpread: 1.5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range jobs {
+		jobs[i].Size *= 3 // overload: windows cannot hold the demand
+	}
+	inst, err := schedule.BuildRETInstance(g, jobs, 1, 4, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst
+}
+
+// BenchmarkRETWarmVsCold measures the tentpole speedup: the RET binary
+// search re-solved cold every round versus warm-started probes chaining a
+// basis across rounds (and, like the controller's epoch loop, across
+// iterations via ProbeBasis). Schedules are byte-identical either way —
+// see TestSolveRETWarmByteIdentical.
+func BenchmarkRETWarmVsCold(b *testing.B) {
+	inst := retBenchInstance(b)
+	cfg := schedule.RETConfig{BMax: 3, Solver: lp.Options{Pricing: lp.PartialDantzig}}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := schedule.SolveRET(inst, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.BHat == 0 {
+				b.Fatal("instance not overloaded; probe ladder unexercised")
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		wcfg := cfg
+		wcfg.WarmStart = true
+		for i := 0; i < b.N; i++ {
+			res, err := schedule.SolveRET(inst, wcfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wcfg.WarmBasis = res.ProbeBasis // carry across epochs, like the controller
+		}
+	})
 }
 
 // BenchmarkTableFractionFinished regenerates the §III-B.1 comparison: the

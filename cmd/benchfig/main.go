@@ -10,22 +10,46 @@
 //	benchfig -fig all          # everything
 //	benchfig -fig 1 -quick     # reduced scale for a fast run
 //	benchfig -fig 1 -csv       # CSV instead of aligned text
+//	benchfig -quick -json BENCH_04.json   # machine-readable perf record
 //
 // Scale flags (-nodes, -pairs, -jobs, -slices, -k, -seeds) override the
 // defaults, which match the paper (100 nodes, 200 link pairs, 20 Gb/s
 // links, sizes U[1,100] GB).
+//
+// -json writes a machine-readable report: per figure, the wall time of
+// the sweep (ns/op) and its headline metrics, so successive runs track
+// the performance trajectory of the solver stack.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"wavesched/internal/experiments"
 	"wavesched/internal/metrics"
 )
+
+// figReport is one figure's entry in the -json report.
+type figReport struct {
+	NsPerOp int64              `json:"ns_per_op"` // wall time of the full sweep
+	Metrics map[string]float64 `json:"metrics"`   // headline metrics, as in bench_test.go
+}
+
+// benchReport is the -json output: the scale the figures ran at plus one
+// timed entry per figure.
+type benchReport struct {
+	Scale   string               `json:"scale"` // "paper", "quick", or "custom"
+	Nodes   int                  `json:"nodes"`
+	Jobs    int                  `json:"jobs"`
+	Seeds   int                  `json:"seeds"`
+	Warm    bool                 `json:"warm"`
+	Figures map[string]figReport `json:"figures"`
+}
 
 func main() {
 	var (
@@ -38,8 +62,9 @@ func main() {
 		slices = flag.Int("slices", 0, "override horizon slices")
 		k      = flag.Int("k", 0, "override paths per job")
 		seeds  = flag.String("seeds", "", "comma-separated replication seeds")
-		waves  = flag.String("waves", "", "comma-separated wavelength sweep for figs 1-2")
-		counts = flag.String("counts", "", "comma-separated job-count sweep for figs 3-4")
+		waves   = flag.String("waves", "", "comma-separated wavelength sweep for figs 1-2")
+		counts  = flag.String("counts", "", "comma-separated job-count sweep for figs 3-4")
+		jsonOut = flag.String("json", "", "write headline metrics and ns/op per figure to this file (e.g. BENCH_04.json)")
 	)
 	flag.Parse()
 
@@ -90,35 +115,78 @@ func main() {
 
 	want := func(name string) bool { return *fig == "all" || *fig == name }
 
+	scaleName := "paper"
+	if *quick {
+		scaleName = "quick"
+	}
+	if *nodes > 0 || *pairs > 0 || *jobs > 0 || *slices > 0 || *k > 0 || *seeds != "" {
+		scaleName = "custom"
+	}
+	report := benchReport{
+		Scale: scaleName, Nodes: sc.Nodes, Jobs: sc.Jobs,
+		Seeds: len(sc.Seeds), Warm: sc.Warm,
+		Figures: map[string]figReport{},
+	}
+	record := func(name string, elapsed time.Duration, m map[string]float64) {
+		report.Figures[name] = figReport{NsPerOp: elapsed.Nanoseconds(), Metrics: m}
+	}
+
 	if want("1") {
+		start := time.Now()
 		rows, err := experiments.Fig1(sc, waveSweep)
 		if err != nil {
 			fatal("fig 1: %v", err)
 		}
+		record("fig1", time.Since(start), map[string]float64{
+			"lpd_ratio_low_w":   rows[0].LPDRatio,
+			"lpdar_ratio_low_w": rows[0].LPDARRatio,
+			"lpd_ratio_high_w":  rows[len(rows)-1].LPDRatio,
+		})
 		render(experiments.ThroughputTable(
 			"Fig. 1 — normalized throughput vs wavelengths per link (random network)", rows))
 	}
 	if want("2") {
+		start := time.Now()
 		rows, err := experiments.Fig2(sc, waveSweep)
 		if err != nil {
 			fatal("fig 2: %v", err)
 		}
+		record("fig2", time.Since(start), map[string]float64{
+			"lpd_ratio_low_w":   rows[0].LPDRatio,
+			"lpdar_ratio_low_w": rows[0].LPDARRatio,
+		})
 		render(experiments.ThroughputTable(
 			"Fig. 2 — normalized throughput vs wavelengths per link (Abilene, 11 nodes / 20 pairs)", rows))
 	}
 	if want("3") {
+		start := time.Now()
 		rows, err := experiments.Fig3(sc, countSweep)
 		if err != nil {
 			fatal("fig 3: %v", err)
 		}
+		last := rows[len(rows)-1]
+		record("fig3", time.Since(start), map[string]float64{
+			"lp_ms":                   last.LPms,
+			"integerize_overhead_pct": (last.LPDARms - last.LPms) / last.LPms * 100,
+			"simplex_iters":           float64(last.SimplexIter),
+		})
 		render(experiments.TimeTable(
 			"Fig. 3 — computation time vs number of jobs (random network)", rows))
 	}
 	if want("4") || want("ff") {
+		start := time.Now()
 		rows, err := experiments.Fig4(sc, countSweep, experiments.RETConfig{})
 		if err != nil {
 			fatal("fig 4: %v", err)
 		}
+		last := rows[len(rows)-1]
+		record("fig4", time.Since(start), map[string]float64{
+			"lp_ms":                last.LPms,
+			"lp_avg_end_slices":    last.LPAvgEnd,
+			"lpdar_avg_end_slices": last.LPDARAvgEnd,
+			"b_hat":                last.BHat,
+			"finished_lpdar":       last.FracLPDAR,
+		})
 		render(experiments.RETTable(
 			"Fig. 4 + §III-B.1 — RET: average end time (slices) and fraction finished", rows))
 	}
@@ -156,6 +224,19 @@ func main() {
 		}
 		render(experiments.GapTable(
 			"Beyond the paper — LPDAR vs proven integer optimum (branch and bound)", rows))
+	}
+	if *jsonOut != "" {
+		if len(report.Figures) == 0 {
+			fatal("-json: the selected -fig %q produces no timed figures", *fig)
+		}
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatal("-json: %v", err)
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			fatal("-json: %v", err)
+		}
+		fmt.Printf("wrote %s (%d figures)\n", *jsonOut, len(report.Figures))
 	}
 }
 

@@ -72,6 +72,7 @@ func main() {
 		k        = flag.Int("k", 4, "allowed paths per job")
 		alpha    = flag.Float64("alpha", 0.1, "stage-2 fairness slack")
 		bmax     = flag.Float64("bmax", 5, "RET extension ceiling")
+		warm     = flag.Bool("warm", false, "warm-start LP solves across repeated-solve loops (same schedules, fewer pivots)")
 		verbose  = flag.Bool("verbose", false, "dump per-slice assignments")
 		jsonOut  = flag.Bool("json", false, "emit the -algo sim result as JSON instead of text")
 
@@ -166,9 +167,9 @@ func main() {
 
 	switch *algo {
 	case "maxthroughput":
-		runMaxThroughput(g, jobs, *slices, *sliceLen, *k, *alpha, *verbose)
+		runMaxThroughput(g, jobs, *slices, *sliceLen, *k, *alpha, *warm, *verbose)
 	case "ret":
-		runRET(g, jobs, *sliceLen, *k, *bmax, *verbose)
+		runRET(g, jobs, *sliceLen, *k, *bmax, *warm, *verbose)
 	case "admit":
 		runAdmit(g, jobs, *slices, *sliceLen, *k)
 	case "bottleneck":
@@ -176,7 +177,7 @@ func main() {
 	case "sim":
 		err := runSim(os.Stdout, g, jobs, simOptions{
 			Tau: *tau, SliceLen: *sliceLen, K: *k, Alpha: *alpha, BMax: *bmax,
-			Policy: *policy, MaxTime: *maxTime, JSON: *jsonOut,
+			Policy: *policy, MaxTime: *maxTime, JSON: *jsonOut, Warm: *warm,
 			FailTrace: *failTrace, MTBF: *mtbf, MTTR: *mttr, FailSeed: *failSeed,
 		})
 		if err != nil {
@@ -271,7 +272,7 @@ func setupLogging(level string) error {
 	return nil
 }
 
-func runMaxThroughput(g *netgraph.Graph, jobs []job.Job, slices int, sliceLen float64, k int, alpha float64, verbose bool) {
+func runMaxThroughput(g *netgraph.Graph, jobs []job.Job, slices int, sliceLen float64, k int, alpha float64, warm, verbose bool) {
 	grid, err := timeslice.Uniform(0, sliceLen, slices)
 	if err != nil {
 		fatal("%v", err)
@@ -281,7 +282,7 @@ func runMaxThroughput(g *netgraph.Graph, jobs []job.Job, slices int, sliceLen fl
 		fatal("%v", err)
 	}
 	res, err := schedule.MaxThroughput(inst, schedule.Config{
-		Alpha: alpha, AlphaGrowth: 0.1, Solver: lpOptions(),
+		Alpha: alpha, AlphaGrowth: 0.1, Solver: lpOptions(), WarmStart: warm,
 	})
 	if err != nil {
 		fatal("%v", err)
@@ -317,12 +318,12 @@ func runMaxThroughput(g *netgraph.Graph, jobs []job.Job, slices int, sliceLen fl
 	}
 }
 
-func runRET(g *netgraph.Graph, jobs []job.Job, sliceLen float64, k int, bmax float64, verbose bool) {
+func runRET(g *netgraph.Graph, jobs []job.Job, sliceLen float64, k int, bmax float64, warm, verbose bool) {
 	inst, err := schedule.BuildRETInstance(g, jobs, sliceLen, k, bmax)
 	if err != nil {
 		fatal("%v", err)
 	}
-	res, err := schedule.SolveRET(inst, schedule.RETConfig{BMax: bmax, Solver: lpOptions()})
+	res, err := schedule.SolveRET(inst, schedule.RETConfig{BMax: bmax, Solver: lpOptions(), WarmStart: warm})
 	if err != nil {
 		fatal("%v", err)
 	}

@@ -23,6 +23,7 @@ type simOptions struct {
 	Policy   string
 	MaxTime  float64
 	JSON     bool // emit the run result as JSON instead of text
+	Warm     bool // warm-start LP solves across epochs
 
 	FailTrace string  // JSON link-event trace to inject
 	MTBF      float64 // generate failures with this mean up-time (0 = off)
@@ -89,6 +90,7 @@ func runSim(w io.Writer, g *netgraph.Graph, jobs []job.Job, o simOptions) error 
 	ctrl, err := controller.New(g, controller.Config{
 		Tau: o.Tau, SliceLen: o.SliceLen, K: o.K, Alpha: o.Alpha,
 		Policy: policy, BMax: o.BMax, Solver: lpOptions(), Tracer: tracer,
+		WarmStart: o.Warm,
 	})
 	if err != nil {
 		return err

@@ -24,6 +24,7 @@ import (
 	"log/slog"
 	"math"
 	"sort"
+	"strings"
 	"time"
 
 	"wavesched/internal/job"
@@ -120,6 +121,13 @@ type Config struct {
 	// Logger receives degraded-epoch and recovery diagnostics; nil
 	// selects slog.Default().
 	Logger *slog.Logger
+	// WarmStart carries the LP basis across epochs: RET probe bases and
+	// stage-2 α-ladder bases are retained while the topology and job mix
+	// are unchanged (invalidated on LinkDown/LinkUp and on admissions),
+	// and repeated-solve loops inside one epoch chain their bases. The
+	// committed schedules are byte-identical either way; only solve time
+	// changes.
+	WarmStart bool
 }
 
 func (c Config) validate() error {
@@ -237,6 +245,17 @@ type Controller struct {
 	// zeroWave lists edges that carry no wavelengths even when healthy.
 	zeroWave map[netgraph.EdgeID]bool
 
+	// pathCache memoizes per-(src, dst) path sets across epoch instance
+	// builds, keyed by the failed-link set (see schedule.PathCache).
+	pathCache *schedule.PathCache
+	// warmRET chains the RET probe basis across epochs under
+	// Config.WarmStart; warmKey fingerprints the job mix it was captured
+	// under, so an admission or retirement stops the hand-off (the lp
+	// layer would reject the structural mismatch anyway — the key just
+	// skips the doomed attempt).
+	warmRET *lp.Basis
+	warmKey string
+
 	disruptions []Disruption
 
 	// Epochs counts RunEpoch calls.
@@ -284,7 +303,7 @@ func New(g *netgraph.Graph, cfg Config) (*Controller, error) {
 	if logger == nil {
 		logger = slog.Default()
 	}
-	ctrl := &Controller{g: g, cfg: cfg, logger: logger}
+	ctrl := &Controller{g: g, cfg: cfg, logger: logger, pathCache: schedule.NewPathCache()}
 	for _, e := range g.Edges() {
 		if e.Wavelengths == 0 {
 			if ctrl.zeroWave == nil {
@@ -775,6 +794,9 @@ func (c *Controller) RunEpoch() error {
 		})
 	}
 	c.pending = c.pending[:0]
+	if stat.Admitted > 0 {
+		c.warmRET, c.warmKey = nil, "" // job mix changed: basis is stale
+	}
 
 	// Retire active jobs whose remaining window can no longer hold a whole
 	// slice: nothing further can be scheduled for them.
@@ -857,7 +879,9 @@ func (c *Controller) buildInstance(now float64) (*schedule.Instance, []*activeJo
 	if err != nil {
 		return nil, fresh, err
 	}
-	inst, err := schedule.NewInstance(c.graph(), grid, jobs, c.cfg.K)
+	inst, err := schedule.NewInstanceOpts(c.graph(), grid, jobs, schedule.InstanceOptions{
+		K: c.cfg.K, PathCache: c.pathCache,
+	})
 	if err != nil {
 		return nil, fresh, fmt.Errorf("controller: epoch at t=%g: %w", now, err)
 	}
@@ -918,18 +942,32 @@ func (c *Controller) solvePolicy(inst *schedule.Instance, fresh []*activeJob, no
 	case PolicyMaxThroughput, PolicyReject:
 		res, err := schedule.MaxThroughput(inst, schedule.Config{
 			Alpha: c.cfg.Alpha, AlphaGrowth: 0.1, Solver: c.cfg.Solver,
-			Weight: c.cfg.Weight,
+			Weight: c.cfg.Weight, WarmStart: c.cfg.WarmStart,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("controller: epoch at t=%g: %w", now, err)
 		}
 		return res.LPDAR, nil
 	case PolicyRET:
-		res, err := schedule.SolveRET(inst, schedule.RETConfig{
+		retCfg := schedule.RETConfig{
 			BMax: c.cfg.BMax, Solver: c.cfg.Solver,
-		})
+		}
+		if c.cfg.WarmStart {
+			retCfg.WarmStart = true
+			// Hand the previous epoch's probe basis over only while the
+			// job mix is unchanged; a mismatched basis is merely a wasted
+			// lp fallback, never a wrong answer.
+			if key := jobMixKey(fresh); key == c.warmKey {
+				retCfg.WarmBasis = c.warmRET
+			}
+		}
+		res, err := schedule.SolveRET(inst, retCfg)
 		if err != nil {
 			return nil, fmt.Errorf("controller: epoch at t=%g: %w", now, err)
+		}
+		if c.cfg.WarmStart {
+			c.warmRET = res.ProbeBasis
+			c.warmKey = jobMixKey(fresh)
 		}
 		// Renegotiated deadlines: extend every active job's effective end.
 		for i, aj := range fresh {
@@ -942,6 +980,16 @@ func (c *Controller) solvePolicy(inst *schedule.Instance, fresh []*activeJob, no
 	default:
 		return nil, fmt.Errorf("controller: unknown policy %d", c.cfg.Policy)
 	}
+}
+
+// jobMixKey fingerprints the set of jobs being optimized, in snapshot
+// order, for cross-epoch basis reuse.
+func jobMixKey(fresh []*activeJob) string {
+	var sb strings.Builder
+	for _, aj := range fresh {
+		fmt.Fprintf(&sb, "%d,", aj.orig.ID)
+	}
+	return sb.String()
 }
 
 // LinkDown fails edge e at time t: bytes delivered before t are credited
@@ -984,6 +1032,7 @@ func (c *Controller) LinkDown(e netgraph.EdgeID, t float64) error {
 	}
 	c.down[e] = true
 	c.resid = nil
+	c.warmRET, c.warmKey = nil, "" // topology changed: basis is stale
 
 	// Drop jobs with no route left.
 	for _, aj := range c.active {
@@ -1029,6 +1078,7 @@ func (c *Controller) LinkUp(e netgraph.EdgeID, t float64) error {
 	}
 	delete(c.down, e)
 	c.resid = nil
+	c.warmRET, c.warmKey = nil, "" // topology changed: basis is stale
 	return nil
 }
 
@@ -1270,7 +1320,9 @@ func (c *Controller) admitPrefix(now float64) (int, error) {
 		if err != nil {
 			return false, err
 		}
-		inst, err := schedule.NewInstance(c.graph(), grid, jobs, c.cfg.K)
+		inst, err := schedule.NewInstanceOpts(c.graph(), grid, jobs, schedule.InstanceOptions{
+			K: c.cfg.K, PathCache: c.pathCache,
+		})
 		if err != nil {
 			return false, err
 		}

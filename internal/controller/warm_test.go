@@ -1,0 +1,174 @@
+package controller
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"testing"
+
+	"wavesched/internal/job"
+	"wavesched/internal/netgraph"
+	"wavesched/internal/telemetry"
+	"wavesched/internal/workload"
+)
+
+// recordsBytes renders records with exact float formatting so warm and
+// cold runs compare bit-for-bit (the WAL-replay determinism invariant).
+func recordsBytes(recs []Record) string {
+	s := ""
+	for _, r := range recs {
+		s += fmt.Sprintf("%d d=%b f=%b met=%v comp=%v rej=%v dis=%v\n",
+			r.Job.ID, r.Delivered, r.FinishTime, r.MetDeadline, r.Completed, r.Rejected, r.Disrupted)
+	}
+	return s
+}
+
+// runScenario drives one controller through a multi-epoch overloaded
+// scenario with a mid-run link failure and repair, returning the final
+// records and epoch stats.
+func runScenario(t *testing.T, policy Policy, warm bool) ([]Record, []EpochStat) {
+	t.Helper()
+	g, err := netgraph.Waxman(netgraph.WaxmanConfig{
+		Nodes: 8, LinkPairs: 16, Wavelengths: 2, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := workload.Generate(g, workload.Config{
+		Jobs: 6, Seed: 22, GBToDemand: 0.4, MinWindow: 2, MaxWindow: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two early epochs legitimately degrade (RET infeasible within BMax);
+	// the test wants them — the fallback tiers must be deterministic too —
+	// but not their log noise.
+	c, err := New(g, Config{
+		Tau: 1, SliceLen: 1, K: 3, Policy: policy, BMax: 3, WarmStart: warm,
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if err := c.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30 && !c.Idle(); i++ {
+		if err := c.RunEpoch(); err != nil {
+			t.Fatal(err)
+		}
+		switch i {
+		case 2:
+			if err := c.LinkDown(netgraph.EdgeID(0), c.Now()+0.25); err != nil {
+				t.Fatal(err)
+			}
+		case 5:
+			if err := c.LinkUp(netgraph.EdgeID(0), c.Now()+0.25); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return c.Records(), c.EpochStats()
+}
+
+// TestControllerWarmByteIdenticalRecords runs the same fault scenario warm
+// and cold under both policies: every record and every epoch stat must be
+// bit-identical, or WAL replay (PR 3) would diverge.
+func TestControllerWarmByteIdenticalRecords(t *testing.T) {
+	for _, pol := range []struct {
+		name   string
+		policy Policy
+	}{
+		{"ret", PolicyRET},
+		{"maxthroughput", PolicyMaxThroughput},
+	} {
+		t.Run(pol.name, func(t *testing.T) {
+			coldRecs, coldStats := runScenario(t, pol.policy, false)
+			warmBefore := telemetry.Default().Counter("lp_warmstart_hits_total", "").Value()
+			warmRecs, warmStats := runScenario(t, pol.policy, true)
+			if len(coldRecs) == 0 {
+				t.Fatal("scenario produced no records")
+			}
+			if pol.policy == PolicyRET {
+				if hits := telemetry.Default().Counter("lp_warmstart_hits_total", "").Value(); hits == warmBefore {
+					t.Error("warm run never took the lp warm-start path")
+				}
+			}
+			if cb, wb := recordsBytes(coldRecs), recordsBytes(warmRecs); cb != wb {
+				t.Errorf("records differ between warm and cold runs:\ncold:\n%s\nwarm:\n%s", cb, wb)
+			}
+			if len(coldStats) != len(warmStats) {
+				t.Fatalf("epoch count differs: cold=%d warm=%d", len(coldStats), len(warmStats))
+			}
+			for i := range coldStats {
+				if coldStats[i].Scheduled != warmStats[i].Scheduled ||
+					coldStats[i].Utilization != warmStats[i].Utilization ||
+					coldStats[i].Tier != warmStats[i].Tier {
+					t.Errorf("epoch %d stats differ: cold=%+v warm=%+v", i, coldStats[i], warmStats[i])
+				}
+			}
+		})
+	}
+}
+
+// TestControllerPathCacheReuse checks that epoch-over-epoch instance
+// builds stop recomputing path sets, including across a repeated failure
+// of the same link.
+func TestControllerPathCacheReuse(t *testing.T) {
+	g := netgraph.Line(4, 2, 10)
+	c := newCtrl(t, g, PolicyMaxThroughput)
+	for i := 0; i < 3; i++ {
+		if err := c.Submit(job.Job{
+			ID: job.ID(i + 1), Src: 0, Dst: 3, Size: 2,
+			Start: float64(i), End: float64(i) + 8,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if err := c.RunEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := c.pathCache.Stats()
+	if hits == 0 {
+		t.Fatalf("no path-cache hits across epochs (misses=%d)", misses)
+	}
+	// Fail and repair the same link twice: the second failure epoch must
+	// not add misses beyond the first.
+	var down netgraph.EdgeID
+	found := false
+	for _, e := range g.Edges() {
+		if e.From == 1 && e.To == 2 {
+			down, found = e.ID, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no 1->2 edge in line graph")
+	}
+	cycle := func() {
+		if err := c.LinkDown(down, c.Now()); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RunEpoch(); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.LinkUp(down, c.Now()); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RunEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cycle()
+	_, missesAfterFirst := c.pathCache.Stats()
+	cycle()
+	_, missesAfterSecond := c.pathCache.Stats()
+	if missesAfterSecond != missesAfterFirst {
+		t.Errorf("repeated failure of the same link recomputed paths: misses %d -> %d",
+			missesAfterFirst, missesAfterSecond)
+	}
+}

@@ -38,6 +38,11 @@ type Scale struct {
 
 	Seeds []int64 // replications; results are averaged
 
+	// Warm enables LP warm-starting inside the repeated-solve loops
+	// (Fig. 4's RET binary search). Warm and cold runs produce
+	// byte-identical schedules, so the figures are unaffected.
+	Warm bool
+
 	Solver lp.Options
 }
 
@@ -48,6 +53,7 @@ func PaperScale() Scale {
 		Nodes: 100, LinkPairs: 200, Jobs: 40, Slices: 8, K: 4,
 		SliceSeconds: 10, LinkGbps: 20,
 		Seeds:  []int64{1, 2, 3},
+		Warm:   true,
 		Solver: lp.Options{Pricing: lp.PartialDantzig},
 	}
 }
@@ -58,6 +64,7 @@ func QuickScale() Scale {
 		Nodes: 30, LinkPairs: 60, Jobs: 12, Slices: 6, K: 4,
 		SliceSeconds: 10, LinkGbps: 20,
 		Seeds:  []int64{1},
+		Warm:   true,
 		Solver: lp.Options{Pricing: lp.PartialDantzig},
 	}
 }
@@ -125,39 +132,51 @@ func throughputSweep(sc Scale, waves []int, build func(w int, seed int64) (*netg
 	if len(waves) == 0 {
 		waves = DefaultWavelengths
 	}
+	type sample struct{ lpd, lpdar, z float64 }
 	rows := make([]ThroughputRow, 0, len(waves))
 	for _, w := range waves {
-		var lpdSum, lpdarSum, zSum float64
-		for _, seed := range sc.Seeds {
+		w := w
+		samples, err := runSeeds(sc.Seeds, func(seed int64) (sample, error) {
 			g, err := build(w, seed)
 			if err != nil {
-				return nil, err
+				return sample{}, err
 			}
 			grid, err := sc.grid()
 			if err != nil {
-				return nil, err
+				return sample{}, err
 			}
 			jobs, err := sc.jobsFor(g, sc.Jobs, w, seed+1000)
 			if err != nil {
-				return nil, err
+				return sample{}, err
 			}
 			inst, err := schedule.NewInstance(g, grid, jobs, sc.K)
 			if err != nil {
-				return nil, err
+				return sample{}, err
 			}
 			res, err := schedule.MaxThroughput(inst, schedule.Config{
-				Alpha: 0.1, AlphaGrowth: 0.1, Solver: sc.Solver,
+				Alpha: 0.1, AlphaGrowth: 0.1, Solver: sc.Solver, WarmStart: sc.Warm,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("experiments: W=%d seed=%d: %w", w, seed, err)
+				return sample{}, fmt.Errorf("experiments: W=%d seed=%d: %w", w, seed, err)
 			}
 			lpT := res.LP.WeightedThroughput()
 			if lpT <= 0 {
-				return nil, fmt.Errorf("experiments: W=%d seed=%d: zero LP throughput", w, seed)
+				return sample{}, fmt.Errorf("experiments: W=%d seed=%d: zero LP throughput", w, seed)
 			}
-			lpdSum += res.LPD.WeightedThroughput() / lpT
-			lpdarSum += res.LPDAR.WeightedThroughput() / lpT
-			zSum += res.ZStar
+			return sample{
+				lpd:   res.LPD.WeightedThroughput() / lpT,
+				lpdar: res.LPDAR.WeightedThroughput() / lpT,
+				z:     res.ZStar,
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var lpdSum, lpdarSum, zSum float64
+		for _, s := range samples {
+			lpdSum += s.lpd
+			lpdarSum += s.lpdar
+			zSum += s.z
 		}
 		n := float64(len(sc.Seeds))
 		rows = append(rows, ThroughputRow{
@@ -188,37 +207,53 @@ func Fig3(sc Scale, jobCounts []int) ([]TimeRow, error) {
 		jobCounts = []int{sc.Jobs / 2, sc.Jobs, sc.Jobs * 3 / 2, sc.Jobs * 2}
 	}
 	const w = 4
+	type sample struct {
+		lpMS, lpdMS, lpdarMS float64
+		iters                int
+	}
 	rows := make([]TimeRow, 0, len(jobCounts))
 	for _, n := range jobCounts {
-		var lpMS, lpdMS, lpdarMS float64
-		iters := 0
-		for _, seed := range sc.Seeds {
+		n := n
+		samples, err := runSeeds(sc.Seeds, func(seed int64) (sample, error) {
 			g, err := sc.randomNet(w, seed)
 			if err != nil {
-				return nil, err
+				return sample{}, err
 			}
 			grid, err := sc.grid()
 			if err != nil {
-				return nil, err
+				return sample{}, err
 			}
 			jobs, err := sc.jobsFor(g, n, w, seed+1000)
 			if err != nil {
-				return nil, err
+				return sample{}, err
 			}
 			inst, err := schedule.NewInstance(g, grid, jobs, sc.K)
 			if err != nil {
-				return nil, err
+				return sample{}, err
 			}
 			res, err := schedule.MaxThroughput(inst, schedule.Config{
-				Alpha: 0.1, AlphaGrowth: 0.1, Solver: sc.Solver,
+				Alpha: 0.1, AlphaGrowth: 0.1, Solver: sc.Solver, WarmStart: sc.Warm,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("experiments: fig3 n=%d seed=%d: %w", n, seed, err)
+				return sample{}, fmt.Errorf("experiments: fig3 n=%d seed=%d: %w", n, seed, err)
 			}
-			lpMS += float64(res.LPTime()) / float64(time.Millisecond)
-			lpdMS += float64(res.LPDTime()) / float64(time.Millisecond)
-			lpdarMS += float64(res.LPDARTime()) / float64(time.Millisecond)
-			iters += res.Stage1Iters + res.Stage2Iters
+			return sample{
+				lpMS:    float64(res.LPTime()) / float64(time.Millisecond),
+				lpdMS:   float64(res.LPDTime()) / float64(time.Millisecond),
+				lpdarMS: float64(res.LPDARTime()) / float64(time.Millisecond),
+				iters:   res.Stage1Iters + res.Stage2Iters,
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var lpMS, lpdMS, lpdarMS float64
+		iters := 0
+		for _, s := range samples {
+			lpMS += s.lpMS
+			lpdMS += s.lpdMS
+			lpdarMS += s.lpdarMS
+			iters += s.iters
 		}
 		k := float64(len(sc.Seeds))
 		rows = append(rows, TimeRow{
@@ -240,6 +275,7 @@ type RETRow struct {
 	FracLP      float64 // fraction of jobs finished, LP
 	FracLPD     float64 // fraction of jobs finished, LPD (typically ≈ 0)
 	FracLPDAR   float64 // fraction of jobs finished, LPDAR (always 1)
+	LPms        float64 // mean LP optimization time (search + solve), ms
 }
 
 // RETConfig controls the Fig. 4 / fraction-finished runs.
@@ -264,15 +300,15 @@ func Fig4(sc Scale, jobCounts []int, cfg RETConfig) ([]RETRow, error) {
 	const w = 4
 	rows := make([]RETRow, 0, len(jobCounts))
 	for _, n := range jobCounts {
-		row := RETRow{Jobs: n}
-		for _, seed := range sc.Seeds {
+		n := n
+		samples, err := runSeeds(sc.Seeds, func(seed int64) (RETRow, error) {
 			g, err := sc.randomNet(w, seed)
 			if err != nil {
-				return nil, err
+				return RETRow{}, err
 			}
 			jobs, err := sc.jobsFor(g, n, w, seed+1000)
 			if err != nil {
-				return nil, err
+				return RETRow{}, err
 			}
 			// Inflate demands so the requested windows cannot hold them.
 			for i := range jobs {
@@ -280,23 +316,40 @@ func Fig4(sc Scale, jobCounts []int, cfg RETConfig) ([]RETRow, error) {
 			}
 			inst, err := schedule.BuildRETInstance(g, jobs, 1, sc.K, cfg.BMax)
 			if err != nil {
-				return nil, err
+				return RETRow{}, err
 			}
 			res, err := schedule.SolveRET(inst, schedule.RETConfig{
-				BMax: cfg.BMax, Solver: sc.Solver,
+				BMax: cfg.BMax, Solver: sc.Solver, WarmStart: sc.Warm,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("experiments: fig4 n=%d seed=%d: %w", n, seed, err)
+				return RETRow{}, fmt.Errorf("experiments: fig4 n=%d seed=%d: %w", n, seed, err)
 			}
 			lpEnd, _ := res.LP.AverageEndTime()
 			darEnd, _ := res.LPDAR.AverageEndTime()
-			row.BHat += res.BHat
-			row.B += res.B
-			row.LPAvgEnd += lpEnd
-			row.LPDARAvgEnd += darEnd
-			row.FracLP += res.LP.FractionFinished()
-			row.FracLPD += res.LPD.FractionFinished()
-			row.FracLPDAR += res.LPDAR.FractionFinished()
+			return RETRow{
+				BHat:        res.BHat,
+				B:           res.B,
+				LPAvgEnd:    lpEnd,
+				LPDARAvgEnd: darEnd,
+				FracLP:      res.LP.FractionFinished(),
+				FracLPD:     res.LPD.FractionFinished(),
+				FracLPDAR:   res.LPDAR.FractionFinished(),
+				LPms:        float64(res.SearchTime+res.SolveTime) / float64(time.Millisecond),
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := RETRow{Jobs: n}
+		for _, s := range samples {
+			row.BHat += s.BHat
+			row.B += s.B
+			row.LPAvgEnd += s.LPAvgEnd
+			row.LPDARAvgEnd += s.LPDARAvgEnd
+			row.FracLP += s.FracLP
+			row.FracLPD += s.FracLPD
+			row.FracLPDAR += s.FracLPDAR
+			row.LPms += s.LPms
 		}
 		k := float64(len(sc.Seeds))
 		row.BHat /= k
@@ -306,6 +359,7 @@ func Fig4(sc Scale, jobCounts []int, cfg RETConfig) ([]RETRow, error) {
 		row.FracLP /= k
 		row.FracLPD /= k
 		row.FracLPDAR /= k
+		row.LPms /= k
 		rows = append(rows, row)
 	}
 	return rows, nil
@@ -344,7 +398,7 @@ func TimeTable(title string, rows []TimeRow) *metrics.Table {
 // RETTable renders Fig. 4 / §III-B.1 rows.
 func RETTable(title string, rows []RETRow) *metrics.Table {
 	t := metrics.NewTable(title, "jobs", "b^", "b", "avg end LP", "avg end LPDAR",
-		"finished LP", "finished LPD", "finished LPDAR")
+		"finished LP", "finished LPD", "finished LPDAR", "LP (ms)")
 	for _, r := range rows {
 		t.AddRow(
 			fmt.Sprintf("%d", r.Jobs),
@@ -355,6 +409,7 @@ func RETTable(title string, rows []RETRow) *metrics.Table {
 			fmt.Sprintf("%.2f", r.FracLP),
 			fmt.Sprintf("%.2f", r.FracLPD),
 			fmt.Sprintf("%.2f", r.FracLPDAR),
+			fmt.Sprintf("%.1f", r.LPms),
 		)
 	}
 	return t

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// runSeeds fans fn out over the replication seeds on a bounded worker
+// pool — min(NumCPU, len(seeds)) goroutines — and returns the per-seed
+// results in seed order, so averaged rows are identical to the old
+// sequential loop. When several seeds fail, the earliest seed's error
+// wins, keeping the outcome independent of goroutine scheduling.
+func runSeeds[T any](seeds []int64, fn func(seed int64) (T, error)) ([]T, error) {
+	out := make([]T, len(seeds))
+	errs := make([]error, len(seeds))
+	workers := runtime.NumCPU()
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i], errs[i] = fn(seeds[i])
+			}
+		}()
+	}
+	for i := range seeds {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

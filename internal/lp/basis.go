@@ -1,0 +1,162 @@
+package lp
+
+import (
+	"errors"
+	"math"
+)
+
+// Basis is an opaque snapshot of a simplex basis, captured on
+// Solution.Basis when Options.CaptureBasis (or a warm start) was requested.
+// It pins the full column status — which columns are basic, which nonbasic
+// ones sit at their lower vs upper bound — plus the artificial-column
+// signs, which together determine the basis matrix exactly.
+//
+// A Basis is only meaningful for the model shape it was captured from:
+// same variable count, same row count, same per-row inequality mix (slack
+// columns). Options.WarmStart verifies all of that and silently falls back
+// to a cold solve on any mismatch, so callers may hand a stale basis to a
+// structurally different model without risking a wrong answer.
+type Basis struct {
+	nVars int // structural columns
+	nRows int
+	nCols int // structural + slack columns
+
+	basis []int     // slot -> column
+	state []int8    // column -> stAtLower/stAtUpper/stBasic, length nCols+nRows
+	art   []float64 // artificial signs, length nRows
+}
+
+// snapshotBasis copies the live basis out of the solver state.
+func (s *simplex) snapshotBasis() *Basis {
+	ws := &Basis{
+		nVars: s.nStruct,
+		nRows: s.m,
+		nCols: s.n,
+		basis: make([]int, s.m),
+		state: make([]int8, s.nTotal()),
+		art:   make([]float64, s.m),
+	}
+	copy(ws.basis, s.basis)
+	copy(ws.state, s.state)
+	copy(ws.art, s.art)
+	return ws
+}
+
+// compatible reports whether the snapshot matches the assembled solver's
+// shape and is internally consistent (no duplicate or out-of-range basic
+// columns).
+func (ws *Basis) compatible(s *simplex) bool {
+	if ws == nil || ws.nVars != s.nStruct || ws.nRows != s.m || ws.nCols != s.n {
+		return false
+	}
+	if len(ws.basis) != ws.nRows || len(ws.state) != ws.nCols+ws.nRows || len(ws.art) != ws.nRows {
+		return false
+	}
+	seen := make(map[int]bool, len(ws.basis))
+	for _, j := range ws.basis {
+		if j < 0 || j >= s.nTotal() || seen[j] {
+			return false
+		}
+		seen[j] = true
+	}
+	return true
+}
+
+// warmSolve attempts to solve from the basis in opt.WarmStart instead of
+// the two-phase cold start: install the snapshot, re-factorize the LU, run
+// the dual simplex to restore primal feasibility under the (possibly
+// changed) RHS and bounds, then a primal clean-up pass for the (possibly
+// changed) objective. The third return is false when the warm attempt must
+// be abandoned — structural mismatch, singular basis, numerical stall —
+// in which case the caller rebuilds clean state and solves cold; the other
+// returns are then meaningless.
+//
+// Correctness does not depend on the snapshot being dual feasible for the
+// current costs: a dualInfeasible verdict rests on a sign argument over
+// the pivot row alone, and a dualOptimal exit is always re-certified by
+// primal pricing before extraction.
+func (s *simplex) warmSolve(m *Model, opt Options) (*Solution, error, bool) {
+	ws := opt.WarmStart
+	if !ws.compatible(s) {
+		return nil, nil, false
+	}
+
+	// Install the snapshot.
+	copy(s.basis, ws.basis)
+	copy(s.state, ws.state)
+	copy(s.art, ws.art)
+	for j := range s.pos {
+		s.pos[j] = -1
+	}
+	for slot, j := range s.basis {
+		s.pos[j] = slot
+		s.state[j] = stBasic
+	}
+
+	// Phase-2 costs; artificials pinned to zero so they can never re-enter
+	// with a nonzero value (their bounds collapse to [0,0]).
+	copy(s.c, s.cMin)
+	for i := 0; i < s.m; i++ {
+		col := s.n + i
+		s.c[col] = 0
+		s.l[col], s.u[col] = 0, 0
+	}
+	// Repair stale nonbasic states: a column recorded basic in the snapshot
+	// but displaced above, or recorded at an upper bound that is now
+	// infinite, rests at its lower bound.
+	for j := 0; j < s.nTotal(); j++ {
+		if s.pos[j] >= 0 {
+			continue
+		}
+		if s.state[j] == stBasic || (s.state[j] == stAtUpper && math.IsInf(s.u[j], 1)) {
+			s.state[j] = stAtLower
+		}
+	}
+
+	if err := s.refactorize(); err != nil {
+		return nil, nil, false // singular basis under the current data
+	}
+
+	st, err := s.dualSimplex()
+	if errors.Is(err, ErrTimeLimit) {
+		// Falling back would double the wall-clock budget; surface the
+		// timeout like the cold path does.
+		return &Solution{Status: TimeLimit, Iters: s.iters}, err, true
+	}
+	if err != nil || st == dualStall {
+		return nil, nil, false
+	}
+	switch st {
+	case dualInfeasible:
+		sol := &Solution{Status: Infeasible, Iters: s.iters}
+		sol.Basis = s.snapshotBasis()
+		return sol, nil, true
+	case dualIterLimit:
+		return &Solution{Status: IterLimit, Iters: s.iters}, nil, true
+	}
+
+	// Primal clean-up: certify optimality for the current costs (the dual
+	// pass only restored primal feasibility) and absorb objective changes.
+	s.blandMode = false
+	s.degenRun = 0
+	if q := s.price(); q >= 0 {
+		stp, err := s.runPhase()
+		telPhase2Pivots.Add(int64(s.iters))
+		if errors.Is(err, ErrTimeLimit) {
+			return &Solution{Status: TimeLimit, Iters: s.iters}, err, true
+		}
+		if err != nil {
+			return nil, nil, false
+		}
+		if stp != Optimal {
+			return &Solution{Status: stp, Iters: s.iters}, nil, true
+		}
+	}
+
+	sol, err := s.extract(m, s.negate)
+	if err != nil {
+		return nil, nil, false
+	}
+	sol.Basis = s.snapshotBasis()
+	return sol, nil, true
+}

@@ -134,6 +134,17 @@ func (m *Model) SetBounds(v VarID, lb, ub float64) {
 	m.vars[v].ub = ub
 }
 
+// SetRHS replaces the right-hand side of row r. With SetBounds and SetObj
+// it supports the incremental-mutation pattern: change a handful of
+// numbers on an already-built model and re-solve with a warm-start basis
+// instead of rebuilding the model each loop iteration.
+func (m *Model) SetRHS(r RowID, rhs float64) {
+	m.rows[r].rhs = rhs
+}
+
+// RHS returns the right-hand side of row r.
+func (m *Model) RHS(r RowID) float64 { return m.rows[r].rhs }
+
 // VarName returns the name of v.
 func (m *Model) VarName(v VarID) string { return m.vars[v].name }
 

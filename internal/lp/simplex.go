@@ -88,6 +88,21 @@ type Options struct {
 	// infeasibility diagnostic events. Nil disables tracing at the cost
 	// of a nil check.
 	Tracer *telemetry.Tracer
+	// WarmStart, when non-nil, seeds the solve from a basis captured by an
+	// earlier solve (Solution.Basis) instead of the two-phase cold start:
+	// the basis is re-factorized and the dual simplex restores primal
+	// feasibility, followed by a primal clean-up pass for objective
+	// changes. Intended for repeated solves of one model (or structurally
+	// identical models) after RHS, variable-bound, or objective mutations.
+	// A structural mismatch, singular basis, or numerical trouble falls
+	// back to the cold path (counted in lp_warmstart_fallbacks_total), so
+	// supplying a stale basis is safe — just slower.
+	WarmStart *Basis
+	// CaptureBasis records the final basis on Solution.Basis for Optimal
+	// and Infeasible outcomes. Implied by WarmStart != nil. Ignored (no
+	// basis captured) when Presolve is active, since the reduced model's
+	// basis does not map back to the caller's variables.
+	CaptureBasis bool
 }
 
 func (o Options) withDefaults(m, n int) Options {
@@ -129,6 +144,8 @@ type simplex struct {
 	n       int       // structural + slack columns
 	nStruct int       // structural columns only (first nStruct of n)
 	art     []float64 // artificial signs; artificial i is column n+i = sign·e_i
+	cMin    []float64 // phase-2 (minimization) costs, length nTotal
+	negate  bool      // original sense was Maximize; negate objective on extract
 
 	basis  []int  // slot -> column
 	pos    []int  // column -> slot, or -1

@@ -20,6 +20,14 @@ type Solution struct {
 	// PrimalInfeas is the largest constraint violation of the returned
 	// point, a numerical diagnostic (0 is exact).
 	PrimalInfeas float64
+
+	// Basis is the final simplex basis, captured when Options.CaptureBasis
+	// (or a warm start) was requested and the solve ended Optimal or
+	// Infeasible. Feed it to Options.WarmStart on a later solve of the same
+	// (or a structurally identical) model after RHS, bound, or objective
+	// changes. Nil when not captured, or when Presolve was active (the
+	// basis of a presolve-reduced model does not map back).
+	Basis *Basis
 }
 
 // Value returns the primal value of v.
@@ -94,23 +102,62 @@ func (m *Model) solveValidated(opt Options) (*Solution, error) {
 		if err := ps.reduced.Validate(); err != nil {
 			return nil, fmt.Errorf("lp: presolve produced invalid model: %w", err)
 		}
+		inner.WarmStart = nil // a reduced-model basis cannot map back
 		sol, err := ps.reduced.solveValidated(inner)
 		if err != nil {
 			return nil, err
 		}
 		if sol.Status != Optimal {
+			sol.Basis = nil
 			return sol, nil
 		}
-		return ps.postsolve(m, sol), nil
+		out := ps.postsolve(m, sol)
+		out.Basis = nil
+		return out, nil
 	}
 	_, sol, err := m.solveCore(opt)
 	return sol, err
 }
 
-// solveCore runs the two-phase primal simplex and returns the final
-// solver state alongside the solution, so incremental re-solves can keep
-// the basis. The state is nil on paths that never build a simplex.
+// solveCore runs the simplex and returns the final solver state alongside
+// the solution, so incremental re-solves can keep the basis. The state is
+// nil on paths that never build a simplex. When Options.WarmStart holds a
+// structurally compatible basis, the warm path (dual simplex from the
+// supplied basis, then a primal clean-up) replaces the two-phase cold
+// start; any mismatch or numerical trouble falls back to the cold path.
 func (m *Model) solveCore(opt Options) (*simplex, *Solution, error) {
+	if len(m.rows) == 0 {
+		cMin := make([]float64, len(m.vars))
+		negate := m.sense == Maximize
+		for j, v := range m.vars {
+			if negate {
+				cMin[j] = -v.obj
+			} else {
+				cMin[j] = v.obj
+			}
+		}
+		sol, err := m.solveUnconstrained(cMin, negate)
+		return nil, sol, err
+	}
+
+	if opt.WarmStart != nil {
+		s := m.assemble(opt)
+		if sol, err, ok := s.warmSolve(m, opt); ok {
+			telWarmHits.Inc()
+			return s, sol, err
+		}
+		telWarmFallbacks.Inc()
+		// The warm attempt mutated the solver state; rebuild clean below.
+	}
+
+	s := m.assemble(opt)
+	return m.coldSolve(s, opt)
+}
+
+// assemble builds the simplex working state — CSC matrix over structural
+// and slack columns, bounds, and the minimization-form costs in s.cMin —
+// without choosing a starting basis.
+func (m *Model) assemble(opt Options) *simplex {
 	nVars := len(m.vars)
 	nRows := len(m.rows)
 
@@ -165,6 +212,8 @@ func (m *Model) solveCore(opt Options) (*simplex, *Solution, error) {
 		a:       a,
 		b:       b,
 		c:       make([]float64, n+nRows),
+		cMin:    c,
+		negate:  negate,
 		l:       l,
 		u:       u,
 		m:       nRows,
@@ -186,11 +235,17 @@ func (m *Model) solveCore(opt Options) (*simplex, *Solution, error) {
 	}
 
 	s.nStruct = nVars
+	return s
+}
 
-	if nRows == 0 {
-		sol, err := m.solveUnconstrained(c[:nVars], negate)
-		return nil, sol, err
-	}
+// coldSolve runs the classic two-phase primal simplex from the artificial
+// crash basis.
+func (m *Model) coldSolve(s *simplex, opt Options) (*simplex, *Solution, error) {
+	opt = s.opt // assemble already applied the defaults
+	n, nRows := s.n, s.m
+	c, l, u := s.cMin, s.l, s.u
+	negate := s.negate
+	capture := opt.CaptureBasis || opt.WarmStart != nil
 
 	// Start all structural and slack columns at their lower bound; pick the
 	// bound closer to zero when the lower bound is very large in magnitude
@@ -203,10 +258,10 @@ func (m *Model) solveCore(opt Options) (*simplex, *Solution, error) {
 	}
 	// Residual determines artificial signs so artificial values start ≥ 0.
 	res := make([]float64, nRows)
-	copy(res, b)
+	copy(res, s.b)
 	for j := 0; j < n; j++ {
 		if v := s.nonbasicValue(j); v != 0 {
-			a.addColTimes(j, -v, res)
+			s.a.addColTimes(j, -v, res)
 		}
 	}
 	for i := 0; i < nRows; i++ {
@@ -251,7 +306,11 @@ func (m *Model) solveCore(opt Options) (*simplex, *Solution, error) {
 				telemetry.KV("phase1_residual", obj),
 				telemetry.KV("phase1_pivots", phase1Iters))
 		}
-		return nil, &Solution{Status: Infeasible, Iters: s.iters}, nil
+		sol := &Solution{Status: Infeasible, Iters: s.iters}
+		if capture {
+			sol.Basis = s.snapshotBasis()
+		}
+		return nil, sol, nil
 	}
 
 	// Phase 2: real costs; artificials pinned to zero and never attractive.
@@ -281,6 +340,9 @@ func (m *Model) solveCore(opt Options) (*simplex, *Solution, error) {
 	}
 
 	sol, err := s.extract(m, negate)
+	if err == nil && capture {
+		sol.Basis = s.snapshotBasis()
+	}
 	return s, sol, err
 }
 

@@ -23,6 +23,10 @@ var (
 		"Rows eliminated by presolve (singleton and empty rows).")
 	telTimeouts = telemetry.Default().Counter("lp_solve_timeouts_total",
 		"Solves aborted because the wall-clock Options.TimeLimit expired.")
+	telWarmHits = telemetry.Default().Counter("lp_warmstart_hits_total",
+		"Solves that ran to completion from a supplied warm-start basis.")
+	telWarmFallbacks = telemetry.Default().Counter("lp_warmstart_fallbacks_total",
+		"Warm-start attempts abandoned for the cold path (structural mismatch, singular basis, or numerical trouble).")
 
 	telSolvesByStatus = func() map[Status]*telemetry.Counter {
 		m := make(map[Status]*telemetry.Counter)

@@ -96,6 +96,10 @@ type InstanceOptions struct {
 	// Cost weighs edges for path computation; nil selects unit (hop
 	// count) cost.
 	Cost paths.CostFunc
+	// PathCache, when non-nil, memoizes path sets across instance builds,
+	// keyed by (src, dst, K, DisjointPaths, avoided-edge set). The cache
+	// must be dedicated to one base topology; see PathCache.
+	PathCache *PathCache
 }
 
 // NewInstance validates the jobs and computes k-shortest-path sets for
@@ -131,6 +135,16 @@ func NewInstanceOpts(g *netgraph.Graph, grid *timeslice.Grid, jobs []job.Job, op
 			avoid[e.ID] = true
 		}
 	}
+	avoidStr := ""
+	if opts.PathCache != nil {
+		avoidStr = avoidKey(avoid)
+	}
+	compute := func(src, dst netgraph.NodeID) []paths.Path {
+		if opts.DisjointPaths {
+			return paths.EdgeDisjointAvoiding(g, src, dst, opts.K, opts.Cost, avoid)
+		}
+		return paths.KShortestAvoiding(g, src, dst, opts.K, opts.Cost, avoid)
+	}
 	cache := make(map[[2]netgraph.NodeID][]paths.Path)
 	for _, j := range jobs {
 		first, last, ok := grid.Window(j.Start, j.End)
@@ -141,10 +155,14 @@ func NewInstanceOpts(g *netgraph.Graph, grid *timeslice.Grid, jobs []job.Job, op
 		key := [2]netgraph.NodeID{j.Src, j.Dst}
 		ps, seen := cache[key]
 		if !seen {
-			if opts.DisjointPaths {
-				ps = paths.EdgeDisjointAvoiding(g, j.Src, j.Dst, opts.K, opts.Cost, avoid)
+			if opts.PathCache != nil {
+				ps = opts.PathCache.get(pathCacheKey{
+					src: j.Src, dst: j.Dst,
+					k: opts.K, disjoint: opts.DisjointPaths,
+					avoid: avoidStr,
+				}, func() []paths.Path { return compute(j.Src, j.Dst) })
 			} else {
-				ps = paths.KShortestAvoiding(g, j.Src, j.Dst, opts.K, opts.Cost, avoid)
+				ps = compute(j.Src, j.Dst)
 			}
 			cache[key] = ps
 		}

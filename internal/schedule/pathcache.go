@@ -1,0 +1,103 @@
+package schedule
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"wavesched/internal/netgraph"
+	"wavesched/internal/paths"
+)
+
+// pathCacheKey identifies one path-set computation: the endpoints, the
+// construction parameters, and the set of edges excluded from routing
+// (dead links). Two residual topologies of the same base graph with the
+// same failed links produce identical keys — and identical path sets —
+// so repeated masking of the same failure hits the cache.
+type pathCacheKey struct {
+	src, dst netgraph.NodeID
+	k        int
+	disjoint bool
+	avoid    string // sorted failed-edge IDs, "-" separated
+}
+
+// PathCache memoizes per-(src, dst) path sets across instance builds,
+// keyed by the avoided-edge set. NewInstanceOpts consults it when
+// InstanceOptions.PathCache is set; the controller keeps one per base
+// topology so each epoch's rebuild — and each re-plan against a repeated
+// link failure — skips the k-shortest-path computation entirely.
+//
+// A cache is bound to one base topology (node/edge structure and costs):
+// entries are keyed by endpoints and failures only, so sharing a cache
+// across structurally different graphs returns wrong paths. Failures are
+// assumed to manifest as zero-wavelength edges (as WithLinksDown
+// produces), which NewInstanceOpts folds into the avoid set.
+//
+// Safe for concurrent use.
+type PathCache struct {
+	mu      sync.Mutex
+	entries map[pathCacheKey][]paths.Path
+	hits    int64
+	misses  int64
+}
+
+// NewPathCache returns an empty cache.
+func NewPathCache() *PathCache {
+	return &PathCache{entries: make(map[pathCacheKey][]paths.Path)}
+}
+
+// avoidKey canonicalizes an avoided-edge set into a cache-key string.
+func avoidKey(avoid map[netgraph.EdgeID]bool) string {
+	if len(avoid) == 0 {
+		return ""
+	}
+	ids := make([]int, 0, len(avoid))
+	for e := range avoid {
+		ids = append(ids, int(e))
+	}
+	sort.Ints(ids)
+	var sb strings.Builder
+	for i, id := range ids {
+		if i > 0 {
+			sb.WriteByte('-')
+		}
+		sb.WriteString(strconv.Itoa(id))
+	}
+	return sb.String()
+}
+
+// get computes (or returns the memoized) path set for one endpoint pair
+// under the given avoid set. compute runs outside the lock is not needed —
+// path computation is fast relative to lock hold times at instance-build
+// granularity, and holding the lock keeps duplicate concurrent computes
+// out.
+func (pc *PathCache) get(key pathCacheKey, compute func() []paths.Path) []paths.Path {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if ps, ok := pc.entries[key]; ok {
+		pc.hits++
+		telPathCacheHits.Inc()
+		return ps
+	}
+	ps := compute()
+	pc.entries[key] = ps
+	pc.misses++
+	telPathCacheMisses.Inc()
+	return ps
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (pc *PathCache) Stats() (hits, misses int64) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.hits, pc.misses
+}
+
+// Invalidate drops every entry — call when the base topology itself
+// changes (not for link failures, which are part of the key).
+func (pc *PathCache) Invalidate() {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.entries = make(map[pathCacheKey][]paths.Path)
+}

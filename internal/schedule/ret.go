@@ -46,6 +46,19 @@ type RETConfig struct {
 	Adjust *AdjustOptions
 	// MaxRounds bounds the δ-extension loop; default 200.
 	MaxRounds int
+	// WarmStart speeds up the binary search on b by chaining a warm-start
+	// basis across the feasibility probes: one probe model is built at
+	// BMax windows, each candidate b only flips variable bounds
+	// (out-of-window flow pinned to zero), and the lp layer re-solves from
+	// the previous probe's basis. Probes are feasibility-only, so the
+	// extraction solves — and the returned schedule — are byte-identical
+	// to a cold run.
+	WarmStart bool
+	// WarmBasis optionally seeds the first probe — typically
+	// RETResult.ProbeBasis from a previous solve of the same instance
+	// shape (e.g. the controller's previous epoch). A mismatched basis is
+	// harmless: the lp layer falls back to a cold solve.
+	WarmBasis *lp.Basis
 }
 
 func (c RETConfig) withDefaults() RETConfig {
@@ -84,6 +97,11 @@ type RETResult struct {
 	LPIters    int // total simplex pivots across all SUB-RET solves
 	SearchTime time.Duration
 	SolveTime  time.Duration
+
+	// ProbeBasis is the final warm-start basis of the probe model, set
+	// when RETConfig.WarmStart was on. Feed it to RETConfig.WarmBasis of
+	// the next solve over the same instance shape.
+	ProbeBasis *lp.Basis
 }
 
 // SolveRET runs the paper's Algorithm 2 on the instance: binary search on
@@ -99,16 +117,38 @@ func SolveRET(inst *Instance, cfg RETConfig) (*RETResult, error) {
 	tracer := cfg.Solver.Tracer
 	retSpan := tracer.Start("schedule.ret")
 
+	// The warm probe model is shared by every feasibility solve of the
+	// binary search; a build failure just disables the fast path.
+	var pr *retProbe
+	if cfg.WarmStart {
+		pr, _ = newRETProbe(inst, cfg)
+	}
+
 	// probe wraps the feasibility solves of the binary search with the
 	// step counter and the b-trajectory trace.
 	probe := func(b float64, stage string) (bool, int, error) {
-		feasible, _, iters, err := solveSubRET(inst, b, cfg, false)
+		warm := false
+		var feasible bool
+		var iters int
+		var err error
+		if pr != nil {
+			var ok bool
+			feasible, iters, ok, err = pr.solve(inst, b, cfg)
+			if err != nil {
+				return false, iters, err
+			}
+			warm = ok
+		}
+		if !warm {
+			feasible, _, iters, err = solveSubRET(inst, b, cfg, false)
+		}
 		telRETSearchSteps.Inc()
 		if tracer != nil && err == nil {
 			tracer.Event("ret.search_step",
 				telemetry.KV("b", b),
 				telemetry.KV("stage", stage),
 				telemetry.KV("feasible", feasible),
+				telemetry.KV("warm", warm),
 				telemetry.KV("iters", iters))
 		}
 		return feasible, iters, err
@@ -177,6 +217,9 @@ func SolveRET(inst *Instance, cfg RETConfig) (*RETResult, error) {
 			res.LPDAR = lpdar
 			res.Rounds = round
 			res.SolveTime = time.Since(solveStart)
+			if pr != nil {
+				res.ProbeBasis = pr.basis
+			}
 			telRETDeltaRounds.Add(int64(round))
 			telRETFinalB.Set(b)
 			retSpan.End(
@@ -201,31 +244,7 @@ func SolveRET(inst *Instance, cfg RETConfig) (*RETResult, error) {
 // (5) in place of (10)) under extension factor b. It reports feasibility;
 // the assignment is extracted only when extract is true.
 func solveSubRET(inst *Instance, b float64, cfg RETConfig, extract bool) (bool, *Assignment, int, error) {
-	ns := inst.Grid.Num()
-	extLast := make([]int, inst.NumJobs())
-	for k, jb := range inst.Jobs {
-		var extEnd float64
-		if cfg.Mode == ExtendIntervals {
-			extEnd = jb.Start + (jb.End-jb.Start)*(1+b)
-		} else {
-			extEnd = inst.Grid.ExtendFactor(jb.End, b)
-		}
-		// Same rounding convention as the original windows: the last usable
-		// slice must end at or before the (extended) end time.
-		_, last, ok := inst.Grid.Window(jb.Start, extEnd)
-		if !ok {
-			last = -1
-		}
-		if last >= ns {
-			last = ns - 1
-		}
-		// The extended end must not shrink the original window.
-		if _, origLast := inst.Window(k); last < origLast {
-			last = origLast
-		}
-		extLast[k] = last
-	}
-
+	extLast := retExtendedLast(inst, b, cfg)
 	m := lp.NewModel("sub-ret", lp.Minimize)
 	xvars, err := addFlowVars(m, inst, extLast, 0)
 	if err != nil {
@@ -262,6 +281,127 @@ func solveSubRET(inst *Instance, b float64, cfg RETConfig, extract bool) (bool, 
 		return false, nil, sol.Iters, nil
 	default:
 		return false, nil, sol.Iters, fmt.Errorf("schedule: SUB-RET(b=%g): solver returned %v", b, sol.Status)
+	}
+}
+
+// retExtendedLast computes each job's last usable slice under extension
+// factor b — the (1+b)-scaled deadline mapped onto the grid with the same
+// rounding convention as the original windows, clamped to the grid and
+// never shrinking the original window.
+func retExtendedLast(inst *Instance, b float64, cfg RETConfig) []int {
+	ns := inst.Grid.Num()
+	extLast := make([]int, inst.NumJobs())
+	for k, jb := range inst.Jobs {
+		var extEnd float64
+		if cfg.Mode == ExtendIntervals {
+			extEnd = jb.Start + (jb.End-jb.Start)*(1+b)
+		} else {
+			extEnd = inst.Grid.ExtendFactor(jb.End, b)
+		}
+		// The last usable slice must end at or before the (extended) end time.
+		_, last, ok := inst.Grid.Window(jb.Start, extEnd)
+		if !ok {
+			last = -1
+		}
+		if last >= ns {
+			last = ns - 1
+		}
+		// The extended end must not shrink the original window.
+		if _, origLast := inst.Window(k); last < origLast {
+			last = origLast
+		}
+		extLast[k] = last
+	}
+	return extLast
+}
+
+// retProbe is the reusable feasibility-probe model for the binary search
+// on b. It is built once with every job's window extended to BMax; a probe
+// at a smaller b pins the out-of-window flow variables to [0,0], which is
+// feasibility-equivalent to the per-b model solveSubRET would build (a
+// variable fixed at zero contributes nothing to any row). Between probes
+// only bounds change, so each solve warm-starts from the previous probe's
+// basis.
+type retProbe struct {
+	m       *lp.Model
+	xv      flowVars
+	maxLast []int // extended windows at BMax (the model's variable set)
+	curLast []int // windows currently applied via bounds
+	basis   *lp.Basis
+	opts    lp.Options
+}
+
+// newRETProbe builds the probe model at BMax windows.
+func newRETProbe(inst *Instance, cfg RETConfig) (*retProbe, error) {
+	maxLast := retExtendedLast(inst, cfg.BMax, cfg)
+	m := lp.NewModel("sub-ret-probe", lp.Minimize)
+	xv, err := addFlowVars(m, inst, maxLast, 0)
+	if err != nil {
+		return nil, err
+	}
+	for k := range inst.Jobs {
+		forEachVar(inst, xv, k, func(p, j int, v lp.VarID) {
+			m.SetObj(v, cfg.Gamma(j))
+		})
+	}
+	for k, jb := range inst.Jobs {
+		r := m.AddRow(fmt.Sprintf("demand%d", jb.ID), lp.GE, jb.Size)
+		forEachVar(inst, xv, k, func(p, j int, v lp.VarID) {
+			m.AddTerm(r, v, inst.Grid.Len(j))
+		})
+	}
+	addCapacityRows(m, inst, xv, 0)
+
+	opts := cfg.Solver
+	opts.Presolve = false // presolve would disable basis capture
+	opts.CaptureBasis = true
+	cur := make([]int, len(maxLast))
+	copy(cur, maxLast)
+	return &retProbe{m: m, xv: xv, maxLast: maxLast, curLast: cur, opts: opts, basis: cfg.WarmBasis}, nil
+}
+
+// solve probes feasibility at b. ok is false when the solver returned a
+// status the probe cannot interpret (iteration/time limit, numerical) —
+// the caller then falls back to the cold probe for an authoritative
+// answer.
+func (pr *retProbe) solve(inst *Instance, b float64, cfg RETConfig) (feasible bool, iters int, ok bool, err error) {
+	last := retExtendedLast(inst, b, cfg)
+	for k := range last {
+		if last[k] == pr.curLast[k] {
+			continue
+		}
+		for p := range pr.xv[k] {
+			for j, v := range pr.xv[k][p] {
+				if v < 0 {
+					continue
+				}
+				switch {
+				case j > last[k]:
+					pr.m.SetBounds(v, 0, 0) // outside the b-window: pinned
+				case j > pr.curLast[k]:
+					pr.m.SetBounds(v, 0, lp.Inf) // re-opened by a larger b
+				}
+			}
+		}
+		pr.curLast[k] = last[k]
+	}
+
+	opts := pr.opts
+	opts.WarmStart = pr.basis
+	sol, err := pr.m.SolveWith(opts)
+	if err != nil {
+		return false, 0, false, fmt.Errorf("schedule: SUB-RET probe(b=%g): %w", b, err)
+	}
+	if sol.Basis != nil {
+		pr.basis = sol.Basis
+	}
+	switch sol.Status {
+	case lp.Optimal:
+		return true, sol.Iters, true, nil
+	case lp.Infeasible:
+		return false, sol.Iters, true, nil
+	default:
+		return false, sol.Iters, false, nil
 	}
 }
 

@@ -28,6 +28,13 @@ type Config struct {
 	// default, WeightBySize). See WeightFunc for the alternatives the
 	// paper discusses.
 	Weight WeightFunc
+	// WarmStart accelerates the AlphaGrowth retry ladder: when the LP is
+	// infeasible at Alpha, the retries probe successive α values on one
+	// reusable model (only the fairness-floor bounds change), each solve
+	// warm-started from the previous basis. The probes are status-only —
+	// the extraction solve at the final α is built and solved exactly as
+	// the cold path would, so the returned schedule is byte-identical.
+	WarmStart bool
 }
 
 func (c Config) withDefaults() Config {
@@ -83,8 +90,9 @@ func MaxThroughput(inst *Instance, cfg Config) (*Result, error) {
 func MaxThroughputWithZ(inst *Instance, s1 *Stage1Result, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	alpha := cfg.Alpha
+	warmProbed := false
 	for {
-		res, status, err := solveStage2(inst, s1.ZStar, alpha, cfg)
+		res, status, basis, err := solveStage2(inst, s1.ZStar, alpha, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -104,6 +112,15 @@ func MaxThroughputWithZ(inst *Instance, s1 *Stage1Result, cfg Config) (*Result, 
 			return res, nil
 		}
 		if status == lp.Infeasible && cfg.AlphaGrowth > 0 && alpha+cfg.AlphaGrowth <= cfg.MaxAlpha {
+			if cfg.WarmStart && !warmProbed {
+				// Fast-forward the ladder with warm status-only probes,
+				// then re-solve cold at the α they land on.
+				warmProbed = true
+				if jump := warmFeasibleAlpha(inst, s1.ZStar, alpha, basis, cfg); jump > alpha {
+					alpha = jump
+					continue
+				}
+			}
 			telStage2AlphaRetries.Inc()
 			if cfg.Solver.Tracer != nil {
 				cfg.Solver.Tracer.Event("schedule.stage2_alpha_retry",
@@ -115,6 +132,60 @@ func MaxThroughputWithZ(inst *Instance, s1 *Stage1Result, cfg Config) (*Result, 
 		}
 		return nil, fmt.Errorf("schedule: stage 2: solver returned %v (alpha=%g)", status, alpha)
 	}
+}
+
+// warmFeasibleAlpha walks the Remark-1 α ladder with warm-started
+// feasibility probes on one reusable model and returns the α the outer
+// loop should jump to: the first α whose probe was feasible (the cold
+// re-solve there extracts the schedule), or the last probed α when every
+// probe failed or the solver hiccuped (the cold re-solve is then
+// authoritative). It returns the starting alpha unchanged when no probe
+// could run. The α accumulation mirrors the cold ladder exactly so the
+// reported Result.Alpha is bit-identical.
+func warmFeasibleAlpha(inst *Instance, zstar, alpha float64, basis *lp.Basis, cfg Config) float64 {
+	m, zvars, _, err := buildStage2Model(inst, zstar, alpha, cfg.Weight)
+	if err != nil {
+		return alpha
+	}
+	opts := cfg.Solver
+	opts.Presolve = false // presolve would disable basis capture
+	opts.CaptureBasis = true
+	a := alpha
+	for cfg.AlphaGrowth > 0 && a+cfg.AlphaGrowth <= cfg.MaxAlpha {
+		a += cfg.AlphaGrowth
+		telStage2AlphaRetries.Inc()
+		floor := (1 - a) * zstar
+		if floor < 0 {
+			floor = 0
+		}
+		for _, zv := range zvars {
+			m.SetBounds(zv, floor, lp.Inf)
+		}
+		opts.WarmStart = basis
+		sol, err := m.SolveWith(opts)
+		if err != nil {
+			return a
+		}
+		if sol.Basis != nil {
+			basis = sol.Basis
+		}
+		if cfg.Solver.Tracer != nil {
+			cfg.Solver.Tracer.Event("schedule.stage2_alpha_retry",
+				telemetry.KV("alpha", a-cfg.AlphaGrowth),
+				telemetry.KV("next_alpha", a),
+				telemetry.KV("warm", true),
+				telemetry.KV("status", sol.Status.String()))
+		}
+		switch sol.Status {
+		case lp.Optimal:
+			return a
+		case lp.Infeasible:
+			continue
+		default:
+			return a
+		}
+	}
+	return a
 }
 
 // buildStage2Model assembles the stage-2 program (eqs. 7–10 without the
@@ -162,20 +233,25 @@ func buildStage2Model(inst *Instance, zstar, alpha float64, weight WeightFunc) (
 }
 
 // solveStage2 builds and solves the stage-2 LP (eqs. 7–10 without
-// integrality), then integerizes.
-func solveStage2(inst *Instance, zstar, alpha float64, cfg Config) (*Result, lp.Status, error) {
+// integrality), then integerizes. The returned basis (captured only in
+// WarmStart mode) seeds the α-ladder probes after an infeasible outcome.
+func solveStage2(inst *Instance, zstar, alpha float64, cfg Config) (*Result, lp.Status, *lp.Basis, error) {
 	start := time.Now()
 	m, _, xvars, err := buildStage2Model(inst, zstar, alpha, cfg.Weight)
 	if err != nil {
-		return nil, lp.Infeasible, err
+		return nil, lp.Infeasible, nil, err
 	}
 
-	sol, err := m.SolveWith(cfg.Solver)
+	opts := cfg.Solver
+	if cfg.WarmStart {
+		opts.CaptureBasis = true // snapshot-only: the solve itself is unchanged
+	}
+	sol, err := m.SolveWith(opts)
 	if err != nil {
-		return nil, lp.Numerical, fmt.Errorf("schedule: stage 2: %w", err)
+		return nil, lp.Numerical, nil, fmt.Errorf("schedule: stage 2: %w", err)
 	}
 	if sol.Status != lp.Optimal {
-		return nil, sol.Status, nil
+		return nil, sol.Status, sol.Basis, nil
 	}
 	stage2Time := time.Since(start)
 
@@ -195,5 +271,5 @@ func solveStage2(inst *Instance, zstar, alpha float64, cfg Config) (*Result, lp.
 		Stage2Time:   stage2Time,
 		TruncateTime: truncTime,
 		AdjustTime:   adjTime,
-	}, lp.Optimal, nil
+	}, lp.Optimal, sol.Basis, nil
 }

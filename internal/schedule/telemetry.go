@@ -29,4 +29,9 @@ var (
 		"Delta-extension rounds after b-hat before LPDAR completed every job.")
 	telRETFinalB = telemetry.Default().Gauge("ret_b_final",
 		"Final extension factor b of the most recent RET solve.")
+
+	telPathCacheHits = telemetry.Default().Counter("schedule_pathcache_hits_total",
+		"Path-set computations served from a PathCache.")
+	telPathCacheMisses = telemetry.Default().Counter("schedule_pathcache_misses_total",
+		"Path-set computations that missed the PathCache and ran the path algorithm.")
 )
