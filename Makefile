@@ -29,11 +29,15 @@ race-serve:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
-# Benchmark smoke: one iteration of the telemetry-off guard and the
-# warm-vs-cold RET comparison, so the warm-start path is exercised (and
-# kept compiling) on every PR without paying for a full bench run.
+# Benchmark smoke: one iteration of the telemetry-off guard, the
+# warm-vs-cold RET comparison, and the decomposition speedup, so those
+# paths are exercised (and kept compiling) on every PR without paying for
+# a full bench run. The second step regenerates Fig. 3 at quick scale and
+# fails if its headline lp_ms or wall time regressed more than 20% against
+# the committed BENCH_04.json baseline.
 bench-smoke:
-	$(GO) test -run xxx -bench 'BenchmarkSolveTelemetryOff$$|BenchmarkRETWarmVsCold' -benchtime 1x .
+	$(GO) test -run xxx -bench 'BenchmarkSolveTelemetryOff$$|BenchmarkRETWarmVsCold|BenchmarkRETDecomposition' -benchtime 1x .
+	$(GO) run ./cmd/benchfig -quick -fig 3 -json /tmp/benchsmoke.json -baseline BENCH_04.json -max-regress 20
 
 # Guard for the telemetry layer's disabled-path cost: lp.SolveWith with
 # no tracer attached must stay within noise (<2%) of the seed solver.

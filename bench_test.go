@@ -98,6 +98,36 @@ func BenchmarkFig4(b *testing.B) {
 	b.ReportMetric(last.LPms, "lp_ms")
 }
 
+// BenchmarkRETDecomposition measures the structural-decomposition speedup:
+// the same overloaded multi-cluster RET instance solved as one coupled
+// model versus split into per-cluster components solved on the worker
+// pool. The component solves win twice — simplex cost grows superlinearly
+// in model size, and independent components run concurrently — while
+// producing the same b̂ and delivered throughput (see
+// TestDecomposedMatchesMonolithicRET for the bit-level argument).
+func BenchmarkRETDecomposition(b *testing.B) {
+	sc := benchScale()
+	sc.Jobs = 16
+	sc.Nodes = 24
+	var rows []experiments.DecompRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.CompareDecomposition(sc, []int{4}, experiments.RETConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	r := rows[0]
+	if !r.Match {
+		b.Fatal("monolithic and decomposed solves disagree")
+	}
+	b.ReportMetric(float64(r.Components), "components")
+	b.ReportMetric(r.MonoMs, "mono_ms")
+	b.ReportMetric(r.SerialMs, "serial_ms")
+	b.ReportMetric(r.ParallelMs, "parallel_ms")
+	b.ReportMetric(r.Speedup, "speedup_vs_mono")
+}
+
 // retBenchInstance builds an overloaded QuickScale-sized RET instance
 // whose binary search needs the full probe ladder (b̂ well above 0).
 func retBenchInstance(b *testing.B) *schedule.Instance {

@@ -7,18 +7,23 @@
 //	benchfig -fig 2            # Fig. 2: the same on Abilene
 //	benchfig -fig 3            # Fig. 3: computation time vs jobs
 //	benchfig -fig 4            # Fig. 4 + §III-B.1: RET end times & fractions
+//	benchfig -fig decomp       # decomposition: mono vs per-component solves
 //	benchfig -fig all          # everything
 //	benchfig -fig 1 -quick     # reduced scale for a fast run
 //	benchfig -fig 1 -csv       # CSV instead of aligned text
-//	benchfig -quick -json BENCH_04.json   # machine-readable perf record
+//	benchfig -quick -json BENCH_05.json   # machine-readable perf record
 //
 // Scale flags (-nodes, -pairs, -jobs, -slices, -k, -seeds) override the
 // defaults, which match the paper (100 nodes, 200 link pairs, 20 Gb/s
-// links, sizes U[1,100] GB).
+// links, sizes U[1,100] GB). -monolithic disables structural instance
+// decomposition, forcing the single coupled model per solve.
 //
 // -json writes a machine-readable report: per figure, the wall time of
 // the sweep (ns/op) and its headline metrics, so successive runs track
-// the performance trajectory of the solver stack.
+// the performance trajectory of the solver stack. -baseline compares the
+// fresh report against a committed one (e.g. BENCH_04.json) and exits
+// nonzero when any shared figure's ns_per_op or lp_ms metric regressed
+// by more than -max-regress percent.
 package main
 
 import (
@@ -62,9 +67,12 @@ func main() {
 		slices = flag.Int("slices", 0, "override horizon slices")
 		k      = flag.Int("k", 0, "override paths per job")
 		seeds  = flag.String("seeds", "", "comma-separated replication seeds")
-		waves   = flag.String("waves", "", "comma-separated wavelength sweep for figs 1-2")
-		counts  = flag.String("counts", "", "comma-separated job-count sweep for figs 3-4")
-		jsonOut = flag.String("json", "", "write headline metrics and ns/op per figure to this file (e.g. BENCH_04.json)")
+		waves      = flag.String("waves", "", "comma-separated wavelength sweep for figs 1-2")
+		counts     = flag.String("counts", "", "comma-separated job-count sweep for figs 3-4")
+		jsonOut    = flag.String("json", "", "write headline metrics and ns/op per figure to this file (e.g. BENCH_05.json)")
+		mono       = flag.Bool("monolithic", false, "disable instance decomposition; solve every instance as one coupled model")
+		baseline   = flag.String("baseline", "", "committed benchmark JSON to compare against (e.g. BENCH_04.json)")
+		maxRegress = flag.Float64("max-regress", 20, "fail when ns_per_op or lp_ms regress by more than this percent vs -baseline")
 	)
 	flag.Parse()
 
@@ -87,6 +95,7 @@ func main() {
 	if *k > 0 {
 		sc.K = *k
 	}
+	sc.Monolithic = *mono
 	if *seeds != "" {
 		sc.Seeds = nil
 		for _, s := range strings.Split(*seeds, ",") {
@@ -190,6 +199,30 @@ func main() {
 		render(experiments.RETTable(
 			"Fig. 4 + §III-B.1 — RET: average end time (slices) and fraction finished", rows))
 	}
+	if want("decomp") {
+		start := time.Now()
+		rows, err := experiments.CompareDecomposition(sc, nil, experiments.RETConfig{})
+		if err != nil {
+			fatal("decomp: %v", err)
+		}
+		last := rows[len(rows)-1]
+		match := 1.0
+		for _, r := range rows {
+			if !r.Match {
+				match = 0
+			}
+		}
+		record("decomp", time.Since(start), map[string]float64{
+			"components":          float64(last.Components),
+			"mono_ms":             last.MonoMs,
+			"parallel_ms":         last.ParallelMs,
+			"speedup_vs_mono":     last.Speedup,
+			"speedup_serial_only": last.MonoMs / last.SerialMs,
+			"all_match":           match,
+		})
+		render(experiments.DecompTable(
+			"Decomposition — monolithic vs per-component RET solves (multi-cluster network)", rows))
+	}
 	if *fig == "ablation" {
 		type sweep struct {
 			title, m1, m2 string
@@ -238,6 +271,61 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%d figures)\n", *jsonOut, len(report.Figures))
 	}
+	if *baseline != "" {
+		if err := compareBaseline(*baseline, report, *maxRegress); err != nil {
+			fatal("%v", err)
+		}
+	}
+}
+
+// compareBaseline fails when any figure present in both the fresh report
+// and the committed baseline regressed by more than maxPct percent on
+// ns_per_op or on its lp_ms metric. Figures only one side has (new
+// figures, or a baseline from a run with a different -fig selection) are
+// skipped: the guard tracks trajectories, it does not pin the figure set.
+func compareBaseline(path string, fresh benchReport, maxPct float64) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("-baseline: %v", err)
+	}
+	var base benchReport
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("-baseline %s: %v", path, err)
+	}
+	if base.Scale != fresh.Scale || base.Nodes != fresh.Nodes || base.Jobs != fresh.Jobs {
+		return fmt.Errorf("-baseline %s ran at scale %s/%d nodes/%d jobs, this run at %s/%d/%d: not comparable",
+			path, base.Scale, base.Nodes, base.Jobs, fresh.Scale, fresh.Nodes, fresh.Jobs)
+	}
+	failed := false
+	check := func(figName, metric string, old, new float64) {
+		if old <= 0 {
+			return
+		}
+		pct := (new - old) / old * 100
+		status := "ok"
+		if pct > maxPct {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("baseline %s/%s: %.3g -> %.3g (%+.1f%%, limit +%.0f%%) %s\n",
+			figName, metric, old, new, pct, maxPct, status)
+	}
+	for name, fr := range fresh.Figures {
+		br, ok := base.Figures[name]
+		if !ok {
+			continue
+		}
+		check(name, "ns_per_op", float64(br.NsPerOp), float64(fr.NsPerOp))
+		if oldMS, ok := br.Metrics["lp_ms"]; ok {
+			if newMS, ok := fr.Metrics["lp_ms"]; ok {
+				check(name, "lp_ms", oldMS, newMS)
+			}
+		}
+	}
+	if failed {
+		return fmt.Errorf("performance regressed beyond %.0f%% vs %s", maxPct, path)
+	}
+	return nil
 }
 
 func parseInts(s string) []int {

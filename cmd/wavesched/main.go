@@ -73,6 +73,7 @@ func main() {
 		alpha    = flag.Float64("alpha", 0.1, "stage-2 fairness slack")
 		bmax     = flag.Float64("bmax", 5, "RET extension ceiling")
 		warm     = flag.Bool("warm", false, "warm-start LP solves across repeated-solve loops (same schedules, fewer pivots)")
+		mono     = flag.Bool("monolithic", false, "disable instance decomposition; solve every instance as one coupled model")
 		verbose  = flag.Bool("verbose", false, "dump per-slice assignments")
 		jsonOut  = flag.Bool("json", false, "emit the -algo sim result as JSON instead of text")
 
@@ -167,9 +168,9 @@ func main() {
 
 	switch *algo {
 	case "maxthroughput":
-		runMaxThroughput(g, jobs, *slices, *sliceLen, *k, *alpha, *warm, *verbose)
+		runMaxThroughput(g, jobs, *slices, *sliceLen, *k, *alpha, *warm, *mono, *verbose)
 	case "ret":
-		runRET(g, jobs, *sliceLen, *k, *bmax, *warm, *verbose)
+		runRET(g, jobs, *sliceLen, *k, *bmax, *warm, *mono, *verbose)
 	case "admit":
 		runAdmit(g, jobs, *slices, *sliceLen, *k)
 	case "bottleneck":
@@ -177,7 +178,7 @@ func main() {
 	case "sim":
 		err := runSim(os.Stdout, g, jobs, simOptions{
 			Tau: *tau, SliceLen: *sliceLen, K: *k, Alpha: *alpha, BMax: *bmax,
-			Policy: *policy, MaxTime: *maxTime, JSON: *jsonOut, Warm: *warm,
+			Policy: *policy, MaxTime: *maxTime, JSON: *jsonOut, Warm: *warm, Monolithic: *mono,
 			FailTrace: *failTrace, MTBF: *mtbf, MTTR: *mttr, FailSeed: *failSeed,
 		})
 		if err != nil {
@@ -272,7 +273,7 @@ func setupLogging(level string) error {
 	return nil
 }
 
-func runMaxThroughput(g *netgraph.Graph, jobs []job.Job, slices int, sliceLen float64, k int, alpha float64, warm, verbose bool) {
+func runMaxThroughput(g *netgraph.Graph, jobs []job.Job, slices int, sliceLen float64, k int, alpha float64, warm, mono, verbose bool) {
 	grid, err := timeslice.Uniform(0, sliceLen, slices)
 	if err != nil {
 		fatal("%v", err)
@@ -283,6 +284,7 @@ func runMaxThroughput(g *netgraph.Graph, jobs []job.Job, slices int, sliceLen fl
 	}
 	res, err := schedule.MaxThroughput(inst, schedule.Config{
 		Alpha: alpha, AlphaGrowth: 0.1, Solver: lpOptions(), WarmStart: warm,
+		Monolithic: mono,
 	})
 	if err != nil {
 		fatal("%v", err)
@@ -318,12 +320,12 @@ func runMaxThroughput(g *netgraph.Graph, jobs []job.Job, slices int, sliceLen fl
 	}
 }
 
-func runRET(g *netgraph.Graph, jobs []job.Job, sliceLen float64, k int, bmax float64, warm, verbose bool) {
+func runRET(g *netgraph.Graph, jobs []job.Job, sliceLen float64, k int, bmax float64, warm, mono, verbose bool) {
 	inst, err := schedule.BuildRETInstance(g, jobs, sliceLen, k, bmax)
 	if err != nil {
 		fatal("%v", err)
 	}
-	res, err := schedule.SolveRET(inst, schedule.RETConfig{BMax: bmax, Solver: lpOptions(), WarmStart: warm})
+	res, err := schedule.SolveRET(inst, schedule.RETConfig{BMax: bmax, Solver: lpOptions(), WarmStart: warm, Monolithic: mono})
 	if err != nil {
 		fatal("%v", err)
 	}

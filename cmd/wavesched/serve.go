@@ -29,6 +29,7 @@ type serveOptions struct {
 	K             int
 	Alpha         float64
 	BMax          float64
+	Monolithic    bool
 	WALDir        string
 	SnapshotEvery int
 	LogLevel      string
@@ -46,6 +47,7 @@ func parseServeFlags(args []string) (serveOptions, error) {
 	fs.IntVar(&o.K, "k", 4, "allowed paths per job")
 	fs.Float64Var(&o.Alpha, "alpha", 0.1, "stage-2 fairness slack")
 	fs.Float64Var(&o.BMax, "bmax", 5, "RET extension ceiling")
+	fs.BoolVar(&o.Monolithic, "monolithic", false, "disable instance decomposition; solve every instance as one coupled model")
 	fs.StringVar(&o.WALDir, "wal", "", "directory for the durable WAL/snapshot log (empty = in-memory)")
 	fs.IntVar(&o.SnapshotEvery, "snapshot-every", 1024, "compact the WAL into the snapshot after this many entries (0 = never)")
 	fs.StringVar(&o.LogLevel, "log-level", "info", "log level: debug, info, warn, or error")
@@ -86,7 +88,7 @@ func buildServer(o serveOptions) (*server.Server, *netgraph.Graph, error) {
 		Controller: controller.Config{
 			Tau: o.Tau.Seconds(), SliceLen: o.SliceLen, K: o.K,
 			Alpha: o.Alpha, BMax: o.BMax, Policy: policy,
-			Solver: lpOptions(), Tracer: tracer,
+			Solver: lpOptions(), Tracer: tracer, Monolithic: o.Monolithic,
 		},
 		Period:        o.Tau,
 		WALDir:        o.WALDir,

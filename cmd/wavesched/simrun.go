@@ -25,6 +25,10 @@ type simOptions struct {
 	JSON     bool // emit the run result as JSON instead of text
 	Warm     bool // warm-start LP solves across epochs
 
+	// Monolithic disables structural instance decomposition (the default
+	// solve path splits independent job clusters into per-component LPs).
+	Monolithic bool
+
 	FailTrace string  // JSON link-event trace to inject
 	MTBF      float64 // generate failures with this mean up-time (0 = off)
 	MTTR      float64 // mean repair time for generated failures
@@ -90,7 +94,7 @@ func runSim(w io.Writer, g *netgraph.Graph, jobs []job.Job, o simOptions) error 
 	ctrl, err := controller.New(g, controller.Config{
 		Tau: o.Tau, SliceLen: o.SliceLen, K: o.K, Alpha: o.Alpha,
 		Policy: policy, BMax: o.BMax, Solver: lpOptions(), Tracer: tracer,
-		WarmStart: o.Warm,
+		WarmStart: o.Warm, Monolithic: o.Monolithic,
 	})
 	if err != nil {
 		return err

@@ -24,7 +24,6 @@ import (
 	"log/slog"
 	"math"
 	"sort"
-	"strings"
 	"time"
 
 	"wavesched/internal/job"
@@ -122,12 +121,18 @@ type Config struct {
 	// selects slog.Default().
 	Logger *slog.Logger
 	// WarmStart carries the LP basis across epochs: RET probe bases and
-	// stage-2 α-ladder bases are retained while the topology and job mix
-	// are unchanged (invalidated on LinkDown/LinkUp and on admissions),
-	// and repeated-solve loops inside one epoch chain their bases. The
-	// committed schedules are byte-identical either way; only solve time
-	// changes.
+	// stage-2 α-ladder bases are retained per decomposition component, so
+	// only components whose job mix or edge set actually changed lose their
+	// basis (LinkDown invalidates just the components using the failed
+	// link; LinkUp clears everything, since restored capacity can re-couple
+	// components). Repeated-solve loops inside one epoch also chain their
+	// bases. The committed schedules are byte-identical either way; only
+	// solve time changes.
 	WarmStart bool
+	// Monolithic forces single-model solves even on instances that
+	// decompose into independent components — the A/B switch against the
+	// decomposed parallel path (the default).
+	Monolithic bool
 }
 
 func (c Config) validate() error {
@@ -248,13 +253,13 @@ type Controller struct {
 	// pathCache memoizes per-(src, dst) path sets across epoch instance
 	// builds, keyed by the failed-link set (see schedule.PathCache).
 	pathCache *schedule.PathCache
-	// warmRET chains the RET probe basis across epochs under
-	// Config.WarmStart; warmKey fingerprints the job mix it was captured
-	// under, so an admission or retirement stops the hand-off (the lp
-	// layer would reject the structural mismatch anyway — the key just
-	// skips the doomed attempt).
-	warmRET *lp.Basis
-	warmKey string
+	// warmRET chains RET probe bases across epochs under Config.WarmStart,
+	// one entry per decomposition component keyed by its job-ID
+	// fingerprint and tagged with its edge set. A changed job mix simply
+	// misses the map for the affected components (the lp layer would
+	// reject the structural mismatch anyway), and a link failure evicts
+	// only the components whose paths used the failed edge.
+	warmRET map[string]*schedule.ComponentBasis
 
 	disruptions []Disruption
 
@@ -794,9 +799,9 @@ func (c *Controller) RunEpoch() error {
 		})
 	}
 	c.pending = c.pending[:0]
-	if stat.Admitted > 0 {
-		c.warmRET, c.warmKey = nil, "" // job mix changed: basis is stale
-	}
+	// Admissions need no warm-basis invalidation: components whose job mix
+	// changed miss the fingerprint-keyed map naturally, while untouched
+	// components keep their bases.
 
 	// Retire active jobs whose remaining window can no longer hold a whole
 	// slice: nothing further can be scheduled for them.
@@ -943,6 +948,7 @@ func (c *Controller) solvePolicy(inst *schedule.Instance, fresh []*activeJob, no
 		res, err := schedule.MaxThroughput(inst, schedule.Config{
 			Alpha: c.cfg.Alpha, AlphaGrowth: 0.1, Solver: c.cfg.Solver,
 			Weight: c.cfg.Weight, WarmStart: c.cfg.WarmStart,
+			Monolithic: c.cfg.Monolithic,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("controller: epoch at t=%g: %w", now, err)
@@ -951,14 +957,19 @@ func (c *Controller) solvePolicy(inst *schedule.Instance, fresh []*activeJob, no
 	case PolicyRET:
 		retCfg := schedule.RETConfig{
 			BMax: c.cfg.BMax, Solver: c.cfg.Solver,
+			Monolithic: c.cfg.Monolithic,
 		}
 		if c.cfg.WarmStart {
 			retCfg.WarmStart = true
-			// Hand the previous epoch's probe basis over only while the
-			// job mix is unchanged; a mismatched basis is merely a wasted
-			// lp fallback, never a wrong answer.
-			if key := jobMixKey(fresh); key == c.warmKey {
-				retCfg.WarmBasis = c.warmRET
+			// Hand the previous epoch's probe bases over per component;
+			// components whose job mix changed miss the map, and a
+			// mismatched basis is merely a wasted lp fallback, never a
+			// wrong answer.
+			if len(c.warmRET) > 0 {
+				retCfg.WarmBases = make(map[string]*lp.Basis, len(c.warmRET))
+				for key, cb := range c.warmRET {
+					retCfg.WarmBases[key] = cb.Basis
+				}
 			}
 		}
 		res, err := schedule.SolveRET(inst, retCfg)
@@ -966,8 +977,9 @@ func (c *Controller) solvePolicy(inst *schedule.Instance, fresh []*activeJob, no
 			return nil, fmt.Errorf("controller: epoch at t=%g: %w", now, err)
 		}
 		if c.cfg.WarmStart {
-			c.warmRET = res.ProbeBasis
-			c.warmKey = jobMixKey(fresh)
+			// Replace wholesale: entries for components that dissolved this
+			// epoch are pruned automatically.
+			c.warmRET = res.ProbeBases
 		}
 		// Renegotiated deadlines: extend every active job's effective end.
 		for i, aj := range fresh {
@@ -982,14 +994,19 @@ func (c *Controller) solvePolicy(inst *schedule.Instance, fresh []*activeJob, no
 	}
 }
 
-// jobMixKey fingerprints the set of jobs being optimized, in snapshot
-// order, for cross-epoch basis reuse.
-func jobMixKey(fresh []*activeJob) string {
-	var sb strings.Builder
-	for _, aj := range fresh {
-		fmt.Fprintf(&sb, "%d,", aj.orig.ID)
+// dropWarmBasesUsing evicts warm-basis entries for components whose path
+// sets touch edge e; components that never routed over e keep their bases
+// (their k-shortest path sets over the residual topology are unchanged, so
+// their next-epoch fingerprints still match).
+func (c *Controller) dropWarmBasesUsing(e netgraph.EdgeID) {
+	for key, cb := range c.warmRET {
+		for _, ce := range cb.Edges {
+			if ce == e {
+				delete(c.warmRET, key)
+				break
+			}
+		}
 	}
-	return sb.String()
 }
 
 // LinkDown fails edge e at time t: bytes delivered before t are credited
@@ -1032,7 +1049,7 @@ func (c *Controller) LinkDown(e netgraph.EdgeID, t float64) error {
 	}
 	c.down[e] = true
 	c.resid = nil
-	c.warmRET, c.warmKey = nil, "" // topology changed: basis is stale
+	c.dropWarmBasesUsing(e) // only components routed over e lose their basis
 
 	// Drop jobs with no route left.
 	for _, aj := range c.active {
@@ -1078,7 +1095,9 @@ func (c *Controller) LinkUp(e netgraph.EdgeID, t float64) error {
 	}
 	delete(c.down, e)
 	c.resid = nil
-	c.warmRET, c.warmKey = nil, "" // topology changed: basis is stale
+	// Restored capacity can reroute any job's candidate paths and merge
+	// components, so every fingerprint may shift: clear wholesale.
+	c.warmRET = nil
 	return nil
 }
 

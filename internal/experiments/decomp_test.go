@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCompareDecomposition runs a small sweep end to end: every row must
+// report agreement between the three solve modes and at least as many
+// components as clusters.
+func TestCompareDecomposition(t *testing.T) {
+	sc := QuickScale()
+	sc.Jobs = 8
+	sc.Nodes = 12
+	rows, err := CompareDecomposition(sc, []int{2, 3}, RETConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Match {
+			t.Errorf("clusters=%d: solve modes disagree", r.Clusters)
+		}
+		if r.Components < r.Clusters {
+			t.Errorf("clusters=%d: only %d components", r.Clusters, r.Components)
+		}
+		if r.MonoMs <= 0 || r.SerialMs <= 0 || r.ParallelMs <= 0 {
+			t.Errorf("clusters=%d: non-positive timing %+v", r.Clusters, r)
+		}
+	}
+	if testing.Verbose() {
+		var sb strings.Builder
+		if err := DecompTable("decomposition", rows).Render(&sb); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("\n" + sb.String())
+	}
+}

@@ -25,10 +25,7 @@ func (s *simplex) dualSimplex() (dualStatus, error) {
 	m := s.m
 	tol := s.opt.Tol
 	pivTol := s.opt.PivotTol
-	rho := make([]float64, m)
-	if s.wBuf == nil {
-		s.wBuf = make([]float64, m)
-	}
+	rho := s.rho
 
 	for {
 		if s.iters >= s.opt.MaxIter {
@@ -273,6 +270,10 @@ func (inc *Incremental) Solve() (*Solution, error) {
 // final state.
 func (inc *Incremental) fullSolve() (*Solution, error) {
 	s, sol, err := inc.model.solveCore(inc.opt)
+	// The cached simplex aliases the model's reusable scratch buffers;
+	// detach them so a later direct SolveWith on the same model cannot
+	// clobber the basis this wrapper resumes from.
+	inc.model.bufs = nil
 	if err != nil {
 		return sol, err
 	}

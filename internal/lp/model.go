@@ -8,8 +8,12 @@
 //
 // with a sparse column (CSC) constraint matrix, an LU-factorized basis with
 // Gilbert–Peierls-style left-looking factorization, product-form (eta)
-// basis updates, periodic refactorization, Dantzig pricing and a Bland
-// anti-cycling fallback.
+// basis updates, periodic refactorization, and a Bland anti-cycling
+// fallback. The default pricing rule (Options.Pricing zero value, Auto)
+// is size-based: Dantzig for small models, PartialDantzig once
+// columns+rows reach autoPricingThreshold, where the full reduced-cost
+// sweep would dominate each pivot. Setting Options.Pricing to an explicit
+// rule always overrides the automatic choice.
 //
 // The package replaces the commercial CPLEX solver used in the paper
 // "Slotted Wavelength Scheduling for Bulk Transfers in Research Networks"
@@ -90,12 +94,19 @@ type row struct {
 
 // Model is a linear program under construction. The zero value is not
 // usable; create models with NewModel. Models are not safe for concurrent
-// mutation.
+// mutation, and — because repeated solves reuse per-model scratch buffers —
+// not for concurrent solving either; solve distinct Model values in
+// parallel instead.
 type Model struct {
 	name  string
 	sense Sense
 	vars  []variable
 	rows  []row
+
+	// bufs caches the simplex working arrays between solves of this model
+	// (the warm-probe hot path re-solves one model hundreds of times).
+	// Dropped whenever the model shape stops matching.
+	bufs *solverBufs
 }
 
 // NewModel returns an empty model with the given name and optimization

@@ -52,9 +52,14 @@ type Pricing int
 
 // Pricing rules.
 const (
+	// Auto — the zero value — selects a rule from the model size:
+	// PartialDantzig once columns+rows reach autoPricingThreshold (a full
+	// Dantzig sweep is O(nnz) per pivot, which dominates on wide RET
+	// models), Dantzig below it. Set an explicit rule to override.
+	Auto Pricing = iota
 	// Dantzig picks the eligible column with the most attractive reduced
 	// cost, falling back to Bland's rule after a long degenerate streak.
-	Dantzig Pricing = iota
+	Dantzig
 	// Bland always picks the lowest-index eligible column; slow but
 	// guarantees termination.
 	Bland
@@ -64,6 +69,10 @@ const (
 	// somewhat less greedy pivots.
 	PartialDantzig
 )
+
+// autoPricingThreshold is the total size (columns + rows) at which Auto
+// pricing switches from Dantzig to PartialDantzig.
+const autoPricingThreshold = 2048
 
 // Options tunes the simplex solver. The zero value selects sensible
 // defaults.
@@ -108,6 +117,13 @@ type Options struct {
 func (o Options) withDefaults(m, n int) Options {
 	if o.MaxIter <= 0 {
 		o.MaxIter = 200*(m+n) + 10000
+	}
+	if o.Pricing == Auto {
+		if m+n >= autoPricingThreshold {
+			o.Pricing = PartialDantzig
+		} else {
+			o.Pricing = Dantzig
+		}
 	}
 	if o.Tol <= 0 {
 		o.Tol = 1e-7
@@ -160,6 +176,7 @@ type simplex struct {
 	scratch   []float64 // length m
 	yRow      []float64 // BTRAN result, by row
 	wBuf      []float64 // ratio-test column buffer, by slot
+	rho       []float64 // dual-simplex pivot-row buffer, length m
 	deadline  time.Time // zero value: no wall-clock limit
 	untilTick int       // pivots until the next wall-clock check
 }
@@ -353,9 +370,6 @@ func (s *simplex) price() int {
 // false with status when the phase ends (unbounded), true otherwise.
 func (s *simplex) step(q int) (ok bool, status Status, err error) {
 	m := s.m
-	if s.wBuf == nil {
-		s.wBuf = make([]float64, m)
-	}
 	w := s.wBuf
 	for i := range w {
 		w[i] = 0

@@ -154,6 +154,62 @@ func (m *Model) solveCore(opt Options) (*simplex, *Solution, error) {
 	return m.coldSolve(s, opt)
 }
 
+// solverBufs is the set of simplex working arrays cached on a Model
+// between solves, so the warm-probe hot path (hundreds of re-solves of
+// one model) stops allocating them per solve. Every array is either fully
+// overwritten by assemble/coldSolve/warmSolve or explicitly zeroed on
+// reuse (the phase-cost vectors, whose structural entries the cold phase-1
+// start relies on being zero).
+type solverBufs struct {
+	n, nRows int
+	l, u     []float64
+	c, cMin  []float64
+	b        []float64
+	art      []float64
+	basis    []int
+	pos      []int
+	state    []int8
+	xB       []float64
+	scratch  []float64
+	yRow     []float64
+	wBuf     []float64
+	rho      []float64
+}
+
+// grab returns the model's cached buffers when they match the assembled
+// shape, or a freshly allocated set (cached for the next solve) otherwise.
+func (m *Model) grabBufs(n, nRows int) *solverBufs {
+	if bf := m.bufs; bf != nil && bf.n == n && bf.nRows == nRows {
+		// Zero the two cost vectors: phase 1 needs zero structural costs,
+		// and the minimization-form costs are only written for structural
+		// columns. All other arrays are fully overwritten before use.
+		for i := range bf.c {
+			bf.c[i] = 0
+			bf.cMin[i] = 0
+		}
+		return bf
+	}
+	bf := &solverBufs{
+		n: n, nRows: nRows,
+		l:       make([]float64, n+nRows),
+		u:       make([]float64, n+nRows),
+		c:       make([]float64, n+nRows),
+		cMin:    make([]float64, n+nRows),
+		b:       make([]float64, nRows),
+		art:     make([]float64, nRows),
+		basis:   make([]int, nRows),
+		pos:     make([]int, n+nRows),
+		state:   make([]int8, n+nRows),
+		xB:      make([]float64, nRows),
+		scratch: make([]float64, nRows),
+		yRow:    make([]float64, nRows),
+		wBuf:    make([]float64, nRows),
+		rho:     make([]float64, nRows),
+	}
+	m.bufs = bf
+	return bf
+}
+
 // assemble builds the simplex working state — CSC matrix over structural
 // and slack columns, bounds, and the minimization-form costs in s.cMin —
 // without choosing a starting basis.
@@ -170,6 +226,7 @@ func (m *Model) assemble(opt Options) *simplex {
 	}
 	n := nVars + nSlack
 	opt = opt.withDefaults(nRows, n)
+	bf := m.grabBufs(n, nRows)
 
 	// Assemble the CSC matrix over structural + slack columns.
 	tb := newTripletBuilder(nRows, n)
@@ -178,9 +235,9 @@ func (m *Model) assemble(opt Options) *simplex {
 			tb.add(k, int(t.col), t.coef)
 		}
 	}
-	l := make([]float64, n+nRows) // includes artificial bounds
-	u := make([]float64, n+nRows)
-	c := make([]float64, n+nRows)
+	l := bf.l // includes artificial bounds
+	u := bf.u
+	c := bf.cMin
 	negate := m.sense == Maximize
 	for j, v := range m.vars {
 		l[j], u[j] = v.lb, v.ub
@@ -190,7 +247,7 @@ func (m *Model) assemble(opt Options) *simplex {
 			c[j] = v.obj
 		}
 	}
-	b := make([]float64, nRows)
+	b := bf.b
 	slack := nVars
 	for k, r := range m.rows {
 		b[k] = r.rhs
@@ -211,20 +268,22 @@ func (m *Model) assemble(opt Options) *simplex {
 		opt:     opt,
 		a:       a,
 		b:       b,
-		c:       make([]float64, n+nRows),
+		c:       bf.c,
 		cMin:    c,
 		negate:  negate,
 		l:       l,
 		u:       u,
 		m:       nRows,
 		n:       n,
-		art:     make([]float64, nRows),
-		basis:   make([]int, nRows),
-		pos:     make([]int, n+nRows),
-		state:   make([]int8, n+nRows),
-		xB:      make([]float64, nRows),
-		scratch: make([]float64, nRows),
-		yRow:    make([]float64, nRows),
+		art:     bf.art,
+		basis:   bf.basis,
+		pos:     bf.pos,
+		state:   bf.state,
+		xB:      bf.xB,
+		scratch: bf.scratch,
+		yRow:    bf.yRow,
+		wBuf:    bf.wBuf,
+		rho:     bf.rho,
 	}
 	for j := range s.pos {
 		s.pos[j] = -1

@@ -59,6 +59,18 @@ type RETConfig struct {
 	// shape (e.g. the controller's previous epoch). A mismatched basis is
 	// harmless: the lp layer falls back to a cold solve.
 	WarmBasis *lp.Basis
+	// WarmBases optionally seeds per-component probes, keyed by
+	// Component.Key — typically RETResult.ProbeBases from a previous
+	// solve. A monolithic solve consults the full-instance key, so the
+	// map works uniformly for both paths.
+	WarmBases map[string]*lp.Basis
+	// Monolithic forces one SUB-RET model over all jobs even when the
+	// instance decomposes into independent components at BMax windows —
+	// the A/B switch against the decomposed parallel path (the default).
+	Monolithic bool
+	// Parallelism bounds the worker pool for per-component binary
+	// searches and δ-round solves; ≤ 0 selects NumCPU.
+	Parallelism int
 }
 
 func (c RETConfig) withDefaults() RETConfig {
@@ -99,30 +111,60 @@ type RETResult struct {
 	SolveTime  time.Duration
 
 	// ProbeBasis is the final warm-start basis of the probe model, set
-	// when RETConfig.WarmStart was on. Feed it to RETConfig.WarmBasis of
-	// the next solve over the same instance shape.
+	// when RETConfig.WarmStart was on and the solve was monolithic (or
+	// single-component). Feed it to RETConfig.WarmBasis of the next solve
+	// over the same instance shape.
 	ProbeBasis *lp.Basis
+	// ProbeBases holds the final probe basis of every component (the
+	// full instance, for a monolithic solve), keyed by Component.Key and
+	// tagged with the component's edge set so a caller can invalidate
+	// entries per topology event. Set when RETConfig.WarmStart was on.
+	ProbeBases map[string]*ComponentBasis
+	// Components is the number of independent blocks the instance was
+	// decomposed into (1 for a monolithic solve or a fully coupled
+	// instance).
+	Components int
 }
 
 // SolveRET runs the paper's Algorithm 2 on the instance: binary search on
 // [0, BMax] for the smallest b̂ making the fractional SUB-RET feasible,
 // integerize via LPDAR, and extend b by δ until the integer solution
-// completes every job.
+// completes every job. When the instance decomposes into independent
+// components at BMax-extended windows (and RETConfig.Monolithic is off),
+// the binary searches run per component on a worker pool and
+// b̂ = max over components of b̂_c — every bisection halves the same
+// [0, BMax] interval, so the per-component b̂ values lie on one dyadic
+// grid and the max equals the monolithic search's answer.
 //
 // The instance's grid must extend far enough to cover (1+BMax)-extended
 // end times; BuildRETInstance constructs such instances.
 func SolveRET(inst *Instance, cfg RETConfig) (*RETResult, error) {
 	cfg = cfg.withDefaults()
-	res := &RETResult{}
-	tracer := cfg.Solver.Tracer
-	retSpan := tracer.Start("schedule.ret")
-
-	// The warm probe model is shared by every feasibility solve of the
-	// binary search; a build failure just disables the fast path.
-	var pr *retProbe
-	if cfg.WarmStart {
-		pr, _ = newRETProbe(inst, cfg)
+	comps := decomposeFor(inst, cfg.Monolithic, retExtendedLast(inst, cfg.BMax, cfg))
+	if len(comps) > 1 {
+		return solveRETDecomposed(inst, comps, cfg)
 	}
+	observeComponents(comps)
+	return solveRETMono(inst, cfg)
+}
+
+// fullInstanceKeyEdges returns the component fingerprint and edge set of
+// the whole instance, so a monolithic solve participates in the same
+// per-component warm-basis maps as decomposed ones.
+func fullInstanceKeyEdges(inst *Instance) (string, []netgraph.EdgeID) {
+	idx := make([]int, inst.NumJobs())
+	for k := range idx {
+		idx[k] = k
+	}
+	c := buildComponent(inst, idx)
+	return c.Key, c.Edges
+}
+
+// retSearch runs the feasibility binary search for b̂ on one instance
+// (the whole instance, or one component's sub-instance), optionally
+// through the warm probe model.
+func retSearch(inst *Instance, cfg RETConfig, pr *retProbe) (bhat float64, itersTotal int, err error) {
+	tracer := cfg.Solver.Tracer
 
 	// probe wraps the feasibility solves of the binary search with the
 	// step counter and the b-trajectory trace.
@@ -154,39 +196,64 @@ func SolveRET(inst *Instance, cfg RETConfig) (*RETResult, error) {
 		return feasible, iters, err
 	}
 
-	searchStart := time.Now()
 	// Feasibility of SUB-RET is monotone in b: larger b only widens
 	// windows. First check b = 0, then b = BMax, then bisect.
 	feas0, iters, err := probe(0, "b0")
+	itersTotal += iters
+	if err != nil {
+		return 0, itersTotal, err
+	}
+	if feas0 {
+		return 0, itersTotal, nil
+	}
+	feasMax, iters, err := probe(cfg.BMax, "bmax")
+	itersTotal += iters
+	if err != nil {
+		return 0, itersTotal, err
+	}
+	if !feasMax {
+		return 0, itersTotal, fmt.Errorf("schedule: RET infeasible even at b=%g — raise BMax or the grid horizon", cfg.BMax)
+	}
+	lo, hi := 0.0, cfg.BMax
+	for hi-lo > cfg.Eps {
+		mid := (lo + hi) / 2
+		feasible, iters, err := probe(mid, "bisect")
+		itersTotal += iters
+		if err != nil {
+			return 0, itersTotal, err
+		}
+		if feasible {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, itersTotal, nil
+}
+
+// solveRETMono is the single-model Algorithm 2 path.
+func solveRETMono(inst *Instance, cfg RETConfig) (*RETResult, error) {
+	res := &RETResult{Components: 1}
+	tracer := cfg.Solver.Tracer
+	retSpan := tracer.Start("schedule.ret")
+
+	fullKey, fullEdges := fullInstanceKeyEdges(inst)
+	if cfg.WarmBasis == nil && cfg.WarmBases != nil {
+		cfg.WarmBasis = cfg.WarmBases[fullKey]
+	}
+
+	// The warm probe model is shared by every feasibility solve of the
+	// binary search; a build failure just disables the fast path.
+	var pr *retProbe
+	if cfg.WarmStart {
+		pr, _ = newRETProbe(inst, cfg)
+	}
+
+	searchStart := time.Now()
+	bhat, iters, err := retSearch(inst, cfg, pr)
 	res.LPIters += iters
 	if err != nil {
 		return nil, err
-	}
-	bhat := 0.0
-	if !feas0 {
-		feasMax, iters, err := probe(cfg.BMax, "bmax")
-		res.LPIters += iters
-		if err != nil {
-			return nil, err
-		}
-		if !feasMax {
-			return nil, fmt.Errorf("schedule: RET infeasible even at b=%g — raise BMax or the grid horizon", cfg.BMax)
-		}
-		lo, hi := 0.0, cfg.BMax
-		for hi-lo > cfg.Eps {
-			mid := (lo + hi) / 2
-			feasible, iters, err := probe(mid, "bisect")
-			res.LPIters += iters
-			if err != nil {
-				return nil, err
-			}
-			if feasible {
-				hi = mid
-			} else {
-				lo = mid
-			}
-		}
-		bhat = hi
 	}
 	res.BHat = bhat
 	res.SearchTime = time.Since(searchStart)
@@ -219,11 +286,158 @@ func SolveRET(inst *Instance, cfg RETConfig) (*RETResult, error) {
 			res.SolveTime = time.Since(solveStart)
 			if pr != nil {
 				res.ProbeBasis = pr.basis
+				res.ProbeBases = map[string]*ComponentBasis{
+					fullKey: {Basis: pr.basis, Edges: fullEdges},
+				}
 			}
 			telRETDeltaRounds.Add(int64(round))
 			telRETFinalB.Set(b)
 			retSpan.End(
 				telemetry.KV("jobs", inst.NumJobs()),
+				telemetry.KV("bhat", res.BHat),
+				telemetry.KV("b", res.B),
+				telemetry.KV("delta_rounds", round),
+				telemetry.KV("lp_iters", res.LPIters))
+			return res, nil
+		}
+		if tracer != nil {
+			tracer.Event("ret.delta_round",
+				telemetry.KV("round", round),
+				telemetry.KV("b", b),
+				telemetry.KV("next_b", b+cfg.Delta))
+		}
+		b += cfg.Delta
+	}
+}
+
+// solveRETDecomposed runs Algorithm 2 per component: parallel binary
+// searches, b̂ = max over components, then δ-rounds with per-component
+// SUB-RET solves merged before one global LPDAR pass (truncation and
+// adjustment see the whole network, exactly as the monolithic path does).
+// Should a δ-round push b past BMax — beyond the windows the decomposition
+// was computed at, where components may re-couple — the round falls back
+// to the full-instance model.
+func solveRETDecomposed(inst *Instance, comps []*Component, cfg RETConfig) (*RETResult, error) {
+	res := &RETResult{Components: len(comps)}
+	tracer := cfg.Solver.Tracer
+	retSpan := tracer.Start("schedule.ret")
+	wall := time.Now()
+
+	type compState struct {
+		cfg   RETConfig // per-component copy: WarmBasis differs
+		probe *retProbe
+		bhat  float64
+		iters int
+		dur   time.Duration
+	}
+	states := make([]compState, len(comps))
+
+	searchStart := time.Now()
+	err := runComponents(len(comps), cfg.Parallelism, func(i int) error {
+		start := time.Now()
+		st := &states[i]
+		st.cfg = cfg
+		if cfg.WarmBases != nil {
+			st.cfg.WarmBasis = cfg.WarmBases[comps[i].Key]
+		}
+		if cfg.WarmStart {
+			st.probe, _ = newRETProbe(comps[i].Inst, st.cfg)
+		}
+		bhat, iters, err := retSearch(comps[i].Inst, st.cfg, st.probe)
+		st.bhat, st.iters = bhat, iters
+		st.dur = time.Since(start)
+		if err != nil {
+			return fmt.Errorf("component {%s}: %w", comps[i].Key, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var serial time.Duration
+	for i := range states {
+		if states[i].bhat > res.BHat {
+			res.BHat = states[i].bhat
+		}
+		res.LPIters += states[i].iters
+		serial += states[i].dur
+	}
+	res.SearchTime = time.Since(searchStart)
+
+	// Step 2–5 at the global b: per-component fractional solves, merge,
+	// then global integerization.
+	solveStart := time.Now()
+	b := res.BHat
+	for round := 0; ; round++ {
+		if round >= cfg.MaxRounds {
+			return nil, fmt.Errorf("schedule: RET did not complete all jobs within %d δ-extensions (b=%g)", cfg.MaxRounds, b)
+		}
+		var frac *Assignment
+		allFeasible := true
+		if b <= cfg.BMax {
+			fracs := make([]*Assignment, len(comps))
+			feas := make([]bool, len(comps))
+			err := runComponents(len(comps), cfg.Parallelism, func(i int) error {
+				start := time.Now()
+				f, a, iters, err := solveSubRET(comps[i].Inst, b, states[i].cfg, true)
+				feas[i], fracs[i] = f, a
+				states[i].iters = iters
+				states[i].dur += time.Since(start)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			for i := range states {
+				res.LPIters += states[i].iters
+				if !feas[i] {
+					allFeasible = false
+				}
+			}
+			if allFeasible {
+				frac = mergeAssignments(inst, comps, fracs)
+				frac.SetExtendedWindows(retExtendedLast(inst, b, cfg))
+			}
+		} else {
+			feasible, a, iters, err := solveSubRET(inst, b, cfg, true)
+			res.LPIters += iters
+			if err != nil {
+				return nil, err
+			}
+			allFeasible, frac = feasible, a
+		}
+		if !allFeasible {
+			// Can happen just above b̂ due to the ε-precision search; δ-extend.
+			b += cfg.Delta
+			continue
+		}
+		lpd := frac.Truncate()
+		lpdar := AdjustRates(lpd, *cfg.Adjust)
+		if lpdar.AllDemandsMet() {
+			res.B = b
+			res.LP = frac
+			res.LPD = lpd
+			res.LPDAR = lpdar
+			res.Rounds = round
+			res.SolveTime = time.Since(solveStart)
+			if cfg.WarmStart {
+				res.ProbeBases = make(map[string]*ComponentBasis, len(comps))
+				for i, c := range comps {
+					if states[i].probe != nil && states[i].probe.basis != nil {
+						res.ProbeBases[c.Key] = &ComponentBasis{Basis: states[i].probe.basis, Edges: c.Edges}
+					}
+				}
+			}
+			serial = 0
+			for i := range states {
+				serial += states[i].dur // search + every δ-round solve
+			}
+			observeDecomposition(comps, time.Since(wall).Seconds(), serial.Seconds())
+			telRETDeltaRounds.Add(int64(round))
+			telRETFinalB.Set(b)
+			retSpan.End(
+				telemetry.KV("jobs", inst.NumJobs()),
+				telemetry.KV("components", len(comps)),
 				telemetry.KV("bhat", res.BHat),
 				telemetry.KV("b", res.B),
 				telemetry.KV("delta_rounds", round),

@@ -34,4 +34,14 @@ var (
 		"Path-set computations served from a PathCache.")
 	telPathCacheMisses = telemetry.Default().Counter("schedule_pathcache_misses_total",
 		"Path-set computations that missed the PathCache and ran the path algorithm.")
+
+	telComponents = telemetry.Default().Counter("schedule_components_total",
+		"Connected components across decomposition-enabled solves (1 per solve for fully coupled instances).")
+	telComponentSize = telemetry.Default().Histogram("schedule_component_size_jobs",
+		"Jobs per connected component in decomposition-enabled solves.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128})
+	telParallelWallSeconds = telemetry.Default().Histogram("schedule_parallel_wall_seconds",
+		"Wall time of one decomposed parallel solve phase in seconds.", nil)
+	telSerialSolveSeconds = telemetry.Default().Histogram("schedule_serial_solve_seconds",
+		"Summed per-component solve time of the same phase — the serial cost the parallel run avoided.", nil)
 )
