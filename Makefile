@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race race-serve bench bench-smoke bench-telemetry clean
+.PHONY: check vet build test race race-serve bench bench-smoke bench-telemetry bench-trace-guard clean
 
 check: vet build race-serve race
 
@@ -38,6 +38,22 @@ bench:
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkSolveTelemetryOff$$|BenchmarkRETWarmVsCold|BenchmarkRETDecomposition' -benchtime 1x .
 	$(GO) run ./cmd/benchfig -quick -fig 3 -json /tmp/benchsmoke.json -baseline BENCH_04.json -max-regress 20
+	$(MAKE) bench-trace-guard
+
+# Tracing-overhead guard: the Fig. 4 RET solve with JSONL span tracing
+# enabled must stay within 5% of the tracing-off path (the per-span work
+# is one buffered JSON encode; the probe LP dominates).
+bench-trace-guard:
+	$(GO) test -run xxx -bench 'BenchmarkFig4Tracing' -benchtime 10x . | awk ' \
+		/BenchmarkFig4Tracing\/off/ {off=$$3} \
+		/BenchmarkFig4Tracing\/on/ {on=$$3} \
+		{print} \
+		END { \
+			if (off == "" || on == "") { print "bench-trace-guard: missing benchmark output"; exit 1 } \
+			ratio = on / off; \
+			printf "bench-trace-guard: tracing overhead %+.1f%% (on %s ns/op vs off %s ns/op)\n", (ratio-1)*100, on, off; \
+			if (ratio > 1.05) { print "bench-trace-guard: FAIL, tracing overhead exceeds 5%"; exit 1 } \
+		}'
 
 # Guard for the telemetry layer's disabled-path cost: lp.SolveWith with
 # no tracer attached must stay within noise (<2%) of the seed solver.

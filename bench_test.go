@@ -9,6 +9,7 @@
 package wavesched_bench
 
 import (
+	"io"
 	"math/rand"
 	"testing"
 
@@ -17,6 +18,7 @@ import (
 	"wavesched/internal/lp"
 	"wavesched/internal/netgraph"
 	"wavesched/internal/schedule"
+	"wavesched/internal/telemetry"
 	"wavesched/internal/timeslice"
 	"wavesched/internal/workload"
 )
@@ -386,6 +388,41 @@ func BenchmarkAblationIntegerization(b *testing.B) {
 			n++
 		}
 		b.ReportMetric(sum/float64(n)/lpWT, "ratio_vs_lp")
+	})
+}
+
+// BenchmarkFig4Tracing measures span tracing's enabled-path overhead on
+// the Fig. 4 RET solve: the same overloaded instance searched with no
+// tracer versus a hierarchical tracer streaming JSONL spans to
+// io.Discard. `make bench-smoke` holds the on/off ratio to <= 5%; the
+// disabled-path cost has its own tighter guard in
+// BenchmarkSolveTelemetryOff.
+func BenchmarkFig4Tracing(b *testing.B) {
+	inst := retBenchInstance(b)
+	base := schedule.RETConfig{BMax: 3, Solver: lp.Options{Pricing: lp.PartialDantzig}}
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := schedule.SolveRET(inst, base)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.BHat == 0 {
+				b.Fatal("instance not overloaded; probe ladder unexercised")
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		cfg := base
+		cfg.Solver.Tracer = telemetry.NewTracer(io.Discard).WithTrace(1)
+		for i := 0; i < b.N; i++ {
+			res, err := schedule.SolveRET(inst, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.BHat == 0 {
+				b.Fatal("instance not overloaded; probe ladder unexercised")
+			}
+		}
 	})
 }
 

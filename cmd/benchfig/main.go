@@ -37,6 +37,7 @@ import (
 
 	"wavesched/internal/experiments"
 	"wavesched/internal/metrics"
+	"wavesched/internal/telemetry"
 )
 
 // figReport is one figure's entry in the -json report.
@@ -73,12 +74,26 @@ func main() {
 		mono       = flag.Bool("monolithic", false, "disable instance decomposition; solve every instance as one coupled model")
 		baseline   = flag.String("baseline", "", "committed benchmark JSON to compare against (e.g. BENCH_04.json)")
 		maxRegress = flag.Float64("max-regress", 20, "fail when ns_per_op or lp_ms regress by more than this percent vs -baseline")
+		tracePath  = flag.String("trace", "", "write solver/scheduler trace spans (JSONL) to this file")
 	)
 	flag.Parse()
 
 	sc := experiments.PaperScale()
 	if *quick {
 		sc = experiments.QuickScale()
+	}
+	if *tracePath != "" {
+		tr, err := telemetry.OpenTraceFile(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := tr.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchfig: closing trace file: %v\n", err)
+			}
+		}()
+		sc.Solver.Tracer = tr
 	}
 	if *nodes > 0 {
 		sc.Nodes = *nodes

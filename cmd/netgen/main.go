@@ -26,6 +26,7 @@ func main() {
 		gbps   = flag.Float64("gbps", 20, "total link capacity in Gb/s")
 		seed   = flag.Int64("seed", 1, "random seed (waxman)")
 		format = flag.String("format", "json", "output format: json or brite")
+		quiet  = flag.Bool("quiet", false, "suppress the stderr topology summary")
 	)
 	flag.Parse()
 
@@ -68,5 +69,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "netgen: %v\n", err)
 		os.Exit(1)
+	}
+	if !*quiet && g.NumEdges() > 0 {
+		// Stdout is the topology itself (usually piped), so the summary —
+		// what was actually generated — goes to stderr.
+		fmt.Fprintf(os.Stderr, "netgen: %q: %d nodes, %d directed edges, %d wavelengths/link, %.1f Gb/s/link\n",
+			g.Name, g.NumNodes(), g.NumEdges(), g.Edge(0).Wavelengths,
+			g.Edge(0).GbpsPerWave*float64(g.Edge(0).Wavelengths))
 	}
 }

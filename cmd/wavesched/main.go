@@ -8,6 +8,8 @@
 //	wavesched -net net.json -gen 20 -gen-seed 7 -algo maxthroughput
 //	wavesched -net net.json -gen 20 -algo sim -tau 2 -mtbf 50 -mttr 4 -max-time 100
 //	wavesched serve -net net.json -addr :8080 -tau 2s -wal /var/lib/wavesched
+//	wavesched explain -net net.json -gen 20 -policy ret -job 3
+//	wavesched traceconv -in run.jsonl -out run.chrome.json
 //
 // With -gen N a random workload of N jobs is generated instead of -jobs.
 // The tool prints Z*, per-job throughputs, and the integer LPDAR schedule
@@ -17,6 +19,12 @@
 // HTTP JSON job API, a wall-clock epoch loop, and (with -wal) a durable
 // event log replayed on restart. See DESIGN.md §9. -algo sim accepts
 // -json to emit the run result in the daemon's wire format.
+//
+// The explain subcommand replays a scenario deterministically and prints
+// one job's decision history (admission verdict, component membership,
+// probe bounds, final outcome); traceconv converts a -trace JSONL file
+// to Chrome trace_event JSON for chrome://tracing or Perfetto. See
+// DESIGN.md §12.
 //
 // -algo sim drives the periodic controller (period -tau, policy -policy)
 // over the workload. Link failures can be injected from a JSON trace
@@ -55,11 +63,20 @@ import (
 var tracer *telemetry.Tracer
 
 func main() {
-	// Subcommand dispatch before flag parsing: `wavesched serve` runs the
-	// long-lived scheduler daemon with its own flag set.
-	if len(os.Args) > 1 && os.Args[1] == "serve" {
-		serveMain(os.Args[2:])
-		return
+	// Subcommand dispatch before flag parsing: serve, explain, and
+	// traceconv each carry their own flag set.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			serveMain(os.Args[2:])
+			return
+		case "explain":
+			explainMain(os.Args[2:])
+			return
+		case "traceconv":
+			traceconvMain(os.Args[2:])
+			return
+		}
 	}
 	var (
 		netPath  = flag.String("net", "", "network JSON (required)")
@@ -119,46 +136,8 @@ func main() {
 	if *netPath == "" {
 		fatal("-net is required")
 	}
-	nf, err := os.Open(*netPath)
-	if err != nil {
-		fatal("%v", err)
-	}
-	var g *netgraph.Graph
-	if strings.HasSuffix(*netPath, ".brite") {
-		g, err = netgraph.ReadBRITE(nf, 0)
-	} else {
-		g, err = netgraph.ReadJSON(nf)
-	}
-	nf.Close()
-	if err != nil {
-		fatal("%v", err)
-	}
-
-	var jobs []job.Job
-	switch {
-	case *gen > 0:
-		jobs, err = workload.Generate(g, workload.Config{
-			Jobs: *gen, Seed: *genSeed,
-			GBToDemand: workload.GBToDemandFactor(g.Edge(0).GbpsPerWave, *sliceLen*10),
-			MinWindow:  float64(*slices) * *sliceLen / 2,
-			MaxWindow:  float64(*slices) * *sliceLen,
-		})
-		if err != nil {
-			fatal("generate workload: %v", err)
-		}
-	case *jobsPath != "":
-		jf, err := os.Open(*jobsPath)
-		if err != nil {
-			fatal("%v", err)
-		}
-		jobs, err = job.ReadJSON(jf)
-		jf.Close()
-		if err != nil {
-			fatal("%v", err)
-		}
-	default:
-		fatal("provide -jobs or -gen")
-	}
+	g := loadGraph(*netPath)
+	jobs := loadJobs(g, *jobsPath, *gen, *genSeed, *slices, *sliceLen)
 
 	if !(*algo == "sim" && *jsonOut) { // keep stdout pure JSON under -json
 		fmt.Printf("network %q: %d nodes, %d directed edges, %d wavelengths/link\n",
@@ -241,6 +220,58 @@ func runBottleneck(g *netgraph.Graph, jobs []job.Job, slices int, sliceLen float
 	if err := t.Render(os.Stdout); err != nil {
 		fatal("%v", err)
 	}
+}
+
+// loadGraph reads a topology in netgen JSON or BRITE format; any failure
+// is fatal.
+func loadGraph(path string) *netgraph.Graph {
+	nf, err := os.Open(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	var g *netgraph.Graph
+	if strings.HasSuffix(path, ".brite") {
+		g, err = netgraph.ReadBRITE(nf, 0)
+	} else {
+		g, err = netgraph.ReadJSON(nf)
+	}
+	nf.Close()
+	if err != nil {
+		fatal("%v", err)
+	}
+	return g
+}
+
+// loadJobs reads the -jobs file or generates -gen random jobs over the
+// graph; any failure is fatal.
+func loadJobs(g *netgraph.Graph, jobsPath string, gen int, genSeed int64, slices int, sliceLen float64) []job.Job {
+	var jobs []job.Job
+	var err error
+	switch {
+	case gen > 0:
+		jobs, err = workload.Generate(g, workload.Config{
+			Jobs: gen, Seed: genSeed,
+			GBToDemand: workload.GBToDemandFactor(g.Edge(0).GbpsPerWave, sliceLen*10),
+			MinWindow:  float64(slices) * sliceLen / 2,
+			MaxWindow:  float64(slices) * sliceLen,
+		})
+		if err != nil {
+			fatal("generate workload: %v", err)
+		}
+	case jobsPath != "":
+		jf, err := os.Open(jobsPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		jobs, err = job.ReadJSON(jf)
+		jf.Close()
+		if err != nil {
+			fatal("%v", err)
+		}
+	default:
+		fatal("provide -jobs or -gen")
+	}
+	return jobs
 }
 
 func nodeLabel(g *netgraph.Graph, v netgraph.NodeID) string {

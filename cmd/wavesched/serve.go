@@ -17,6 +17,7 @@ import (
 	"wavesched/internal/controller"
 	"wavesched/internal/netgraph"
 	"wavesched/internal/server"
+	"wavesched/internal/telemetry"
 )
 
 // serveOptions collects the `wavesched serve` flags.
@@ -33,6 +34,9 @@ type serveOptions struct {
 	WALDir        string
 	SnapshotEvery int
 	LogLevel      string
+	TracePath     string
+	FlightFrames  int
+	FlightDir     string
 }
 
 // parseServeFlags parses the serve subcommand's argument list.
@@ -51,6 +55,9 @@ func parseServeFlags(args []string) (serveOptions, error) {
 	fs.StringVar(&o.WALDir, "wal", "", "directory for the durable WAL/snapshot log (empty = in-memory)")
 	fs.IntVar(&o.SnapshotEvery, "snapshot-every", 1024, "compact the WAL into the snapshot after this many entries (0 = never)")
 	fs.StringVar(&o.LogLevel, "log-level", "info", "log level: debug, info, warn, or error")
+	fs.StringVar(&o.TracePath, "trace", "", "write solver/scheduler trace spans (JSONL) to this file")
+	fs.IntVar(&o.FlightFrames, "flight-frames", 64, "epochs of full solve detail retained by the flight recorder (0 = off)")
+	fs.StringVar(&o.FlightDir, "flight-dir", "", "directory for flight-recorder anomaly dumps (default: the WAL directory)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -93,6 +100,8 @@ func buildServer(o serveOptions) (*server.Server, *netgraph.Graph, error) {
 		Period:        o.Tau,
 		WALDir:        o.WALDir,
 		SnapshotEvery: o.SnapshotEvery,
+		FlightFrames:  o.FlightFrames,
+		FlightDir:     o.FlightDir,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -112,10 +121,42 @@ func runServe(ctx context.Context, w io.Writer, args []string) error {
 	if err := setupLogging(o.LogLevel); err != nil {
 		return err
 	}
+	if o.TracePath != "" {
+		tr, err := telemetry.OpenTraceFile(o.TracePath)
+		if err != nil {
+			return err
+		}
+		// Flush and close as part of graceful shutdown so the last epoch's
+		// spans reach disk before the process exits.
+		defer func() {
+			if err := tr.Close(); err != nil {
+				slog.Warn("serve: closing trace file", "err", err)
+			}
+		}()
+		tracer = tr
+		slog.Info("serve: tracing enabled", "file", o.TracePath)
+	}
 	srv, g, err := buildServer(o)
 	if err != nil {
 		return err
 	}
+
+	// SIGQUIT dumps the flight recorder without shutting down — the
+	// operator's "what just happened" lever on a live daemon.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	defer signal.Stop(quit)
+	go func() {
+		for range quit {
+			if path, err := srv.DumpFlight("sigquit"); err != nil {
+				slog.Error("serve: flight-recorder dump failed", "err", err)
+			} else if path != "" {
+				slog.Info("serve: flight-recorder dump", "path", path)
+			} else {
+				slog.Info("serve: flight recorder disabled; nothing to dump")
+			}
+		}
+	}()
 
 	ln, err := net.Listen("tcp", o.Addr)
 	if err != nil {

@@ -24,6 +24,8 @@ import (
 	"log/slog"
 	"math"
 	"sort"
+	"strings"
+	"sync"
 	"time"
 
 	"wavesched/internal/job"
@@ -133,6 +135,12 @@ type Config struct {
 	// decompose into independent components — the A/B switch against the
 	// decomposed parallel path (the default).
 	Monolithic bool
+	// FlightRecorder, when non-nil, receives one EpochFrame per epoch
+	// (probe trajectories, per-component b̂, warm-start and timeout
+	// counter deltas, degradation tier) and is auto-dumped to disk when
+	// the epoch shows an anomaly: an lp time limit, a recovered panic, a
+	// degraded tier, or a cold-fallback spike.
+	FlightRecorder *telemetry.FlightRecorder
 }
 
 func (c Config) validate() error {
@@ -263,6 +271,26 @@ type Controller struct {
 
 	disruptions []Disruption
 
+	// audit holds each job's decision history; auditSeq orders events
+	// globally across jobs.
+	audit    map[job.ID][]AuditEvent
+	auditSeq int
+
+	// epochTracer is the per-epoch child scope every solve of the current
+	// epoch parents to (nil outside RunEpoch or when tracing is off).
+	epochTracer *telemetry.Tracer
+	// lastSolve describes the successful policy solve of the current
+	// epoch, for audit records and the flight-recorder frame.
+	lastSolve *solveInfo
+	// probes collects the RET search trajectory of the current epoch —
+	// including probes whose solve failed, which is what the flight
+	// recorder needs after a forced timeout. Guarded by probeMu because
+	// per-component searches run on a worker pool.
+	probeMu sync.Mutex
+	probes  []schedule.ProbeStep
+	// epochPanicked marks that guard recovered a panic this epoch.
+	epochPanicked bool
+
 	// Epochs counts RunEpoch calls.
 	Epochs int
 }
@@ -321,7 +349,11 @@ func New(g *netgraph.Graph, cfg Config) (*Controller, error) {
 }
 
 // record appends one job record and keeps the outcome counters current.
-func (c *Controller) record(r Record) {
+func (c *Controller) record(r Record) { c.recordWhy(r, "") }
+
+// recordWhy is record with a human-readable verdict for the job's audit
+// trail (the final audit event's Detail).
+func (c *Controller) recordWhy(r Record, why string) {
 	switch {
 	case r.Rejected:
 		telRejected.Inc()
@@ -333,6 +365,13 @@ func (c *Controller) record(r Record) {
 		telExpired.Inc()
 	}
 	c.records = append(c.records, r)
+	c.appendAudit(r.Job.ID, AuditEvent{
+		Epoch:  c.Epochs,
+		Time:   r.FinishTime,
+		Kind:   string(RecordState(r)),
+		Detail: why,
+		Trace:  int64(c.Epochs),
+	})
 }
 
 func (c *Controller) addDisruption(id job.ID, t float64, e netgraph.EdgeID, o DisruptionOutcome) {
@@ -345,10 +384,22 @@ func (c *Controller) addDisruption(id job.ID, t float64, e netgraph.EdgeID, o Di
 		telDroppedJobs.Inc()
 	}
 	c.disruptions = append(c.disruptions, Disruption{JobID: id, Time: t, Edge: e, Outcome: o})
+	c.appendAudit(id, AuditEvent{
+		Epoch:  c.Epochs,
+		Time:   t,
+		Kind:   AuditDisrupted,
+		Detail: fmt.Sprintf("link %d failed: %s", int(e), o.String()),
+		Trace:  int64(c.Epochs),
+	})
 }
 
 // Now returns the controller's clock.
 func (c *Controller) Now() float64 { return c.now }
+
+// Tracer returns the configured trace sink (nil when tracing is off),
+// so drivers above the controller — the sim engine, the serve loop —
+// can emit their own spans into the same stream.
+func (c *Controller) Tracer() *telemetry.Tracer { return c.cfg.Tracer }
 
 // ErrTooLate reports a submission whose requested end time has already
 // passed the controller's clock: no epoch can ever schedule it, under any
@@ -366,9 +417,19 @@ func (c *Controller) Submit(j job.Job) error {
 		return err
 	}
 	if j.End <= c.now+1e-9 {
-		c.record(Record{Job: j, Rejected: true, FinishTime: c.now})
+		c.recordWhy(Record{Job: j, Rejected: true, FinishTime: c.now},
+			fmt.Sprintf("deadline %g already passed at submission (t=%g)", j.End, c.now))
 		return fmt.Errorf("controller: job %d: %w", j.ID, ErrTooLate)
 	}
+	// The request will be considered at the next epoch; stamp its trace
+	// accordingly so GET /v1/debug/trace groups it with that epoch.
+	c.appendAudit(j.ID, AuditEvent{
+		Epoch:  c.Epochs,
+		Time:   c.now,
+		Kind:   AuditSubmitted,
+		Detail: fmt.Sprintf("window [%g, %g] size %g %d->%d", j.Start, j.End, j.Size, j.Src, j.Dst),
+		Trace:  int64(c.Epochs) + 1,
+	})
 	c.pending = append(c.pending, j)
 	return nil
 }
@@ -737,7 +798,19 @@ func (c *Controller) RunEpoch() error {
 	c.Epochs++
 	now := c.now
 	start := time.Now()
-	sp := c.cfg.Tracer.Start("controller.epoch")
+	// The epoch index is the trace ID: it is stable across restarts and
+	// WAL replay, so a trace (and the audit records stamped with it)
+	// regenerates identically on a rebuilt server.
+	epochTrace := int64(c.Epochs)
+	sp := c.cfg.Tracer.WithTrace(epochTrace).Start("controller.epoch")
+	c.epochTracer = sp.Tracer()
+	c.epochPanicked = false
+	c.lastSolve = nil
+	c.probes = c.probes[:0]
+	reg := telemetry.Default()
+	warmHits0, _ := reg.CounterValue("lp_warmstart_hits_total", nil)
+	warmFB0, _ := reg.CounterValue("lp_warmstart_fallbacks_total", nil)
+	timeouts0, _ := reg.CounterValue("lp_solve_timeouts_total", nil)
 	stat := EpochStat{Time: now}
 	defer func() {
 		c.epochs = append(c.epochs, stat)
@@ -762,6 +835,51 @@ func (c *Controller) RunEpoch() error {
 			}
 			sp.End(attrs...)
 		}
+		c.epochTracer = nil
+		if fr := c.cfg.FlightRecorder; fr != nil {
+			warmHits1, _ := reg.CounterValue("lp_warmstart_hits_total", nil)
+			warmFB1, _ := reg.CounterValue("lp_warmstart_fallbacks_total", nil)
+			timeouts1, _ := reg.CounterValue("lp_solve_timeouts_total", nil)
+			c.probeMu.Lock()
+			probes := append([]schedule.ProbeStep(nil), c.probes...)
+			c.probeMu.Unlock()
+			frame := EpochFrame{
+				Epoch: c.Epochs, Time: now, Trace: epochTrace, Tier: stat.Tier,
+				ActiveJobs: stat.ActiveJobs, Admitted: stat.Admitted, Rejected: stat.Rejected,
+				Utilization: stat.Utilization,
+				DurUS:       float64(time.Since(start)) / float64(time.Microsecond),
+				Probes:      probes,
+				WarmHits:    warmHits1 - warmHits0, WarmFallbacks: warmFB1 - warmFB0,
+				LPTimeouts: timeouts1 - timeouts0,
+				Panic:      c.epochPanicked,
+			}
+			if ls := c.lastSolve; ls != nil {
+				frame.Components, frame.BHat, frame.B = ls.components, ls.bhat, ls.b
+			}
+			var anoms []string
+			if frame.LPTimeouts > 0 {
+				anoms = append(anoms, "lp_timeout")
+			}
+			if frame.Panic {
+				anoms = append(anoms, "panic")
+			}
+			if stat.Degraded && stat.Tier != "" {
+				anoms = append(anoms, "degraded_"+stat.Tier)
+			}
+			if frame.WarmFallbacks >= 2 && frame.WarmFallbacks > frame.WarmHits {
+				anoms = append(anoms, "cold_fallback_spike")
+			}
+			frame.Anomalies = anoms
+			fr.Record(frame)
+			if len(anoms) > 0 {
+				reason := strings.Join(anoms, "+")
+				if path, err := fr.Dump(reason); err != nil {
+					c.logger.Warn("controller: flight-recorder dump failed", "reason", reason, "err", err)
+				} else {
+					c.logger.Warn("controller: flight-recorder dump", "reason", reason, "path", path)
+				}
+			}
+		}
 	}()
 
 	// Under PolicyReject, admission control trims the pending list first:
@@ -773,7 +891,8 @@ func (c *Controller) RunEpoch() error {
 			return err
 		}
 		for _, j := range c.pending[admitted:] {
-			c.record(Record{Job: j, Rejected: true, FinishTime: now})
+			c.recordWhy(Record{Job: j, Rejected: true, FinishTime: now},
+				"admission control: completing it on time with the admitted set is infeasible (Z* < 1)")
 			stat.Rejected++
 		}
 		c.pending = c.pending[:admitted]
@@ -788,12 +907,23 @@ func (c *Controller) RunEpoch() error {
 		if c.cfg.Policy == PolicyRET {
 			usableEnd = now + (j.End-now)*(1+c.cfg.BMax)
 		}
-		if usableEnd-math.Max(j.Start, now) < c.cfg.SliceLen-1e-9 || !c.hasRoute(j) {
-			c.record(Record{Job: j, Rejected: true, FinishTime: now})
+		if usableEnd-math.Max(j.Start, now) < c.cfg.SliceLen-1e-9 {
+			c.recordWhy(Record{Job: j, Rejected: true, FinishTime: now},
+				fmt.Sprintf("usable window shorter than one slice (%g) at t=%g", c.cfg.SliceLen, now))
+			stat.Rejected++
+			continue
+		}
+		if !c.hasRoute(j) {
+			c.recordWhy(Record{Job: j, Rejected: true, FinishTime: now},
+				"no route over the surviving topology")
 			stat.Rejected++
 			continue
 		}
 		stat.Admitted++
+		c.appendAudit(j.ID, AuditEvent{
+			Epoch: c.Epochs, Time: now, Kind: AuditAdmitted, Trace: epochTrace,
+			Detail: fmt.Sprintf("entered the active set at epoch t=%g", now),
+		})
 		c.active = append(c.active, &activeJob{
 			orig: j, remaining: j.Size, effectiveEnd: j.End,
 		})
@@ -813,12 +943,12 @@ func (c *Controller) RunEpoch() error {
 		winStart := math.Max(aj.orig.Start, now)
 		if aj.effectiveEnd-winStart < c.cfg.SliceLen-1e-9 {
 			aj.retired = true
-			c.record(Record{
+			c.recordWhy(Record{
 				Job:        aj.orig,
 				Delivered:  aj.delivered,
 				FinishTime: aj.effectiveEnd,
 				Completed:  false,
-			})
+			}, "remaining window cannot hold one slice; nothing further schedulable")
 			continue
 		}
 		usable = append(usable, aj)
@@ -851,6 +981,14 @@ func (c *Controller) RunEpoch() error {
 	}
 	stat.Tier = tier
 	stat.Degraded = tier != TierFull
+	if stat.Degraded {
+		for _, aj := range fresh {
+			c.appendAudit(aj.orig.ID, AuditEvent{
+				Epoch: c.Epochs, Time: now, Kind: AuditDegraded, Trace: epochTrace,
+				Detail: fmt.Sprintf("epoch fell back to tier %q", tier),
+			})
+		}
+	}
 
 	stat.ActiveJobs = len(fresh)
 	stat.Scheduled, stat.Capacity = c.periodUsage(plan, now)
@@ -910,7 +1048,7 @@ func (c *Controller) solveChain(inst *schedule.Instance, fresh []*activeJob, now
 
 	plan = nil
 	err = c.guard(func() error {
-		s1, e := schedule.SolveStage1(inst, c.cfg.Solver)
+		s1, e := schedule.SolveStage1(inst, c.solverOpts())
 		if e != nil {
 			return e
 		}
@@ -930,10 +1068,22 @@ func (c *Controller) guard(f func() error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			telEpochPanics.Inc()
+			c.epochPanicked = true
 			err = fmt.Errorf("controller: recovered panic in epoch planning: %v", r)
 		}
 	}()
 	return f()
+}
+
+// solverOpts returns the lp options for the current solve, scoped to the
+// running epoch's trace when one is active so every lp.solve span (and
+// everything below it) parents to the epoch span.
+func (c *Controller) solverOpts() lp.Options {
+	o := c.cfg.Solver
+	if c.epochTracer != nil {
+		o.Tracer = c.epochTracer
+	}
+	return o
 }
 
 func (c *Controller) logDegrade(now float64, msg string, err error) {
@@ -946,18 +1096,35 @@ func (c *Controller) solvePolicy(inst *schedule.Instance, fresh []*activeJob, no
 	switch c.cfg.Policy {
 	case PolicyMaxThroughput, PolicyReject:
 		res, err := schedule.MaxThroughput(inst, schedule.Config{
-			Alpha: c.cfg.Alpha, AlphaGrowth: 0.1, Solver: c.cfg.Solver,
+			Alpha: c.cfg.Alpha, AlphaGrowth: 0.1, Solver: c.solverOpts(),
 			Weight: c.cfg.Weight, WarmStart: c.cfg.WarmStart,
 			Monolithic: c.cfg.Monolithic,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("controller: epoch at t=%g: %w", now, err)
 		}
+		c.lastSolve = &solveInfo{components: res.Components}
+		detail := fmt.Sprintf("policy=max_throughput z*=%g alpha=%g components=%d",
+			res.ZStar, res.Alpha, res.Components)
+		for _, aj := range fresh {
+			c.appendAudit(aj.orig.ID, AuditEvent{
+				Epoch: c.Epochs, Time: now, Kind: AuditPlanned,
+				Trace: int64(c.Epochs), Detail: detail,
+			})
+		}
 		return res.LPDAR, nil
 	case PolicyRET:
 		retCfg := schedule.RETConfig{
-			BMax: c.cfg.BMax, Solver: c.cfg.Solver,
+			BMax: c.cfg.BMax, Solver: c.solverOpts(),
 			Monolithic: c.cfg.Monolithic,
+			// Stream every search probe into the epoch's trajectory log,
+			// including probes whose solve errored — a forced lp timeout
+			// must still leave its trajectory for the flight recorder.
+			OnProbe: func(st schedule.ProbeStep) {
+				c.probeMu.Lock()
+				c.probes = append(c.probes, st)
+				c.probeMu.Unlock()
+			},
 		}
 		if c.cfg.WarmStart {
 			retCfg.WarmStart = true
@@ -981,10 +1148,34 @@ func (c *Controller) solvePolicy(inst *schedule.Instance, fresh []*activeJob, no
 			// epoch are pruned automatically.
 			c.warmRET = res.ProbeBases
 		}
-		// Renegotiated deadlines: extend every active job's effective end.
+		c.lastSolve = &solveInfo{
+			bhat: res.BHat, b: res.B, components: res.Components,
+			jobComponents: res.JobComponents, bhats: res.BHats,
+		}
+		// Renegotiated deadlines: extend every active job's effective end,
+		// and leave each job a planned event naming the component and the
+		// probe bound that fixed its schedule.
 		for i, aj := range fresh {
+			comp := ""
+			compBHat := res.BHat
+			if i < len(res.JobComponents) {
+				comp = res.JobComponents[i]
+				if v, ok := res.BHats[comp]; ok {
+					compBHat = v
+				}
+			}
+			c.appendAudit(aj.orig.ID, AuditEvent{
+				Epoch: c.Epochs, Time: now, Kind: AuditPlanned,
+				Trace: int64(c.Epochs), Component: comp, BHat: compBHat, B: res.B,
+				Detail: fmt.Sprintf("policy=ret components=%d delta_rounds=%d", res.Components, res.Rounds),
+			})
 			ext := now + (aj.orig.End-now)*(1+res.B)
 			if ext > fresh[i].effectiveEnd {
+				c.appendAudit(aj.orig.ID, AuditEvent{
+					Epoch: c.Epochs, Time: now, Kind: AuditExtended,
+					Trace: int64(c.Epochs), B: res.B,
+					Detail: fmt.Sprintf("effective deadline %g -> %g (b=%g)", fresh[i].effectiveEnd, ext, res.B),
+				})
 				fresh[i].effectiveEnd = ext
 			}
 		}
@@ -1345,7 +1536,7 @@ func (c *Controller) admitPrefix(now float64) (int, error) {
 		if err != nil {
 			return false, err
 		}
-		s1, err := schedule.SolveStage1(inst, c.cfg.Solver)
+		s1, err := schedule.SolveStage1(inst, c.solverOpts())
 		if err != nil {
 			return false, err
 		}

@@ -1,0 +1,78 @@
+package controller
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wavesched/internal/job"
+	"wavesched/internal/netgraph"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestExplainJSONGolden pins the explain wire format against a golden
+// file. The controller is deterministic — virtual clock, seq counters,
+// epoch-index trace IDs — so the full decision history of a fixed
+// scenario is stable byte for byte. Regenerate with -update.
+func TestExplainJSONGolden(t *testing.T) {
+	g := netgraph.Ring(4, 2, 10)
+	c, err := New(g, Config{Tau: 1, SliceLen: 1, K: 2, Policy: PolicyRET, BMax: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []job.Job{
+		{ID: 1, Src: 0, Dst: 2, Size: 4, Start: 0, End: 6},
+		{ID: 2, Src: 1, Dst: 3, Size: 3, Start: 0, End: 5},
+	}
+	for _, j := range jobs {
+		if err := c.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20 && !c.Idle(); i++ {
+		if err := c.RunEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Submitting after the clock has advanced past a deadline produces a
+	// rejection verdict; settle records first so final states are audited.
+	c.Records()
+	late := job.Job{ID: 9, Src: 0, Dst: 1, Size: 1, Start: 0, End: 2, Arrival: 0}
+	if err := c.Submit(late); err == nil {
+		t.Fatal("late submission unexpectedly accepted")
+	}
+
+	var out []ExplanationJSON
+	for _, id := range []job.ID{1, 2, 9} {
+		exp, ok := c.Explain(id)
+		if !ok {
+			t.Fatalf("no explanation for job %d", id)
+		}
+		out = append(out, exp.JSON())
+	}
+	got, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "explain_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("explain wire format drifted from golden (run with -update if intended):\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

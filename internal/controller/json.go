@@ -154,6 +154,50 @@ func (s JobStatus) JSON() JobStatusJSON {
 	}
 }
 
+// AuditEventJSON is the wire form of one decision-history event. bhat
+// and b are omitted when zero (non-RET events).
+type AuditEventJSON struct {
+	Seq       int     `json:"seq"`
+	Epoch     int     `json:"epoch"`
+	Time      float64 `json:"t"`
+	Kind      string  `json:"kind"`
+	Detail    string  `json:"detail,omitempty"`
+	Component string  `json:"component,omitempty"`
+	BHat      float64 `json:"bhat,omitempty"`
+	B         float64 `json:"b,omitempty"`
+	Trace     int64   `json:"trace"`
+}
+
+// JSON converts the audit event to its wire form.
+func (e AuditEvent) JSON() AuditEventJSON {
+	return AuditEventJSON{
+		Seq: e.Seq, Epoch: e.Epoch, Time: e.Time,
+		Kind: e.Kind, Detail: e.Detail, Component: e.Component,
+		BHat: e.BHat, B: e.B, Trace: e.Trace,
+	}
+}
+
+// AuditEventsJSON converts an audit-event slice to wire form (never nil).
+func AuditEventsJSON(evs []AuditEvent) []AuditEventJSON {
+	out := make([]AuditEventJSON, 0, len(evs))
+	for _, e := range evs {
+		out = append(out, e.JSON())
+	}
+	return out
+}
+
+// ExplanationJSON is the wire form of a job's decision history, served
+// by GET /v1/jobs/{id}/explain and the `wavesched explain` subcommand.
+type ExplanationJSON struct {
+	JobID  int              `json:"job_id"`
+	Events []AuditEventJSON `json:"events"`
+}
+
+// JSON converts the explanation to its wire form.
+func (e Explanation) JSON() ExplanationJSON {
+	return ExplanationJSON{JobID: int(e.JobID), Events: AuditEventsJSON(e.Events)}
+}
+
 // JobStatusesJSON converts a status slice to wire form (never nil).
 func JobStatusesJSON(statuses []JobStatus) []JobStatusJSON {
 	out := make([]JobStatusJSON, 0, len(statuses))

@@ -74,6 +74,21 @@ const (
 // pricing switches from Dantzig to PartialDantzig.
 const autoPricingThreshold = 2048
 
+// String names the pricing rule for span attributes and logs.
+func (p Pricing) String() string {
+	switch p {
+	case Auto:
+		return "auto"
+	case Dantzig:
+		return "dantzig"
+	case Bland:
+		return "bland"
+	case PartialDantzig:
+		return "partial_dantzig"
+	}
+	return fmt.Sprintf("Pricing(%d)", int(p))
+}
+
 // Options tunes the simplex solver. The zero value selects sensible
 // defaults.
 type Options struct {

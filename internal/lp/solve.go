@@ -17,6 +17,19 @@ type Solution struct {
 	Duals     []float64 // one dual per row, for the minimization form
 	Iters     int       // total simplex pivots across both phases
 
+	// Phase1Iters is the number of pivots spent in phase 1 on the cold
+	// path (0 on warm solves, which skip phase 1 entirely).
+	Phase1Iters int
+
+	// Warm reports the warm-start outcome: "hit" when the supplied basis
+	// was reused, "fallback" when it was rejected and the cold path ran,
+	// "" when no warm start was attempted.
+	Warm string
+
+	// Pricing is the entering-variable rule actually used (Auto resolved
+	// against the model size).
+	Pricing Pricing
+
 	// PrimalInfeas is the largest constraint violation of the returned
 	// point, a numerical diagnostic (0 is exact).
 	PrimalInfeas float64
@@ -66,7 +79,14 @@ func (m *Model) SolveWith(opt Options) (*Solution, error) {
 		if sol != nil {
 			attrs = append(attrs,
 				telemetry.KV("status", sol.Status.String()),
-				telemetry.KV("iters", sol.Iters))
+				telemetry.KV("iters", sol.Iters),
+				telemetry.KV("pricing", sol.Pricing.String()))
+			if sol.Phase1Iters > 0 {
+				attrs = append(attrs, telemetry.KV("phase1_iters", sol.Phase1Iters))
+			}
+			if sol.Warm != "" {
+				attrs = append(attrs, telemetry.KV("warm", sol.Warm))
+			}
 			if sol.Status == Optimal {
 				attrs = append(attrs, telemetry.KV("objective", sol.Objective))
 			}
@@ -144,6 +164,10 @@ func (m *Model) solveCore(opt Options) (*simplex, *Solution, error) {
 		s := m.assemble(opt)
 		if sol, err, ok := s.warmSolve(m, opt); ok {
 			telWarmHits.Inc()
+			if sol != nil {
+				sol.Warm = "hit"
+				sol.Pricing = s.opt.Pricing
+			}
 			return s, sol, err
 		}
 		telWarmFallbacks.Inc()
@@ -151,7 +175,14 @@ func (m *Model) solveCore(opt Options) (*simplex, *Solution, error) {
 	}
 
 	s := m.assemble(opt)
-	return m.coldSolve(s, opt)
+	st, sol, err := m.coldSolve(s, opt)
+	if sol != nil {
+		sol.Pricing = s.opt.Pricing
+		if opt.WarmStart != nil {
+			sol.Warm = "fallback"
+		}
+	}
+	return st, sol, err
 }
 
 // solverBufs is the set of simplex working arrays cached on a Model
@@ -365,7 +396,7 @@ func (m *Model) coldSolve(s *simplex, opt Options) (*simplex, *Solution, error) 
 				telemetry.KV("phase1_residual", obj),
 				telemetry.KV("phase1_pivots", phase1Iters))
 		}
-		sol := &Solution{Status: Infeasible, Iters: s.iters}
+		sol := &Solution{Status: Infeasible, Iters: s.iters, Phase1Iters: phase1Iters}
 		if capture {
 			sol.Basis = s.snapshotBasis()
 		}
@@ -390,15 +421,18 @@ func (m *Model) coldSolve(s *simplex, opt Options) (*simplex, *Solution, error) 
 	telPhase2Pivots.Add(int64(s.iters - phase1Iters))
 	if err != nil {
 		if errors.Is(err, ErrTimeLimit) {
-			return nil, &Solution{Status: TimeLimit, Iters: s.iters}, err
+			return nil, &Solution{Status: TimeLimit, Iters: s.iters, Phase1Iters: phase1Iters}, err
 		}
-		return nil, &Solution{Status: Numerical, Iters: s.iters}, err
+		return nil, &Solution{Status: Numerical, Iters: s.iters, Phase1Iters: phase1Iters}, err
 	}
 	if st != Optimal {
-		return nil, &Solution{Status: st, Iters: s.iters}, nil
+		return nil, &Solution{Status: st, Iters: s.iters, Phase1Iters: phase1Iters}, nil
 	}
 
 	sol, err := s.extract(m, negate)
+	if sol != nil {
+		sol.Phase1Iters = phase1Iters
+	}
 	if err == nil && capture {
 		sol.Basis = s.snapshotBasis()
 	}

@@ -71,6 +71,26 @@ type RETConfig struct {
 	// Parallelism bounds the worker pool for per-component binary
 	// searches and δ-round solves; ≤ 0 selects NumCPU.
 	Parallelism int
+	// OnProbe, when non-nil, receives every feasibility probe of the
+	// binary search as it happens — including probes whose solve failed,
+	// which is what makes post-mortem trajectories useful. Callbacks may
+	// arrive concurrently from the per-component worker pool, so the
+	// function must be safe for concurrent use.
+	OnProbe func(ProbeStep)
+}
+
+// ProbeStep is one feasibility probe of the RET binary search, recorded
+// on RETResult.Probes and delivered to RETConfig.OnProbe. The JSON tags
+// are the flight-recorder dump format.
+type ProbeStep struct {
+	Component string  `json:"component,omitempty"` // Component.Key; empty for monolithic
+	B         float64 `json:"b"`
+	Stage     string  `json:"stage"` // "b0" | "bmax" | "bisect"
+	Feasible  bool    `json:"feasible"`
+	Warm      bool    `json:"warm"`
+	Iters     int     `json:"iters"`
+	DurUS     float64 `json:"dur_us"`
+	Err       string  `json:"err,omitempty"`
 }
 
 func (c RETConfig) withDefaults() RETConfig {
@@ -124,6 +144,19 @@ type RETResult struct {
 	// decomposed into (1 for a monolithic solve or a fully coupled
 	// instance).
 	Components int
+	// Probes is the full binary-search trajectory, in per-component probe
+	// order (component sections are contiguous; their relative order is
+	// the component order, even though the searches ran in parallel).
+	Probes []ProbeStep
+	// JobComponents maps each instance job index to the fingerprint
+	// (Component.Key) of the component it was solved in — the whole
+	// instance's fingerprint for a monolithic solve. Decision audit
+	// records use it to explain which block fixed a job's schedule.
+	JobComponents []string
+	// BHats records each component's own b̂ by fingerprint, so a job's
+	// audit trail can name the probe bound that actually constrained its
+	// block (the global BHat is the max over these).
+	BHats map[string]float64
 }
 
 // SolveRET runs the paper's Algorithm 2 on the instance: binary search on
@@ -162,13 +195,17 @@ func fullInstanceKeyEdges(inst *Instance) (string, []netgraph.EdgeID) {
 
 // retSearch runs the feasibility binary search for b̂ on one instance
 // (the whole instance, or one component's sub-instance), optionally
-// through the warm probe model.
-func retSearch(inst *Instance, cfg RETConfig, pr *retProbe) (bhat float64, itersTotal int, err error) {
+// through the warm probe model. comp labels the probe trajectory with
+// the component fingerprint (empty for monolithic). The returned steps
+// are valid even when the search errors out, so post-mortems see the
+// probe that failed.
+func retSearch(inst *Instance, cfg RETConfig, pr *retProbe, comp string) (bhat float64, itersTotal int, steps []ProbeStep, err error) {
 	tracer := cfg.Solver.Tracer
 
 	// probe wraps the feasibility solves of the binary search with the
-	// step counter and the b-trajectory trace.
+	// step counter, the b-trajectory trace, and the ProbeStep record.
 	probe := func(b float64, stage string) (bool, int, error) {
+		start := time.Now()
 		warm := false
 		var feasible bool
 		var iters int
@@ -176,19 +213,36 @@ func retSearch(inst *Instance, cfg RETConfig, pr *retProbe) (bhat float64, iters
 		if pr != nil {
 			var ok bool
 			feasible, iters, ok, err = pr.solve(inst, b, cfg)
-			if err != nil {
-				return false, iters, err
-			}
-			warm = ok
+			warm = ok && err == nil
 		}
-		if !warm {
+		if !warm && err == nil {
 			feasible, _, iters, err = solveSubRET(inst, b, cfg, false)
 		}
 		telRETSearchSteps.Inc()
-		if tracer != nil && err == nil {
+		step := ProbeStep{
+			Component: comp,
+			B:         b,
+			Stage:     stage,
+			Feasible:  feasible,
+			Warm:      warm,
+			Iters:     iters,
+			DurUS:     float64(time.Since(start)) / float64(time.Microsecond),
+		}
+		if err != nil {
+			step.Err = err.Error()
+		}
+		steps = append(steps, step)
+		if cfg.OnProbe != nil {
+			cfg.OnProbe(step)
+		}
+		if err != nil {
+			return false, iters, err
+		}
+		if tracer != nil {
 			tracer.Event("ret.search_step",
 				telemetry.KV("b", b),
 				telemetry.KV("stage", stage),
+				telemetry.KV("component", comp),
 				telemetry.KV("feasible", feasible),
 				telemetry.KV("warm", warm),
 				telemetry.KV("iters", iters))
@@ -201,18 +255,18 @@ func retSearch(inst *Instance, cfg RETConfig, pr *retProbe) (bhat float64, iters
 	feas0, iters, err := probe(0, "b0")
 	itersTotal += iters
 	if err != nil {
-		return 0, itersTotal, err
+		return 0, itersTotal, steps, err
 	}
 	if feas0 {
-		return 0, itersTotal, nil
+		return 0, itersTotal, steps, nil
 	}
 	feasMax, iters, err := probe(cfg.BMax, "bmax")
 	itersTotal += iters
 	if err != nil {
-		return 0, itersTotal, err
+		return 0, itersTotal, steps, err
 	}
 	if !feasMax {
-		return 0, itersTotal, fmt.Errorf("schedule: RET infeasible even at b=%g — raise BMax or the grid horizon", cfg.BMax)
+		return 0, itersTotal, steps, fmt.Errorf("schedule: RET infeasible even at b=%g — raise BMax or the grid horizon", cfg.BMax)
 	}
 	lo, hi := 0.0, cfg.BMax
 	for hi-lo > cfg.Eps {
@@ -220,7 +274,7 @@ func retSearch(inst *Instance, cfg RETConfig, pr *retProbe) (bhat float64, iters
 		feasible, iters, err := probe(mid, "bisect")
 		itersTotal += iters
 		if err != nil {
-			return 0, itersTotal, err
+			return 0, itersTotal, steps, err
 		}
 		if feasible {
 			hi = mid
@@ -228,14 +282,17 @@ func retSearch(inst *Instance, cfg RETConfig, pr *retProbe) (bhat float64, iters
 			lo = mid
 		}
 	}
-	return hi, itersTotal, nil
+	return hi, itersTotal, steps, nil
 }
 
 // solveRETMono is the single-model Algorithm 2 path.
 func solveRETMono(inst *Instance, cfg RETConfig) (*RETResult, error) {
 	res := &RETResult{Components: 1}
+	retSpan := cfg.Solver.Tracer.Start("schedule.ret")
+	// Everything below — search events, probe solves, δ-round solves —
+	// is causally inside the RET span.
+	cfg.Solver.Tracer = retSpan.Tracer()
 	tracer := cfg.Solver.Tracer
-	retSpan := tracer.Start("schedule.ret")
 
 	fullKey, fullEdges := fullInstanceKeyEdges(inst)
 	if cfg.WarmBasis == nil && cfg.WarmBases != nil {
@@ -250,24 +307,34 @@ func solveRETMono(inst *Instance, cfg RETConfig) (*RETResult, error) {
 	}
 
 	searchStart := time.Now()
-	bhat, iters, err := retSearch(inst, cfg, pr)
+	bhat, iters, steps, err := retSearch(inst, cfg, pr, "")
 	res.LPIters += iters
+	res.Probes = steps
 	if err != nil {
+		retSpan.End(telemetry.KV("error", err.Error()))
 		return nil, err
 	}
 	res.BHat = bhat
 	res.SearchTime = time.Since(searchStart)
+	res.BHats = map[string]float64{fullKey: bhat}
+	res.JobComponents = make([]string, inst.NumJobs())
+	for k := range res.JobComponents {
+		res.JobComponents[k] = fullKey
+	}
 
 	// Step 2–5: solve at b, integerize, extend by δ while unfinished.
 	solveStart := time.Now()
 	b := bhat
 	for round := 0; ; round++ {
 		if round >= cfg.MaxRounds {
-			return nil, fmt.Errorf("schedule: RET did not complete all jobs within %d δ-extensions (b=%g)", cfg.MaxRounds, b)
+			err := fmt.Errorf("schedule: RET did not complete all jobs within %d δ-extensions (b=%g)", cfg.MaxRounds, b)
+			retSpan.End(telemetry.KV("error", err.Error()))
+			return nil, err
 		}
 		feasible, frac, iters, err := solveSubRET(inst, b, cfg, true)
 		res.LPIters += iters
 		if err != nil {
+			retSpan.End(telemetry.KV("error", err.Error()))
 			return nil, err
 		}
 		if !feasible {
@@ -319,16 +386,21 @@ func solveRETMono(inst *Instance, cfg RETConfig) (*RETResult, error) {
 // to the full-instance model.
 func solveRETDecomposed(inst *Instance, comps []*Component, cfg RETConfig) (*RETResult, error) {
 	res := &RETResult{Components: len(comps)}
+	retSpan := cfg.Solver.Tracer.Start("schedule.ret")
+	// Per-component work is causally inside the RET span; each search
+	// worker additionally gets its own component span below, so trace IDs
+	// propagate across the worker pool.
+	cfg.Solver.Tracer = retSpan.Tracer()
 	tracer := cfg.Solver.Tracer
-	retSpan := tracer.Start("schedule.ret")
 	wall := time.Now()
 
 	type compState struct {
-		cfg   RETConfig // per-component copy: WarmBasis differs
-		probe *retProbe
-		bhat  float64
-		iters int
-		dur   time.Duration
+		cfg    RETConfig // per-component copy: WarmBasis and tracer scope differ
+		probe  *retProbe
+		bhat   float64
+		iters  int
+		dur    time.Duration
+		probes []ProbeStep
 	}
 	states := make([]compState, len(comps))
 
@@ -337,30 +409,52 @@ func solveRETDecomposed(inst *Instance, comps []*Component, cfg RETConfig) (*RET
 		start := time.Now()
 		st := &states[i]
 		st.cfg = cfg
+		compSpan := tracer.Start("schedule.ret_component")
+		st.cfg.Solver.Tracer = compSpan.Tracer()
 		if cfg.WarmBases != nil {
 			st.cfg.WarmBasis = cfg.WarmBases[comps[i].Key]
 		}
 		if cfg.WarmStart {
 			st.probe, _ = newRETProbe(comps[i].Inst, st.cfg)
 		}
-		bhat, iters, err := retSearch(comps[i].Inst, st.cfg, st.probe)
-		st.bhat, st.iters = bhat, iters
+		bhat, iters, steps, err := retSearch(comps[i].Inst, st.cfg, st.probe, comps[i].Key)
+		st.bhat, st.iters, st.probes = bhat, iters, steps
 		st.dur = time.Since(start)
+		attrs := []telemetry.Attr{
+			telemetry.KV("component", comps[i].Key),
+			telemetry.KV("jobs", comps[i].Inst.NumJobs()),
+			telemetry.KV("bhat", bhat),
+			telemetry.KV("iters", iters),
+		}
+		if err != nil {
+			attrs = append(attrs, telemetry.KV("error", err.Error()))
+		}
+		compSpan.End(attrs...)
 		if err != nil {
 			return fmt.Errorf("component {%s}: %w", comps[i].Key, err)
 		}
 		return nil
 	})
+	for i := range states {
+		res.Probes = append(res.Probes, states[i].probes...)
+	}
 	if err != nil {
+		retSpan.End(telemetry.KV("error", err.Error()))
 		return nil, err
 	}
 	var serial time.Duration
+	res.BHats = make(map[string]float64, len(comps))
+	res.JobComponents = make([]string, inst.NumJobs())
 	for i := range states {
 		if states[i].bhat > res.BHat {
 			res.BHat = states[i].bhat
 		}
 		res.LPIters += states[i].iters
 		serial += states[i].dur
+		res.BHats[comps[i].Key] = states[i].bhat
+		for _, k := range comps[i].JobIdx {
+			res.JobComponents[k] = comps[i].Key
+		}
 	}
 	res.SearchTime = time.Since(searchStart)
 
@@ -370,7 +464,9 @@ func solveRETDecomposed(inst *Instance, comps []*Component, cfg RETConfig) (*RET
 	b := res.BHat
 	for round := 0; ; round++ {
 		if round >= cfg.MaxRounds {
-			return nil, fmt.Errorf("schedule: RET did not complete all jobs within %d δ-extensions (b=%g)", cfg.MaxRounds, b)
+			err := fmt.Errorf("schedule: RET did not complete all jobs within %d δ-extensions (b=%g)", cfg.MaxRounds, b)
+			retSpan.End(telemetry.KV("error", err.Error()))
+			return nil, err
 		}
 		var frac *Assignment
 		allFeasible := true
@@ -386,6 +482,7 @@ func solveRETDecomposed(inst *Instance, comps []*Component, cfg RETConfig) (*RET
 				return err
 			})
 			if err != nil {
+				retSpan.End(telemetry.KV("error", err.Error()))
 				return nil, err
 			}
 			for i := range states {
@@ -402,6 +499,7 @@ func solveRETDecomposed(inst *Instance, comps []*Component, cfg RETConfig) (*RET
 			feasible, a, iters, err := solveSubRET(inst, b, cfg, true)
 			res.LPIters += iters
 			if err != nil {
+				retSpan.End(telemetry.KV("error", err.Error()))
 				return nil, err
 			}
 			allFeasible, frac = feasible, a

@@ -25,11 +25,14 @@ func (s *Server) Handler() http.Handler {
 	s.route(mux, "POST /v1/jobs", s.handleSubmit)
 	s.route(mux, "GET /v1/jobs", s.handleListJobs)
 	s.route(mux, "GET /v1/jobs/{id}", s.handleGetJob)
+	s.route(mux, "GET /v1/jobs/{id}/explain", s.handleExplainJob)
 	s.route(mux, "GET /v1/schedule", s.handleSchedule)
 	s.route(mux, "POST /v1/links/{id}/down", s.handleLinkDown)
 	s.route(mux, "POST /v1/links/{id}/up", s.handleLinkUp)
 	s.route(mux, "GET /v1/healthz", s.handleHealthz)
 	s.route(mux, "GET /v1/stats", s.handleStats)
+	s.route(mux, "GET /v1/debug/trace/{id}", s.handleTrace)
+	s.route(mux, "GET /v1/debug/flightrecorder", s.handleFlightRecorder)
 
 	ops := telhttp.Handler(telemetry.Default())
 	mux.Handle("/metrics", ops)
@@ -196,6 +199,78 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeError(w, http.StatusNotFound, "unknown job")
+}
+
+func (s *Server) handleExplainJob(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad job id")
+		return
+	}
+	s.mu.Lock()
+	exp, ok := s.ctrl.Explain(job.ID(id))
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, exp.JSON())
+}
+
+// traceResponse is the GET /v1/debug/trace/{id} body: everything the
+// scheduler decided under one trace ID (= epoch index) — the epoch's
+// summary stat, the audit events it emitted across all jobs, and the
+// flight-recorder frame when the epoch is still inside the ring.
+type traceResponse struct {
+	Trace  int64                       `json:"trace"`
+	Epoch  *controller.EpochStatJSON   `json:"epoch,omitempty"`
+	Events []controller.AuditEventJSON `json:"events"`
+	Frame  *controller.EpochFrame      `json:"frame,omitempty"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	trace, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad trace id")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := traceResponse{Trace: trace}
+	resp.Events = controller.AuditEventsJSON(s.ctrl.AuditByTrace(trace))
+	if stats := s.ctrl.EpochStats(); trace >= 1 && trace <= int64(len(stats)) {
+		st := stats[trace-1].JSON()
+		resp.Epoch = &st
+	}
+	if fr := s.cfg.Controller.FlightRecorder; fr != nil {
+		for _, f := range fr.Frames() {
+			if ef, ok := f.(controller.EpochFrame); ok && ef.Trace == trace {
+				frame := ef
+				resp.Frame = &frame
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// flightResponse is the GET /v1/debug/flightrecorder body: the retained
+// per-epoch solve frames, oldest first.
+type flightResponse struct {
+	Enabled bool  `json:"enabled"`
+	Frames  []any `json:"frames"`
+}
+
+func (s *Server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := flightResponse{Frames: []any{}}
+	if fr := s.cfg.Controller.FlightRecorder; fr != nil {
+		resp.Enabled = true
+		if fs := fr.Frames(); fs != nil {
+			resp.Frames = fs
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // scheduleSlice is one slice of committed bandwidth on one path.

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"wavesched/internal/controller"
+	"wavesched/internal/job"
+	"wavesched/internal/lp"
+	"wavesched/internal/netgraph"
+)
+
+// TestExplainEndpointFullChain is the observability acceptance test: a
+// job that completes under PolicyRET must explain its full causal chain
+// — submission, admission, the component and probe bound that fixed its
+// schedule, completion — and a too-late job must explain its rejection.
+func TestExplainEndpointFullChain(t *testing.T) {
+	g := netgraph.Ring(4, 2, 10)
+	s := newTestServer(t, g, Config{
+		Controller: controller.Config{
+			Tau: 1, SliceLen: 1, K: 2, Policy: controller.PolicyRET, BMax: 5,
+		},
+	})
+	h := s.Handler()
+
+	good := job.Job{ID: 1, Src: 0, Dst: 2, Size: 4, Start: 0, End: 6}
+	if rec := do(t, h, http.MethodPost, "/v1/jobs", submitBody(good), nil); rec.Code != http.StatusAccepted {
+		t.Fatalf("submit job 1: code %d body %s", rec.Code, rec.Body.String())
+	}
+	drainServer(t, s, 20)
+
+	// The controller clock has advanced past t=2; a job whose deadline is
+	// already behind it is refused at submission (ErrTooLate).
+	late := job.Job{ID: 9, Src: 0, Dst: 1, Size: 1, Start: 0, End: 2, Arrival: 0}
+	if rec := do(t, h, http.MethodPost, "/v1/jobs", submitBody(late), nil); rec.Code != http.StatusConflict {
+		t.Fatalf("submit late job: code %d, want 409", rec.Code)
+	}
+
+	var exp controller.ExplanationJSON
+	if rec := do(t, h, http.MethodGet, "/v1/jobs/1/explain", nil, &exp); rec.Code != http.StatusOK {
+		t.Fatalf("explain job 1: code %d", rec.Code)
+	}
+	if exp.JobID != 1 || len(exp.Events) == 0 {
+		t.Fatalf("explain job 1: %+v", exp)
+	}
+	kinds := make([]string, len(exp.Events))
+	byKind := make(map[string]controller.AuditEventJSON)
+	for i, ev := range exp.Events {
+		kinds[i] = ev.Kind
+		byKind[ev.Kind] = ev
+		if i > 0 && ev.Seq <= exp.Events[i-1].Seq {
+			t.Errorf("events out of sequence: %v", kinds)
+		}
+	}
+	if kinds[0] != controller.AuditSubmitted {
+		t.Errorf("first event %q, want submitted (chain: %v)", kinds[0], kinds)
+	}
+	if kinds[len(kinds)-1] != controller.AuditCompleted {
+		t.Errorf("last event %q, want completed (chain: %v)", kinds[len(kinds)-1], kinds)
+	}
+	for _, want := range []string{controller.AuditAdmitted, controller.AuditPlanned} {
+		if _, ok := byKind[want]; !ok {
+			t.Errorf("chain missing %q: %v", want, kinds)
+		}
+	}
+	planned := byKind[controller.AuditPlanned]
+	if planned.Component == "" {
+		t.Errorf("planned event has no component: %+v", planned)
+	}
+	if planned.Trace <= 0 {
+		t.Errorf("planned event has no trace ID: %+v", planned)
+	}
+
+	// The rejected job explains its verdict.
+	var lateExp controller.ExplanationJSON
+	if rec := do(t, h, http.MethodGet, "/v1/jobs/9/explain", nil, &lateExp); rec.Code != http.StatusOK {
+		t.Fatalf("explain job 9: code %d", rec.Code)
+	}
+	if len(lateExp.Events) != 1 || lateExp.Events[0].Kind != controller.AuditRejected {
+		t.Fatalf("late job explanation: %+v", lateExp.Events)
+	}
+	if !strings.Contains(lateExp.Events[0].Detail, "deadline") {
+		t.Errorf("rejection detail %q does not name the deadline", lateExp.Events[0].Detail)
+	}
+
+	// Unknown jobs 404.
+	if rec := do(t, h, http.MethodGet, "/v1/jobs/777/explain", nil, nil); rec.Code != http.StatusNotFound {
+		t.Errorf("explain unknown job: code %d, want 404", rec.Code)
+	}
+
+	// The trace endpoint cross-indexes the planned epoch: its events and
+	// summary stat come back under the planning trace ID.
+	var trc struct {
+		Trace  int64                       `json:"trace"`
+		Epoch  *controller.EpochStatJSON   `json:"epoch"`
+		Events []controller.AuditEventJSON `json:"events"`
+	}
+	path := "/v1/debug/trace/" + jsonInt(planned.Trace)
+	if rec := do(t, h, http.MethodGet, path, nil, &trc); rec.Code != http.StatusOK {
+		t.Fatalf("GET %s: code %d", path, rec.Code)
+	}
+	if trc.Epoch == nil {
+		t.Errorf("trace %d: no epoch stat", planned.Trace)
+	}
+	found := false
+	for _, ev := range trc.Events {
+		if ev.Kind == controller.AuditPlanned && ev.Seq == planned.Seq {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("trace %d does not include the planned event", planned.Trace)
+	}
+}
+
+func jsonInt(v int64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+// TestFlightRecorderDumpOnTimeout forces every LP solve to blow its
+// wall-clock budget; the epoch degrades, the anomaly detector fires, and
+// the flight recorder must dump a frame carrying the offending epoch's
+// probe trajectory. The WAL records the dump and still replays cleanly.
+func TestFlightRecorderDumpOnTimeout(t *testing.T) {
+	g := netgraph.Ring(4, 2, 10)
+	dir := t.TempDir()
+	cfg := Config{
+		Controller: controller.Config{
+			Tau: 1, SliceLen: 1, K: 2, Policy: controller.PolicyRET, BMax: 5,
+			Solver: lp.Options{TimeLimit: time.Nanosecond},
+		},
+		WALDir:       dir,
+		FlightFrames: 8,
+	}
+	s := newTestServer(t, g, cfg)
+	h := s.Handler()
+
+	j := job.Job{ID: 1, Src: 0, Dst: 2, Size: 4, Start: 0, End: 6}
+	if rec := do(t, h, http.MethodPost, "/v1/jobs", submitBody(j), nil); rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: code %d body %s", rec.Code, rec.Body.String())
+	}
+	if err := s.Tick(); err != nil {
+		t.Fatalf("tick under timeout: %v", err)
+	}
+
+	dumps, err := filepath.Glob(filepath.Join(dir, "flight-*.json"))
+	if err != nil || len(dumps) == 0 {
+		t.Fatalf("no flight-recorder dump in %s (err %v)", dir, err)
+	}
+	raw, err := os.ReadFile(dumps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Reason string                  `json:"reason"`
+		Frames []controller.EpochFrame `json:"frames"`
+	}
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		t.Fatalf("decode dump: %v\n%s", err, raw)
+	}
+	if !strings.Contains(dump.Reason, "lp_timeout") {
+		t.Errorf("dump reason %q does not name lp_timeout", dump.Reason)
+	}
+	var probed *controller.EpochFrame
+	for i := range dump.Frames {
+		if len(dump.Frames[i].Probes) > 0 {
+			probed = &dump.Frames[i]
+		}
+	}
+	if probed == nil {
+		t.Fatalf("no frame carries a probe trajectory: %s", raw)
+	}
+	if probed.LPTimeouts == 0 {
+		t.Errorf("offending frame records no lp timeouts: %+v", probed)
+	}
+	if len(probed.Anomalies) == 0 {
+		t.Errorf("offending frame lists no anomalies: %+v", probed)
+	}
+	for _, p := range probed.Probes {
+		if p.Stage == "" {
+			t.Errorf("probe step missing stage: %+v", p)
+		}
+	}
+
+	// The debug endpoint serves the same ring.
+	var fl flightResponse
+	if rec := do(t, h, http.MethodGet, "/v1/debug/flightrecorder", nil, &fl); rec.Code != http.StatusOK {
+		t.Fatalf("flightrecorder endpoint: code %d", rec.Code)
+	}
+	if !fl.Enabled || len(fl.Frames) == 0 {
+		t.Fatalf("flightrecorder endpoint: %+v", fl)
+	}
+
+	// The WAL now holds anomaly entries; a restart must skip them and
+	// replay the rest cleanly.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(g, cfg)
+	if err != nil {
+		t.Fatalf("restart with anomaly entries in the WAL: %v", err)
+	}
+	if s2.Controller().Epochs == 0 {
+		t.Error("restarted server replayed no epochs")
+	}
+	s2.Close()
+}

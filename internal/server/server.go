@@ -69,6 +69,18 @@ type Config struct {
 	// live entries. Zero disables compaction. Ignored without WALDir.
 	SnapshotEvery int
 
+	// FlightFrames bounds the solve flight recorder: the controller
+	// retains the last N epochs' full solve detail (probe trajectories,
+	// warm-start outcomes, timings) and dumps the ring to disk when an
+	// epoch looks anomalous — lp timeout, cold-fallback spike,
+	// degradation, or a recovered panic. Zero disables the recorder
+	// (unless Controller.FlightRecorder is set directly).
+	FlightFrames int
+
+	// FlightDir receives anomaly dump files. Empty defaults to WALDir,
+	// or the working directory when running in-memory.
+	FlightDir string
+
 	// Logger receives serving diagnostics; nil selects slog.Default().
 	Logger *slog.Logger
 }
@@ -99,6 +111,16 @@ func New(g *netgraph.Graph, cfg Config) (*Server, error) {
 	if cfg.Controller.Logger == nil {
 		cfg.Controller.Logger = logger
 	}
+	if cfg.FlightFrames > 0 && cfg.Controller.FlightRecorder == nil {
+		dir := cfg.FlightDir
+		if dir == "" {
+			dir = cfg.WALDir
+		}
+		if dir == "" {
+			dir = "."
+		}
+		cfg.Controller.FlightRecorder = telemetry.NewFlightRecorder(cfg.FlightFrames, dir)
+	}
 	ctrl, err := controller.New(g, cfg.Controller)
 	if err != nil {
 		return nil, err
@@ -106,6 +128,17 @@ func New(g *netgraph.Graph, cfg Config) (*Server, error) {
 	s := &Server{
 		g: g, cfg: cfg, ctrl: ctrl, logger: logger,
 		seen: make(map[job.ID]bool), epochWall: time.Now(),
+	}
+	if fr := cfg.Controller.FlightRecorder; fr != nil {
+		// Anomaly dumps become durable history: the WAL records when and
+		// why each dump happened. The hook fires inside RunEpoch — always
+		// under s.mu — so appending without re-locking is safe; during
+		// replay s.wal is still nil and the append is a no-op.
+		fr.OnDump(func(reason, path string) {
+			if err := s.logEvent(store.Entry{Type: store.EntryAnomaly, Reason: reason, Path: path}); err != nil {
+				logger.Error("server: wal anomaly entry failed", "err", err)
+			}
+		})
 	}
 	if cfg.WALDir != "" {
 		wal, entries, err := store.Open(cfg.WALDir, cfg.SnapshotEvery)
@@ -152,6 +185,10 @@ func (s *Server) replay(entries []store.Entry) error {
 			if err := s.ctrl.LinkUp(netgraph.EdgeID(e.Edge), e.Time); err != nil {
 				return fmt.Errorf("server: replay entry %d: %w", e.Seq, err)
 			}
+		case store.EntryAnomaly:
+			// Informational: records that a flight-recorder dump happened.
+			// The controller's audit history regenerates deterministically
+			// from the other entries, so there is nothing to re-apply.
 		default:
 			return fmt.Errorf("server: replay entry %d: unknown type %q", e.Seq, e.Type)
 		}
@@ -295,3 +332,45 @@ func (s *Server) Records() []controller.Record {
 // Controller exposes the underlying controller for tests. Callers must
 // not mutate it while the server is live.
 func (s *Server) Controller() *controller.Controller { return s.ctrl }
+
+// Explain returns a job's decision history. ok is false when the
+// controller has never seen the job.
+func (s *Server) Explain(id job.ID) (controller.Explanation, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrl.Explain(id)
+}
+
+// AuditByTrace returns every audit event produced under one trace ID
+// (= epoch index), across all jobs, in decision order.
+func (s *Server) AuditByTrace(trace int64) []controller.AuditEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrl.AuditByTrace(trace)
+}
+
+// FlightFrames returns the flight recorder's retained epoch frames,
+// oldest first; nil when the recorder is disabled.
+func (s *Server) FlightFrames() []any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fr := s.cfg.Controller.FlightRecorder
+	if fr == nil {
+		return nil
+	}
+	return fr.Frames()
+}
+
+// DumpFlight forces a flight-recorder dump (SIGQUIT path, tests).
+// Returns the dump path, or "" when the recorder is disabled. Held
+// under s.mu so the WAL anomaly append in the dump hook never races a
+// concurrent tick.
+func (s *Server) DumpFlight(reason string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fr := s.cfg.Controller.FlightRecorder
+	if fr == nil {
+		return "", nil
+	}
+	return fr.Dump(reason)
+}

@@ -142,6 +142,18 @@ func RunWithFailures(ctrl *controller.Controller, jobs []job.Job, failures []Lin
 	if ctrl.Now() != 0 {
 		return nil, fmt.Errorf("sim: controller clock already at %g", ctrl.Now())
 	}
+	// The whole run is one root span; the controller's per-epoch spans
+	// nest under their own per-epoch trace IDs, and driver-level link
+	// events are stamped into the same stream so a trace viewer shows
+	// what the controller reacted to.
+	tr := ctrl.Tracer()
+	runSpan := tr.Start("sim.run")
+	runEnded := false
+	defer func() {
+		if !runEnded {
+			runSpan.End(telemetry.KV("error", true))
+		}
+	}()
 	ordered := append([]job.Job(nil), jobs...)
 	sort.SliceStable(ordered, func(a, b int) bool { return ordered[a].Arrival < ordered[b].Arrival })
 
@@ -188,11 +200,13 @@ func RunWithFailures(ctrl *controller.Controller, jobs []job.Job, failures []Lin
 			}
 		case EventLinkDown:
 			telLinkEvents.Inc()
+			tr.Event("sim.link_down", telemetry.KV("edge", int(ev.Edge)), telemetry.KV("t", ev.Time))
 			if err := ctrl.LinkDown(ev.Edge, ev.Time); err != nil {
 				return nil, fmt.Errorf("sim: link down %d at t=%g: %w", ev.Edge, ev.Time, err)
 			}
 		case EventLinkUp:
 			telLinkEvents.Inc()
+			tr.Event("sim.link_up", telemetry.KV("edge", int(ev.Edge)), telemetry.KV("t", ev.Time))
 			if err := ctrl.LinkUp(ev.Edge, ev.Time); err != nil {
 				return nil, fmt.Errorf("sim: link up %d at t=%g: %w", ev.Edge, ev.Time, err)
 			}
@@ -210,6 +224,13 @@ func RunWithFailures(ctrl *controller.Controller, jobs []job.Job, failures []Lin
 	}
 
 	records := ctrl.Records()
+	runEnded = true
+	runSpan.End(
+		telemetry.KV("epochs", ctrl.Epochs),
+		telemetry.KV("end_t", ctrl.Now()),
+		telemetry.KV("records", len(records)),
+		telemetry.KV("disruptions", len(ctrl.Disruptions())),
+	)
 	return &RunResult{
 		Records:     records,
 		Summary:     controller.Summarize(records),

@@ -61,6 +61,12 @@ const (
 	EntryLinkUp EntryType = "link_up"
 	// EntryEpoch: one scheduling instant (controller RunEpoch).
 	EntryEpoch EntryType = "epoch"
+	// EntryAnomaly: a flight-recorder dump was written (Reason names the
+	// trigger, Path the dump file). Anomaly entries are durable history
+	// only — replay skips them, since the dump itself already captured
+	// the state and the controller's audit records regenerate
+	// deterministically from the other entries.
+	EntryAnomaly EntryType = "anomaly"
 )
 
 // JobEntry is the job wire format inside a submit entry, mirroring the
@@ -96,11 +102,13 @@ func (e *JobEntry) Job() job.Job {
 // Entry is one WAL record: a monotonically increasing sequence number,
 // the event type, and the type's payload.
 type Entry struct {
-	Seq  uint64    `json:"seq"`
-	Type EntryType `json:"type"`
-	Time float64   `json:"t,omitempty"`   // link events: virtual event time
-	Edge int       `json:"edge"`          // link events: failed/repaired edge
-	Job  *JobEntry `json:"job,omitempty"` // submit entries
+	Seq    uint64    `json:"seq"`
+	Type   EntryType `json:"type"`
+	Time   float64   `json:"t,omitempty"`      // link events: virtual event time
+	Edge   int       `json:"edge"`             // link events: failed/repaired edge
+	Job    *JobEntry `json:"job,omitempty"`    // submit entries
+	Reason string    `json:"reason,omitempty"` // anomaly entries: dump trigger
+	Path   string    `json:"path,omitempty"`   // anomaly entries: dump file
 }
 
 const (

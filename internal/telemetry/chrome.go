@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// chromeEvent is one entry in the Chrome trace_event JSON format, the
+// schema understood by chrome://tracing and Perfetto (legacy JSON
+// import). Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int64          `json:"pid"`
+	TID   int64          `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace converts a JSONL span stream (as written by Tracer)
+// into Chrome trace_event JSON: spans become complete ("X") events with
+// ts = end − dur, point events become instant ("i") events, and each
+// trace ID maps to its own thread lane so one epoch reads as one row.
+// Records that fail to parse are skipped rather than failing the whole
+// conversion, matching the tracer's own drop-don't-fail policy.
+func WriteChromeTrace(r io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	events := make([]chromeEvent, 0, 1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			continue
+		}
+		ts, err := time.Parse(time.RFC3339Nano, rec.TS)
+		if err != nil {
+			continue
+		}
+		us := float64(ts.UnixNano()) / 1e3
+		ev := chromeEvent{
+			Name: rec.Name,
+			TS:   us,
+			PID:  1,
+			TID:  rec.Trace,
+			Args: rec.Attrs,
+		}
+		if rec.Kind == "span" && rec.DurUS != nil {
+			ev.Phase = "X"
+			ev.Dur = *rec.DurUS
+			ev.TS = us - *rec.DurUS // tracer stamps spans at End
+		} else {
+			ev.Phase = "i"
+			ev.Scope = "t"
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("telemetry: scan trace: %w", err)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}

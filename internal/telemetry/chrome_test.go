@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	var jsonl bytes.Buffer
+	tr := NewTracer(&jsonl).WithTrace(4)
+	sp := tr.Start("lp.solve")
+	sp.End(KV("iters", 12))
+	tr.Event("ret.search_step", KV("b", 0.5))
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := WriteChromeTrace(&jsonl, &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			PID   int64          `json:"pid"`
+			TID   int64          `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("events = %d, want 2", len(doc.TraceEvents))
+	}
+	span, ev := doc.TraceEvents[0], doc.TraceEvents[1]
+	if span.Phase != "X" || span.Name != "lp.solve" || span.TID != 4 {
+		t.Errorf("span = %+v", span)
+	}
+	if span.Dur < 0 || span.TS <= 0 {
+		t.Errorf("span timing = ts %g dur %g", span.TS, span.Dur)
+	}
+	if span.Args["iters"] != float64(12) {
+		t.Errorf("span args = %v", span.Args)
+	}
+	if ev.Phase != "i" || ev.Name != "ret.search_step" || ev.TID != 4 {
+		t.Errorf("event = %+v", ev)
+	}
+}
+
+func TestWriteChromeTraceSkipsGarbageLines(t *testing.T) {
+	in := strings.NewReader("not json\n" +
+		`{"ts":"2026-01-02T03:04:05Z","kind":"event","id":1,"name":"ok"}` + "\n" +
+		`{"ts":"bad time","kind":"event","id":2,"name":"dropped"}` + "\n")
+	var out bytes.Buffer
+	if err := WriteChromeTrace(in, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), `"name"`); got != 1 {
+		t.Errorf("converted events = %d, want 1 (garbage skipped): %s", got, out.String())
+	}
+}

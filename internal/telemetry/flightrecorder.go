@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// FlightRecorder is a bounded ring buffer of opaque per-epoch frames
+// retaining full solve detail for the last N epochs. The producer (the
+// controller) records one frame per epoch; on an anomaly — lp timeout,
+// cold-fallback spike, degradation, recovered panic — or on SIGQUIT the
+// whole ring is dumped to disk as one JSON document so the offending
+// window survives the process.
+//
+// Frames are stored as any and serialized with encoding/json at dump
+// time; the recorder itself is agnostic to their shape. All methods are
+// safe for concurrent use and no-ops on a nil receiver.
+type FlightRecorder struct {
+	mu     sync.Mutex
+	frames []any // ring storage
+	next   int   // next write index
+	filled bool  // ring has wrapped
+	dir    string
+	dumps  int
+	onDump func(reason, path string)
+}
+
+// NewFlightRecorder returns a recorder retaining the last n frames and
+// dumping into dir (created on first dump). n < 1 is clamped to 1.
+func NewFlightRecorder(n int, dir string) *FlightRecorder {
+	if n < 1 {
+		n = 1
+	}
+	return &FlightRecorder{frames: make([]any, n), dir: dir}
+}
+
+// OnDump registers a hook invoked (outside the recorder lock) after each
+// successful dump, with the triggering reason and the written path. The
+// server uses it to log a durable anomaly entry in the WAL.
+func (fr *FlightRecorder) OnDump(fn func(reason, path string)) {
+	if fr == nil {
+		return
+	}
+	fr.mu.Lock()
+	fr.onDump = fn
+	fr.mu.Unlock()
+}
+
+// Record appends one frame, evicting the oldest when full.
+func (fr *FlightRecorder) Record(frame any) {
+	if fr == nil {
+		return
+	}
+	fr.mu.Lock()
+	fr.frames[fr.next] = frame
+	fr.next++
+	if fr.next == len(fr.frames) {
+		fr.next = 0
+		fr.filled = true
+	}
+	fr.mu.Unlock()
+}
+
+// Frames returns the retained frames, oldest first.
+func (fr *FlightRecorder) Frames() []any {
+	if fr == nil {
+		return nil
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return fr.snapshotLocked()
+}
+
+func (fr *FlightRecorder) snapshotLocked() []any {
+	var out []any
+	if fr.filled {
+		out = append(out, fr.frames[fr.next:]...)
+	}
+	out = append(out, fr.frames[:fr.next]...)
+	return out
+}
+
+// Dump writes the retained frames as a JSON document to a new file in
+// the recorder's directory and returns its path. The reason becomes part
+// of the file name (sanitized) and the document body. Dumping with an
+// empty ring still writes a (frameless) document so the trigger itself
+// is preserved.
+func (fr *FlightRecorder) Dump(reason string) (string, error) {
+	if fr == nil {
+		return "", nil
+	}
+	fr.mu.Lock()
+	frames := fr.snapshotLocked()
+	fr.dumps++
+	n := fr.dumps
+	dir := fr.dir
+	hook := fr.onDump
+	fr.mu.Unlock()
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("telemetry: flight recorder dir: %w", err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("flight-%03d-%s.json", n, sanitizeReason(reason)))
+	doc := struct {
+		Reason string `json:"reason"`
+		Frames []any  `json:"frames"`
+	}{Reason: reason, Frames: frames}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("telemetry: flight recorder marshal: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("telemetry: flight recorder write: %w", err)
+	}
+	if hook != nil {
+		hook(reason, path)
+	}
+	return path, nil
+}
+
+// sanitizeReason maps a free-form reason to a file-name-safe slug.
+func sanitizeReason(reason string) string {
+	if reason == "" {
+		return "manual"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '_'
+		}
+	}, reason)
+}

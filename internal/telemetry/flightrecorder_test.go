@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFlightRecorderRingEviction(t *testing.T) {
+	fr := NewFlightRecorder(3, t.TempDir())
+	for i := 1; i <= 5; i++ {
+		fr.Record(i)
+	}
+	frames := fr.Frames()
+	if len(frames) != 3 {
+		t.Fatalf("frames = %d, want 3", len(frames))
+	}
+	for i, want := range []int{3, 4, 5} {
+		if frames[i] != want {
+			t.Errorf("frames[%d] = %v, want %d", i, frames[i], want)
+		}
+	}
+}
+
+func TestFlightRecorderDump(t *testing.T) {
+	dir := t.TempDir()
+	fr := NewFlightRecorder(4, dir)
+	var hookReason, hookPath string
+	fr.OnDump(func(reason, path string) { hookReason, hookPath = reason, path })
+	fr.Record(map[string]any{"epoch": 1, "tier": "full"})
+	fr.Record(map[string]any{"epoch": 2, "tier": "lpd"})
+
+	path, err := fr.Dump("lp timeout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(path) != dir {
+		t.Errorf("dump path %q not in %q", path, dir)
+	}
+	if !strings.Contains(filepath.Base(path), "lp_timeout") {
+		t.Errorf("dump file name %q missing sanitized reason", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Reason string           `json:"reason"`
+		Frames []map[string]any `json:"frames"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("dump not JSON: %v", err)
+	}
+	if doc.Reason != "lp timeout" || len(doc.Frames) != 2 {
+		t.Errorf("doc = %+v", doc)
+	}
+	if doc.Frames[1]["tier"] != "lpd" {
+		t.Errorf("frames = %v", doc.Frames)
+	}
+	if hookReason != "lp timeout" || hookPath != path {
+		t.Errorf("hook got (%q, %q), want (%q, %q)", hookReason, hookPath, "lp timeout", path)
+	}
+}
+
+func TestNilFlightRecorderIsNoOp(t *testing.T) {
+	var fr *FlightRecorder
+	fr.Record(1)
+	fr.OnDump(nil)
+	if fr.Frames() != nil {
+		t.Error("nil recorder Frames should be nil")
+	}
+	if path, err := fr.Dump("x"); err != nil || path != "" {
+		t.Errorf("nil recorder Dump = (%q, %v)", path, err)
+	}
+}

@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestTraceJSONLGolden pins the JSONL span schema — the key set, kind
+// discriminators, hierarchy fields, and attr encoding — against a golden
+// file. Timestamps and durations are volatile, so they are zeroed before
+// comparison; everything else (IDs included: the sink's sequence is
+// deterministic) must match byte for byte. Regenerate with -update.
+func TestTraceJSONLGolden(t *testing.T) {
+	var buf bytes.Buffer
+	root := NewTracer(&buf)
+
+	// Root-scope span and event: no trace/parent keys at all.
+	rs := root.Start("bench.fig4")
+	root.Event("bench.note", KV("figure", 4))
+	rs.End(KV("seeds", 3))
+
+	// Hierarchical scope: epoch span → lp child span + event, mixed attr
+	// types (int, float, string, bool).
+	ep := root.WithTrace(7).Start("controller.epoch")
+	lp := ep.Tracer().Start("lp.solve")
+	lp.End(KV("iters", 12), KV("objective", 1.5), KV("pricing", "dantzig"), KV("warm", true))
+	ep.Tracer().Event("ret.search_step", KV("b", 0.25), KV("feasible", false))
+	ep.End()
+
+	if err := root.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var lines []string
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		m["ts"] = 0
+		if _, ok := m["dur_us"]; ok {
+			m["dur_us"] = 0
+		}
+		b, err := json.Marshal(m) // map marshaling sorts keys: canonical form
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, string(b))
+	}
+	got := strings.Join(lines, "\n") + "\n"
+
+	golden := filepath.Join("testdata", "trace_golden.jsonl")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("trace JSONL schema drifted from golden (run with -update if intended):\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -76,9 +76,34 @@ func series(name string, labels, extra map[string]string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", k, merged[k])
+		fmt.Fprintf(&b, "%s=\"%s\"", k, escapeLabelValue(merged[k]))
 	}
 	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the exposition format: only
+// backslash, double quote, and newline are escaped. Go's %q is not
+// usable here because it also escapes non-ASCII and control characters
+// as \uXXXX/\xXX sequences, which the Prometheus text parser rejects.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
 	return b.String()
 }
 

@@ -145,6 +145,24 @@ func (r *Registry) HistogramWith(name, help string, buckets []float64, labels ma
 	return h
 }
 
+// CounterValue reads the current value of a registered counter by name
+// and labels, reporting ok=false when no such counter exists. It lets
+// observers (the flight recorder's anomaly detection, tests) sample
+// counters they did not register without holding instrument handles.
+func (r *Registry) CounterValue(name string, labels map[string]string) (int64, bool) {
+	r.mu.RLock()
+	ins, ok := r.byKey[seriesKey(name, labels)]
+	r.mu.RUnlock()
+	if !ok {
+		return 0, false
+	}
+	c, ok := ins.(*Counter)
+	if !ok {
+		return 0, false
+	}
+	return c.Value(), true
+}
+
 // each visits the instruments in registration order under the read lock.
 func (r *Registry) each(fn func(key string, ins any)) {
 	r.mu.RLock()

@@ -96,6 +96,48 @@ func TestWritePrometheus(t *testing.T) {
 	}
 }
 
+// TestPrometheusLabelValueEscaping is the regression test for label
+// values containing backslash, quote, and newline: they must come out as
+// \\, \", and \n — and nothing else may be escaped (non-ASCII stays raw).
+func TestPrometheusLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterWith("evil_total", "evil labels", map[string]string{
+		"path":  `C:\tmp\"x"` + "\nnext",
+		"route": "/v1/jobs/é", // non-ASCII must pass through unescaped
+	}).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := `evil_total{path="C:\\tmp\\\"x\"\nnext",route="/v1/jobs/é"} 1`
+	if !strings.Contains(out, want) {
+		t.Errorf("escaped series missing:\nwant %s\ngot  %s", want, out)
+	}
+	if strings.Contains(out, `\u`) || strings.Contains(out, `\x`) {
+		t.Errorf("output contains Go-style escapes invalid in exposition format:\n%s", out)
+	}
+}
+
+func TestCounterValue(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "").Add(3)
+	r.CounterWith("by_status_total", "", map[string]string{"status": "ok"}).Add(2)
+	if v, ok := r.CounterValue("hits_total", nil); !ok || v != 3 {
+		t.Errorf("hits_total = (%d, %v), want (3, true)", v, ok)
+	}
+	if v, ok := r.CounterValue("by_status_total", map[string]string{"status": "ok"}); !ok || v != 2 {
+		t.Errorf("by_status_total = (%d, %v), want (2, true)", v, ok)
+	}
+	if _, ok := r.CounterValue("missing_total", nil); ok {
+		t.Error("missing counter reported ok")
+	}
+	r.Gauge("g", "")
+	if _, ok := r.CounterValue("g", nil); ok {
+		t.Error("gauge reported as counter")
+	}
+}
+
 // TestConcurrentUpdatesAndScrapes hammers every instrument kind from many
 // goroutines while scraping; run with -race.
 func TestConcurrentUpdatesAndScrapes(t *testing.T) {

@@ -1,0 +1,86 @@
+package telhttp
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"wavesched/internal/telemetry"
+)
+
+// TestConcurrentScrapeAndUpdates hammers /metrics while an epoch-loop
+// shaped writer mutates the same registry: counters incremented, gauges
+// set, histograms observed, and new labeled series created mid-scrape.
+// Run under -race (make check does) this pins the registry's and the
+// exposition path's goroutine safety.
+func TestConcurrentScrapeAndUpdates(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	epochs := reg.Counter("loop_epochs_total", "epochs run")
+	util := reg.Gauge("loop_utilization", "current utilization")
+	dur := reg.Histogram("loop_epoch_seconds", "epoch wall time", nil)
+	h := MetricsHandler(reg)
+
+	stop := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			epochs.Inc()
+			util.Set(float64(i%100) / 100)
+			dur.Observe(float64(i%7) * 0.01)
+			reg.CounterWith("loop_tier_total", "epochs by tier",
+				map[string]string{"tier": fmt.Sprintf("t%d", i%4)}).Inc()
+		}
+	}()
+
+	const scrapers, scrapes = 4, 50
+	var scr sync.WaitGroup
+	for s := 0; s < scrapers; s++ {
+		scr.Add(1)
+		go func() {
+			defer scr.Done()
+			for i := 0; i < scrapes; i++ {
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+				if rec.Code != 200 {
+					t.Errorf("scrape returned %d", rec.Code)
+					return
+				}
+				if !strings.Contains(rec.Body.String(), "loop_epochs_total") {
+					t.Error("scrape missing loop_epochs_total")
+					return
+				}
+			}
+		}()
+	}
+	scr.Wait()
+	close(stop)
+	writer.Wait()
+}
+
+// TestHandlerRoutes checks the operational mux wires both surfaces.
+func TestHandlerRoutes(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("x_total", "x").Inc()
+	h := Handler(reg)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Fatalf("metrics: code %d body %q", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
+	if rec.Code != 200 {
+		t.Fatalf("pprof cmdline: code %d", rec.Code)
+	}
+}

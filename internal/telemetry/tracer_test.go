@@ -60,6 +60,84 @@ func TestTracerEmitsParseableJSONL(t *testing.T) {
 	}
 }
 
+// TestTracerHierarchy checks that derived tracers stamp trace and parent
+// IDs so a reader can reconstruct the causal tree.
+func TestTracerHierarchy(t *testing.T) {
+	var buf bytes.Buffer
+	root := NewTracer(&buf)
+
+	tr := root.WithTrace(7)
+	if tr.TraceID() != 7 {
+		t.Fatalf("TraceID = %d, want 7", tr.TraceID())
+	}
+	epoch := tr.Start("controller.epoch")
+	child := epoch.Tracer()
+	solve := child.Start("lp.solve")
+	solve.End(KV("status", "optimal"))
+	child.Event("ret.search_step", KV("b", 1.0))
+	epoch.End()
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	type rec struct {
+		Kind   string `json:"kind"`
+		ID     int64  `json:"id"`
+		Trace  int64  `json:"trace"`
+		Parent int64  `json:"parent"`
+		Name   string `json:"name"`
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3", len(lines))
+	}
+	recs := make([]rec, len(lines))
+	for i, l := range lines {
+		if err := json.Unmarshal([]byte(l), &recs[i]); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+	}
+	// Records appear in End order: lp.solve, event, epoch.
+	lp, ev, ep := recs[0], recs[1], recs[2]
+	if ep.Name != "controller.epoch" || ep.Trace != 7 || ep.Parent != 0 {
+		t.Errorf("epoch = %+v", ep)
+	}
+	if lp.Name != "lp.solve" || lp.Trace != 7 || lp.Parent != ep.ID {
+		t.Errorf("lp = %+v (epoch id %d)", lp, ep.ID)
+	}
+	if ev.Trace != 7 || ev.Parent != ep.ID {
+		t.Errorf("event = %+v (epoch id %d)", ev, ep.ID)
+	}
+}
+
+// TestRootTracerOmitsHierarchyFields pins the root-scope wire format to
+// the pre-hierarchy schema: no trace/parent keys at all.
+func TestRootTracerOmitsHierarchyFields(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Start("op").End()
+	_ = tr.Flush()
+	if strings.Contains(buf.String(), `"trace"`) || strings.Contains(buf.String(), `"parent"`) {
+		t.Errorf("root record leaked hierarchy fields: %s", buf.String())
+	}
+}
+
+func TestNilTracerHierarchyIsNoOp(t *testing.T) {
+	var tr *Tracer
+	derived := tr.WithTrace(3)
+	if derived != nil {
+		t.Error("WithTrace on nil tracer should stay nil")
+	}
+	sp := derived.Start("x")
+	if sp.Tracer() != nil {
+		t.Error("Span.Tracer on zero span should be nil")
+	}
+	sp.End()
+	if tr.TraceID() != 0 {
+		t.Error("TraceID on nil tracer should be 0")
+	}
+}
+
 // TestTracerConcurrent checks that concurrent spans and events produce
 // whole lines (no interleaving); run with -race.
 func TestTracerConcurrent(t *testing.T) {
