@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race race-serve bench bench-smoke bench-telemetry bench-trace-guard clean
+.PHONY: check vet build test race race-serve cluster-test bench bench-smoke bench-telemetry bench-trace-guard clean
 
-check: vet build race-serve race
+check: vet build race-serve race cluster-test
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +25,14 @@ race:
 race-serve:
 	$(GO) test -race ./internal/server/... ./internal/controller/...
 
+# HA failover acceptance at process scale: three real daemons on local
+# ports, SIGKILL of the leader, follower takeover with byte-identical
+# replayed state, a post-failover write, and a replication-metric scrape.
+# (The in-process failover/fencing/soak tests run in the normal race
+# suite; this target adds the real-process, real-signal layer.)
+cluster-test:
+	WAVESCHED_CLUSTER_E2E=1 $(GO) test ./cmd/wavesched -run TestClusterProcessE2E -count=1 -v
+
 # Full benchmark harness at quick scale (minutes).
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
@@ -39,6 +47,7 @@ bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkSolveTelemetryOff$$|BenchmarkRETWarmVsCold|BenchmarkRETDecomposition' -benchtime 1x .
 	$(GO) run ./cmd/benchfig -quick -fig 3 -json /tmp/benchsmoke.json -baseline BENCH_04.json -max-regress 20
 	$(MAKE) bench-trace-guard
+	$(MAKE) bench-cluster-guard
 
 # Tracing-overhead guard: the Fig. 4 RET solve with JSONL span tracing
 # enabled must stay within 5% of the tracing-off path (the per-span work
@@ -59,6 +68,21 @@ bench-trace-guard:
 # no tracer attached must stay within noise (<2%) of the seed solver.
 bench-telemetry:
 	$(GO) test -run xxx -bench SolveTelemetryOff -benchtime 20x -count 3 .
+
+# No-cluster overhead guard: the HA hooks on the serving write path (one
+# nil interface check + an atomic leader load) must cost ≤2% when
+# clustering is off. Min-of-5 on each side suppresses scheduler noise.
+bench-cluster-guard:
+	$(GO) test -run xxx -bench 'BenchmarkClusterHooks' -benchtime 10000x -count 5 ./internal/server | awk ' \
+		/BenchmarkClusterHooks\/off/ { if (off == "" || $$3 < off) off = $$3 } \
+		/BenchmarkClusterHooks\/on/  { if (on == ""  || $$3 < on)  on = $$3 } \
+		{print} \
+		END { \
+			if (off == "" || on == "") { print "bench-cluster-guard: missing benchmark output"; exit 1 } \
+			ratio = on / off; \
+			printf "bench-cluster-guard: cluster-hook overhead %+.1f%% (on %s ns/op vs off %s ns/op)\n", (ratio-1)*100, on, off; \
+			if (ratio > 1.02) { print "bench-cluster-guard: FAIL, no-cluster path overhead exceeds 2%"; exit 1 } \
+		}'
 
 clean:
 	$(GO) clean ./...

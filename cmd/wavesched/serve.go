@@ -14,10 +14,20 @@ import (
 	"syscall"
 	"time"
 
+	"wavesched/internal/cluster"
 	"wavesched/internal/controller"
 	"wavesched/internal/netgraph"
 	"wavesched/internal/server"
 	"wavesched/internal/telemetry"
+)
+
+// HTTP server hardening for the main API listener: a client that stalls
+// mid-headers or parks an idle keep-alive connection cannot pin a
+// handler goroutine (or a file descriptor) forever. Vars, not consts,
+// so the slow-client test can shrink them to test scale.
+var (
+	serveReadHeaderTimeout = 5 * time.Second
+	serveIdleTimeout       = 120 * time.Second
 )
 
 // serveOptions collects the `wavesched serve` flags.
@@ -37,6 +47,15 @@ type serveOptions struct {
 	TracePath     string
 	FlightFrames  int
 	FlightDir     string
+
+	// Cluster mode (enabled by -node-id).
+	NodeID     string
+	Advertise  string
+	PeersRaw   string
+	Peers      []cluster.Peer
+	Quorum     int
+	ClusterDir string
+	LeaseTTL   time.Duration
 }
 
 // parseServeFlags parses the serve subcommand's argument list.
@@ -58,6 +77,12 @@ func parseServeFlags(args []string) (serveOptions, error) {
 	fs.StringVar(&o.TracePath, "trace", "", "write solver/scheduler trace spans (JSONL) to this file")
 	fs.IntVar(&o.FlightFrames, "flight-frames", 64, "epochs of full solve detail retained by the flight recorder (0 = off)")
 	fs.StringVar(&o.FlightDir, "flight-dir", "", "directory for flight-recorder anomaly dumps (default: the WAL directory)")
+	fs.StringVar(&o.NodeID, "node-id", "", "cluster member name; enables HA cluster mode (requires -cluster-dir, -advertise, -wal)")
+	fs.StringVar(&o.Advertise, "advertise", "", "base URL peers and redirected clients reach this node at, e.g. http://10.0.0.1:8080")
+	fs.StringVar(&o.PeersRaw, "peers", "", "other cluster members as id=url pairs, comma-separated: n2=http://host2:8080,n3=http://host3:8080")
+	fs.IntVar(&o.Quorum, "quorum", 0, "members (counting this node) that must fsync a write before it is acknowledged; 0 = majority")
+	fs.StringVar(&o.ClusterDir, "cluster-dir", "", "shared directory holding the leader lease record")
+	fs.DurationVar(&o.LeaseTTL, "lease-ttl", 3*time.Second, "leader lease duration; bounds failover time")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -67,31 +92,71 @@ func parseServeFlags(args []string) (serveOptions, error) {
 	if o.Tau <= 0 {
 		return o, fmt.Errorf("serve: -tau must be positive")
 	}
+	if o.NodeID != "" {
+		if o.ClusterDir == "" {
+			return o, fmt.Errorf("serve: cluster mode requires -cluster-dir (shared lease directory)")
+		}
+		if o.WALDir == "" {
+			return o, fmt.Errorf("serve: cluster mode requires -wal (per-node log directory)")
+		}
+		if o.Advertise == "" {
+			return o, fmt.Errorf("serve: cluster mode requires -advertise")
+		}
+		peers, err := parsePeers(o.PeersRaw, o.NodeID)
+		if err != nil {
+			return o, err
+		}
+		o.Peers = peers
+	} else if o.PeersRaw != "" || o.ClusterDir != "" {
+		return o, fmt.Errorf("serve: -peers/-cluster-dir require -node-id (cluster mode)")
+	}
 	return o, nil
 }
 
-// buildServer loads the topology and constructs the daemon core from the
-// parsed options (shared by runServe and its tests).
-func buildServer(o serveOptions) (*server.Server, *netgraph.Graph, error) {
-	policy, err := parsePolicy(o.Policy)
-	if err != nil {
-		return nil, nil, err
+// parsePeers decodes "id=url,id=url", skipping this node's own entry so
+// a cluster can share one -peers value across members.
+func parsePeers(raw, self string) ([]cluster.Peer, error) {
+	if raw == "" {
+		return nil, nil
 	}
+	var peers []cluster.Peer
+	for _, part := range strings.Split(raw, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("serve: bad -peers entry %q (want id=url)", part)
+		}
+		if id == self {
+			continue
+		}
+		peers = append(peers, cluster.Peer{ID: id, URL: strings.TrimSuffix(url, "/")})
+	}
+	return peers, nil
+}
+
+// loadServeGraph reads the topology named by the options.
+func loadServeGraph(o serveOptions) (*netgraph.Graph, error) {
 	nf, err := os.Open(o.NetPath)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	var g *netgraph.Graph
+	defer nf.Close()
 	if strings.HasSuffix(o.NetPath, ".brite") {
-		g, err = netgraph.ReadBRITE(nf, 0)
-	} else {
-		g, err = netgraph.ReadJSON(nf)
+		return netgraph.ReadBRITE(nf, 0)
 	}
-	nf.Close()
+	return netgraph.ReadJSON(nf)
+}
+
+// serverConfig maps the parsed options onto the serving layer's config.
+func serverConfig(o serveOptions) (server.Config, error) {
+	policy, err := parsePolicy(o.Policy)
 	if err != nil {
-		return nil, nil, err
+		return server.Config{}, err
 	}
-	srv, err := server.New(g, server.Config{
+	return server.Config{
 		Controller: controller.Config{
 			Tau: o.Tau.Seconds(), SliceLen: o.SliceLen, K: o.K,
 			Alpha: o.Alpha, BMax: o.BMax, Policy: policy,
@@ -102,11 +167,52 @@ func buildServer(o serveOptions) (*server.Server, *netgraph.Graph, error) {
 		SnapshotEvery: o.SnapshotEvery,
 		FlightFrames:  o.FlightFrames,
 		FlightDir:     o.FlightDir,
-	})
+	}, nil
+}
+
+// buildServer loads the topology and constructs the daemon core from the
+// parsed options (shared by runServe and its tests).
+func buildServer(o serveOptions) (*server.Server, *netgraph.Graph, error) {
+	g, err := loadServeGraph(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg, err := serverConfig(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err := server.New(g, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
 	return srv, g, nil
+}
+
+// buildNode constructs a cluster member from the parsed options.
+func buildNode(o serveOptions) (*cluster.Node, *netgraph.Graph, error) {
+	g, err := loadServeGraph(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg, err := serverConfig(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.WALDir = "" // the node owns the log; the server appends through it
+	node, err := cluster.NewNode(g, cfg, cluster.Config{
+		NodeID:        o.NodeID,
+		AdvertiseURL:  strings.TrimSuffix(o.Advertise, "/"),
+		Peers:         o.Peers,
+		ClusterDir:    o.ClusterDir,
+		WALDir:        o.WALDir,
+		SnapshotEvery: o.SnapshotEvery,
+		Quorum:        o.Quorum,
+		LeaseTTL:      o.LeaseTTL,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return node, g, nil
 }
 
 // runServe is the `wavesched serve` entry point: it runs the scheduler
@@ -136,9 +242,25 @@ func runServe(ctx context.Context, w io.Writer, args []string) error {
 		tracer = tr
 		slog.Info("serve: tracing enabled", "file", o.TracePath)
 	}
-	srv, g, err := buildServer(o)
-	if err != nil {
-		return err
+	var (
+		srv     *server.Server
+		node    *cluster.Node
+		g       *netgraph.Graph
+		handler http.Handler
+	)
+	if o.NodeID != "" {
+		node, g, err = buildNode(o)
+		if err != nil {
+			return err
+		}
+		srv = node.Server()
+		handler = node.Handler()
+	} else {
+		srv, g, err = buildServer(o)
+		if err != nil {
+			return err
+		}
+		handler = srv.Handler()
 	}
 
 	// SIGQUIT dumps the flight recorder without shutting down — the
@@ -168,13 +290,28 @@ func runServe(ctx context.Context, w io.Writer, args []string) error {
 	if o.WALDir != "" {
 		fmt.Fprintf(w, "  wal=%s", o.WALDir)
 	}
+	if o.NodeID != "" {
+		fmt.Fprintf(w, "  node=%s peers=%d quorum=%d", o.NodeID, len(o.Peers), o.Quorum)
+	}
 	fmt.Fprintln(w)
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpSrv := &http.Server{
+		Handler: handler,
+		// A stalled half-open connection (headers never finish) or a
+		// parked idle keep-alive must not hold resources indefinitely.
+		ReadHeaderTimeout: serveReadHeaderTimeout,
+		IdleTimeout:       serveIdleTimeout,
+	}
 	httpErr := make(chan error, 1)
 	go func() { httpErr <- httpSrv.Serve(ln) }()
 	loopDone := make(chan struct{})
 	go func() { defer close(loopDone); _ = srv.Run(ctx) }()
+	electDone := make(chan struct{})
+	if node != nil {
+		go func() { defer close(electDone); node.Run(ctx) }()
+	} else {
+		close(electDone)
+	}
 
 	var serveErr error
 	select {
@@ -190,8 +327,15 @@ func runServe(ctx context.Context, w io.Writer, args []string) error {
 		serveErr = fmt.Errorf("serve: shutdown: %w", err)
 	}
 	<-loopDone
-	if err := srv.Close(); err != nil && serveErr == nil {
-		serveErr = fmt.Errorf("serve: close: %w", err)
+	<-electDone // a graceful leader exit releases the lease first
+	var closeErr error
+	if node != nil {
+		closeErr = node.Close()
+	} else {
+		closeErr = srv.Close()
+	}
+	if closeErr != nil && serveErr == nil {
+		serveErr = fmt.Errorf("serve: close: %w", closeErr)
 	}
 	return serveErr
 }

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"regexp"
+	"testing"
+	"time"
+
+	"wavesched/internal/netgraph"
+)
+
+// startServe boots runServe on an ephemeral port and returns the base
+// URL once the startup line reports the bound address.
+func startServe(t *testing.T, ctx context.Context, args []string) string {
+	t.Helper()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() { done <- runServe(ctx, &out, args) }()
+	t.Cleanup(func() {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("runServe: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("runServe did not shut down")
+		}
+	})
+	addrRe := regexp.MustCompile(`http://([0-9.]+:[0-9]+)`)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			return "http://" + m[1]
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no listen address in output: %q", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServeStalledConnectionClosed: a half-open client that never
+// finishes its request headers must be cut off by ReadHeaderTimeout
+// instead of holding its connection (and eventually the fd table)
+// forever, and must not disturb well-behaved requests.
+func TestServeStalledConnectionClosed(t *testing.T) {
+	oldRH, oldIdle := serveReadHeaderTimeout, serveIdleTimeout
+	serveReadHeaderTimeout, serveIdleTimeout = 150*time.Millisecond, time.Second
+	t.Cleanup(func() { serveReadHeaderTimeout, serveIdleTimeout = oldRH, oldIdle })
+
+	netPath := writeNetFixture(t, netgraph.Ring(4, 2, 10))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base := startServe(t, ctx, []string{"-net", netPath, "-addr", "127.0.0.1:0", "-tau", "50ms", "-slice-len", "0.05", "-k", "2"})
+
+	// Stall mid-headers: open the connection, send an incomplete request
+	// line, then go silent.
+	conn, err := net.Dial("tcp", base[len("http://"):])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET /v1/healthz HTTP/1.1\r\nHost: x")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	start := time.Now()
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("stalled connection received data without finishing headers")
+	}
+	// The server must hang up on its own, well before our 5s read
+	// deadline would have fired.
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("stalled connection lived %s; ReadHeaderTimeout did not fire", elapsed)
+	}
+
+	// A well-behaved client is unaffected.
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatalf("healthz after stalled conn: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: code %d", resp.StatusCode)
+	}
+	cancel()
+}

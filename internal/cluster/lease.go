@@ -1,0 +1,231 @@
+// Package cluster turns the single-process scheduler daemon into a
+// small highly-available deployment: lease-based leader election with
+// fencing tokens, WAL streaming replication with replicate-before-ack
+// quorums, and fast follower takeover by snapshot+WAL replay.
+//
+// The design leans on two invariants the rest of the repo already
+// guarantees: the controller is deterministic (replaying the same event
+// sequence reproduces byte-identical state — see internal/store), and
+// every state change is a WAL entry. A follower that holds the leader's
+// log therefore holds the leader's *state*, and takeover is nothing
+// more than "stop following, start ticking".
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Lease election. The lease is a single JSON record in a directory
+// shared by the cluster members (a shared filesystem stands in for the
+// small co-located deployments this targets; the record structure —
+// holder, fencing token, expiry — is the same one a lease service or
+// peer-RPC quorum would carry, mirroring the Kubernetes
+// coordination/v1 Lease object the openshift controllers elect on).
+//
+// Correctness does not hinge on the lease being race-free: the lease
+// only decides *liveness* (who tries to lead). Safety comes from the
+// fencing token — bumped on every acquisition, attached to every
+// replicated write, and checked by every follower — so even if two
+// nodes momentarily both believe they lead, the deposed one's appends
+// are rejected cluster-wide. Acquisition is still serialized through an
+// O_EXCL lock file plus an atomic tmp+rename of the record, so in
+// practice split leads do not happen on a coherent filesystem.
+
+// ErrLeaseLost reports that a renewal found the lease held by someone
+// else (or with a newer token): this node has been deposed.
+var ErrLeaseLost = errors.New("cluster: lease lost")
+
+// LeaseRecord is the on-disk lease: who leads, with what fencing token,
+// until when. URL is the holder's advertised base URL so followers can
+// redirect writes without any other discovery mechanism.
+type LeaseRecord struct {
+	Holder  string `json:"holder"`
+	URL     string `json:"url"`
+	Token   uint64 `json:"token"`
+	Expires int64  `json:"expires_unix_nano"`
+}
+
+// Expired reports whether the lease has lapsed at time now.
+func (r LeaseRecord) Expired(now time.Time) bool {
+	return r.Holder == "" || now.UnixNano() >= r.Expires
+}
+
+// Lease manages one node's view of the shared lease record.
+type Lease struct {
+	dir  string
+	node string
+	url  string
+	ttl  time.Duration
+	now  func() time.Time // injectable clock for tests
+}
+
+const (
+	leaseName = "lease.json"
+	lockName  = "lease.lock"
+)
+
+// NewLease prepares a lease handle for node in the shared dir. ttl is
+// how long an acquisition or renewal remains valid; holders must renew
+// well inside it (the node loop renews every ttl/3).
+func NewLease(dir, node, url string, ttl time.Duration) (*Lease, error) {
+	if dir == "" || node == "" {
+		return nil, fmt.Errorf("cluster: lease needs a directory and a node ID")
+	}
+	if ttl <= 0 {
+		return nil, fmt.Errorf("cluster: lease TTL must be positive")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	return &Lease{dir: dir, node: node, url: url, ttl: ttl, now: time.Now}, nil
+}
+
+// withLock serializes lease mutations across processes: an O_EXCL lock
+// file taken for the duration of fn. A lock older than one TTL is a
+// crashed holder's leftover and is broken.
+func (l *Lease) withLock(fn func() error) error {
+	lockPath := filepath.Join(l.dir, lockName)
+	deadline := l.now().Add(l.ttl)
+	for {
+		f, err := os.OpenFile(lockPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			f.WriteString(l.node)
+			f.Close()
+			break
+		}
+		if !os.IsExist(err) {
+			return fmt.Errorf("cluster: lease lock: %w", err)
+		}
+		if fi, serr := os.Stat(lockPath); serr == nil && l.now().Sub(fi.ModTime()) > l.ttl {
+			os.Remove(lockPath) // stale lock from a crashed acquirer
+			continue
+		}
+		if l.now().After(deadline) {
+			return fmt.Errorf("cluster: lease lock: contended past TTL")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	defer os.Remove(lockPath)
+	return fn()
+}
+
+// read decodes the lease record; a missing file is an empty (expired)
+// lease.
+func (l *Lease) read() (LeaseRecord, error) {
+	b, err := os.ReadFile(filepath.Join(l.dir, leaseName))
+	if os.IsNotExist(err) {
+		return LeaseRecord{}, nil
+	}
+	if err != nil {
+		return LeaseRecord{}, fmt.Errorf("cluster: read lease: %w", err)
+	}
+	var rec LeaseRecord
+	if err := json.Unmarshal(b, &rec); err != nil {
+		return LeaseRecord{}, fmt.Errorf("cluster: decode lease: %w", err)
+	}
+	return rec, nil
+}
+
+// write replaces the lease record atomically (tmp + rename + dir sync).
+func (l *Lease) write(rec LeaseRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("cluster: encode lease: %w", err)
+	}
+	path := filepath.Join(l.dir, leaseName)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("cluster: write lease: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cluster: write lease: %w", err)
+	}
+	if d, err := os.Open(l.dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Read returns the current lease record without taking the lock —
+// followers poll it to learn the leader's URL and fencing token.
+func (l *Lease) Read() (LeaseRecord, error) { return l.read() }
+
+// TryAcquire attempts to take (or, if this node already holds it,
+// renew) the lease. On a fresh acquisition the fencing token is bumped
+// past every token ever issued. Returns the resulting record and
+// whether this node now holds the lease.
+func (l *Lease) TryAcquire() (LeaseRecord, bool, error) {
+	var out LeaseRecord
+	var held bool
+	err := l.withLock(func() error {
+		cur, err := l.read()
+		if err != nil {
+			return err
+		}
+		now := l.now()
+		switch {
+		case cur.Holder == l.node:
+			cur.URL, cur.Expires = l.url, now.Add(l.ttl).UnixNano()
+			out, held = cur, true
+			return l.write(cur)
+		case cur.Expired(now):
+			next := LeaseRecord{
+				Holder: l.node, URL: l.url,
+				Token:   cur.Token + 1,
+				Expires: now.Add(l.ttl).UnixNano(),
+			}
+			out, held = next, true
+			return l.write(next)
+		default:
+			out, held = cur, false
+			return nil
+		}
+	})
+	return out, held, err
+}
+
+// Renew extends the lease this node holds under token. If the record
+// shows a different holder or token the node has been deposed:
+// ErrLeaseLost.
+func (l *Lease) Renew(token uint64) (LeaseRecord, error) {
+	var out LeaseRecord
+	err := l.withLock(func() error {
+		cur, err := l.read()
+		if err != nil {
+			return err
+		}
+		if cur.Holder != l.node || cur.Token != token {
+			out = cur
+			return ErrLeaseLost
+		}
+		cur.Expires = l.now().Add(l.ttl).UnixNano()
+		out = cur
+		return l.write(cur)
+	})
+	return out, err
+}
+
+// Release gives the lease up voluntarily (graceful shutdown): the
+// record expires immediately so a follower can take over without
+// waiting out the TTL. The token is left in place — the next holder
+// still bumps past it.
+func (l *Lease) Release(token uint64) error {
+	return l.withLock(func() error {
+		cur, err := l.read()
+		if err != nil {
+			return err
+		}
+		if cur.Holder != l.node || cur.Token != token {
+			return nil // someone else took it; nothing to release
+		}
+		cur.Expires = 0
+		return l.write(cur)
+	})
+}

@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func writeStaleLock(dir string) error {
+	return os.WriteFile(filepath.Join(dir, lockName), []byte("ghost"), 0o644)
+}
+
+// fakeClock drives lease time deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestLease(t *testing.T, dir, node string, clk *fakeClock) *Lease {
+	t.Helper()
+	l, err := NewLease(dir, node, "http://"+node, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.now = clk.now
+	return l
+}
+
+func TestLeaseAcquireRenewExpire(t *testing.T) {
+	dir := t.TempDir()
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	a := newTestLease(t, dir, "n1", clk)
+	b := newTestLease(t, dir, "n2", clk)
+
+	rec, held, err := a.TryAcquire()
+	if err != nil || !held {
+		t.Fatalf("first acquire: held=%v err=%v", held, err)
+	}
+	if rec.Holder != "n1" || rec.Token != 1 {
+		t.Fatalf("first acquire: %+v", rec)
+	}
+
+	// A live lease refuses a second acquirer but tells it who leads.
+	rec2, held2, err := b.TryAcquire()
+	if err != nil || held2 {
+		t.Fatalf("contended acquire: held=%v err=%v", held2, err)
+	}
+	if rec2.Holder != "n1" || rec2.URL != "http://n1" {
+		t.Fatalf("contended acquire: %+v", rec2)
+	}
+
+	// Renewal inside the TTL extends it under the same token.
+	clk.advance(500 * time.Millisecond)
+	if _, err := a.Renew(rec.Token); err != nil {
+		t.Fatalf("renew: %v", err)
+	}
+	clk.advance(700 * time.Millisecond) // 1.2s since acquire, 0.7s since renew
+	if cur, _ := a.Read(); cur.Expired(clk.now()) {
+		t.Fatal("renewed lease expired early")
+	}
+
+	// Expiry lets the other node take over with a bumped token.
+	clk.advance(time.Second)
+	rec3, held3, err := b.TryAcquire()
+	if err != nil || !held3 {
+		t.Fatalf("takeover acquire: held=%v err=%v", held3, err)
+	}
+	if rec3.Holder != "n2" || rec3.Token != 2 {
+		t.Fatalf("takeover acquire: %+v", rec3)
+	}
+
+	// The deposed holder's renewal must fail with ErrLeaseLost.
+	if _, err := a.Renew(rec.Token); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("deposed renew: err=%v, want ErrLeaseLost", err)
+	}
+}
+
+func TestLeaseReleaseSpeedsTakeover(t *testing.T) {
+	dir := t.TempDir()
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	a := newTestLease(t, dir, "n1", clk)
+	b := newTestLease(t, dir, "n2", clk)
+
+	rec, held, err := a.TryAcquire()
+	if err != nil || !held {
+		t.Fatalf("acquire: held=%v err=%v", held, err)
+	}
+	if err := a.Release(rec.Token); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	// No clock advance: the released lease is immediately up for grabs,
+	// and the token still moves forward monotonically.
+	rec2, held2, err := b.TryAcquire()
+	if err != nil || !held2 {
+		t.Fatalf("post-release acquire: held=%v err=%v", held2, err)
+	}
+	if rec2.Token != rec.Token+1 {
+		t.Fatalf("token %d after release of %d; want monotonic bump", rec2.Token, rec.Token)
+	}
+}
+
+func TestLeaseTokenMonotonicAcrossHolders(t *testing.T) {
+	dir := t.TempDir()
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	nodes := []*Lease{
+		newTestLease(t, dir, "n1", clk),
+		newTestLease(t, dir, "n2", clk),
+		newTestLease(t, dir, "n3", clk),
+	}
+	var last uint64
+	for round := 0; round < 6; round++ {
+		l := nodes[round%len(nodes)]
+		rec, held, err := l.TryAcquire()
+		if err != nil || !held {
+			t.Fatalf("round %d: held=%v err=%v", round, held, err)
+		}
+		if rec.Token <= last {
+			t.Fatalf("round %d: token %d did not advance past %d", round, rec.Token, last)
+		}
+		last = rec.Token
+		clk.advance(2 * time.Second) // let it lapse for the next holder
+	}
+}
+
+func TestLeaseStaleLockBroken(t *testing.T) {
+	dir := t.TempDir()
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l := newTestLease(t, dir, "n1", clk)
+
+	// Simulate a crashed acquirer: a lock file nobody will remove. Its
+	// mtime is the real wall clock, so step the fake clock well past it.
+	clk.t = time.Now()
+	if err := writeStaleLock(dir); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(2 * time.Second)
+	if _, held, err := l.TryAcquire(); err != nil || !held {
+		t.Fatalf("acquire through stale lock: held=%v err=%v", held, err)
+	}
+}

@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"wavesched/internal/store"
+)
+
+// Peer API paths, mounted on the same listener as the client API.
+const (
+	peerAppendPath   = "/peer/v1/append"
+	peerSnapshotPath = "/peer/v1/snapshot"
+	peerStatusPath   = "/peer/v1/status"
+)
+
+// appendRequest is one replication batch: the leader's fencing token,
+// the sequence number preceding the batch, and the entries themselves
+// (pre-sequenced by the leader).
+type appendRequest struct {
+	Token   uint64        `json:"token"`
+	PrevSeq uint64        `json:"prev_seq"`
+	Entries []store.Entry `json:"entries"`
+}
+
+// appendResponse acknowledges a batch. Seq is the follower's log head
+// after the write — on a gap it is the head *before* any write, telling
+// the leader where to restream from. Fenced means the token was stale;
+// Diverged means the follower's log contradicts the leader's and only a
+// snapshot resync can reconcile them.
+type appendResponse struct {
+	Node     string `json:"node"`
+	Seq      uint64 `json:"seq"`
+	Token    uint64 `json:"token"`
+	Fenced   bool   `json:"fenced,omitempty"`
+	Diverged bool   `json:"diverged,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// statusResponse is the GET /peer/v1/status body.
+type statusResponse struct {
+	Node    string `json:"node"`
+	Role    string `json:"role"`
+	Seq     uint64 `json:"seq"`
+	Applied uint64 `json:"applied"`
+	Token   uint64 `json:"token"`
+	Leader  string `json:"leader_url,omitempty"`
+}
+
+// peerMux returns the peer-facing API. Append is the replication sink:
+// fencing check, contiguity check, batch fsync, ack, then ordered
+// asynchronous apply into the local controller.
+func (n *Node) peerMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+peerAppendPath, n.handlePeerAppend)
+	mux.HandleFunc("GET "+peerSnapshotPath, n.handlePeerSnapshot)
+	mux.HandleFunc("GET "+peerStatusPath, n.handlePeerStatus)
+	return mux
+}
+
+func (n *Node) handlePeerAppend(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		peerJSON(w, http.StatusBadRequest, appendResponse{Node: n.cfg.NodeID, Error: "read body: " + err.Error()})
+		return
+	}
+	var req appendRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		peerJSON(w, http.StatusBadRequest, appendResponse{Node: n.cfg.NodeID, Error: "decode batch: " + err.Error()})
+		return
+	}
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	// Fencing: reject any token older than the newest we have witnessed
+	// (from the lease, a previous batch, or our own leadership). A
+	// deposed leader retrying its last batch lands here.
+	if req.Token < n.highestToken || (n.role == RoleLeader && req.Token <= n.token) {
+		telFencingRejects.Inc()
+		peerJSON(w, http.StatusConflict, appendResponse{
+			Node: n.cfg.NodeID, Seq: n.rlog.Seq(), Token: n.highestToken, Fenced: true,
+		})
+		return
+	}
+	if req.Token > n.highestToken {
+		n.highestToken = req.Token
+	}
+	// A valid newer token while we believe we lead means we were deposed
+	// and have not noticed yet: step down before accepting the stream.
+	if n.role == RoleLeader {
+		n.stepDownLocked("fenced by peer append")
+	}
+
+	localSeq := n.rlog.Seq()
+	if req.PrevSeq > localSeq {
+		// Gap: we are missing entries. Tell the leader our real head so
+		// it restreams from there.
+		peerJSON(w, http.StatusOK, appendResponse{Node: n.cfg.NodeID, Seq: localSeq, Token: n.highestToken})
+		return
+	}
+	// Drop the prefix we already hold; verify the overlap is identical.
+	batch := req.Entries
+	for len(batch) > 0 && batch[0].Seq <= localSeq {
+		if local, ok := n.rlog.entryAt(batch[0].Seq); ok && !sameEntry(local, batch[0]) {
+			go n.triggerResync() // self-heal: pull the authoritative history
+			peerJSON(w, http.StatusConflict, appendResponse{
+				Node: n.cfg.NodeID, Seq: localSeq, Token: n.highestToken, Diverged: true,
+			})
+			return
+		}
+		batch = batch[1:]
+	}
+	if len(batch) > 0 {
+		if err := n.rlog.appendLocal(batch); err != nil {
+			// A contiguity failure at this point is divergence (our log has
+			// a suffix the leader does not know about).
+			go n.triggerResync()
+			peerJSON(w, http.StatusConflict, appendResponse{
+				Node: n.cfg.NodeID, Seq: localSeq, Token: n.highestToken, Diverged: true,
+			})
+			return
+		}
+		// Acknowledge after our own fsync (replicate-before-ack end to
+		// end), then apply asynchronously in order; reads served from this
+		// follower may lag the ack by the in-flight applies.
+		n.enqueueApplyLocked(batch)
+		// A replicated leadership entry doubles as the new leader's
+		// announcement: followers update their redirect target without
+		// waiting for the next lease poll.
+		for _, e := range batch {
+			if e.Type == store.EntryLeadership && e.Reason == "elected" && e.Node != n.cfg.NodeID {
+				if e.Token > n.highestToken {
+					n.highestToken = e.Token
+				}
+				n.publishViewLocked(n.peerURLByID(e.Node))
+			}
+		}
+	}
+	peerJSON(w, http.StatusOK, appendResponse{Node: n.cfg.NodeID, Seq: n.rlog.Seq(), Token: n.highestToken})
+}
+
+// peerURLByID resolves a member ID to its configured base URL.
+func (n *Node) peerURLByID(id string) string {
+	for _, p := range n.cfg.Peers {
+		if p.ID == id {
+			return p.URL
+		}
+	}
+	return ""
+}
+
+// sameEntry compares two entries by their canonical encoding.
+func sameEntry(a, b store.Entry) bool {
+	ab, _ := json.Marshal(a)
+	bb, _ := json.Marshal(b)
+	return string(ab) == string(bb)
+}
+
+// handlePeerSnapshot streams the entry history after ?from= (exclusive)
+// — the catch-up path for joining or diverged followers.
+func (n *Node) handlePeerSnapshot(w http.ResponseWriter, r *http.Request) {
+	var from uint64
+	if v := r.URL.Query().Get("from"); v != "" {
+		parsed, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			peerJSON(w, http.StatusBadRequest, appendResponse{Node: n.cfg.NodeID, Error: "bad from"})
+			return
+		}
+		from = parsed
+	}
+	entries := n.rlog.EntriesFrom(from)
+	if entries == nil {
+		entries = []store.Entry{}
+	}
+	n.mu.Lock()
+	token := n.highestToken
+	n.mu.Unlock()
+	peerJSON(w, http.StatusOK, struct {
+		Node    string        `json:"node"`
+		Token   uint64        `json:"token"`
+		Entries []store.Entry `json:"entries"`
+	}{n.cfg.NodeID, token, entries})
+}
+
+func (n *Node) handlePeerStatus(w http.ResponseWriter, r *http.Request) {
+	n.mu.Lock()
+	resp := statusResponse{
+		Node: n.cfg.NodeID, Role: string(n.role), Seq: n.rlog.Seq(),
+		Applied: n.applied, Token: n.highestToken, Leader: n.LeaderURL(),
+	}
+	n.mu.Unlock()
+	peerJSON(w, http.StatusOK, resp)
+}
+
+func peerJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		_ = err // response already committed
+	}
+}
+
+// fetchStatus asks a peer for its current status.
+func (n *Node) fetchStatus(p Peer) (statusResponse, error) {
+	resp, err := n.client.Get(p.URL + peerStatusPath)
+	if err != nil {
+		return statusResponse{}, err
+	}
+	defer resp.Body.Close()
+	var st statusResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
+		return statusResponse{}, err
+	}
+	return st, nil
+}
+
+// fetchSnapshot pulls a peer's history after seq (exclusive).
+func (n *Node) fetchSnapshot(p Peer, from uint64) ([]store.Entry, error) {
+	resp, err := n.client.Get(fmt.Sprintf("%s%s?from=%d", p.URL, peerSnapshotPath, from))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		Entries []store.Entry `json:"entries"`
+		Error   string        `json:"error"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 256<<20)).Decode(&payload); err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: snapshot from %s: %s", p.ID, payload.Error)
+	}
+	return payload.Entries, nil
+}

@@ -1,0 +1,361 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"wavesched/internal/server"
+	"wavesched/internal/store"
+	"wavesched/internal/telemetry"
+)
+
+// Package-level instruments on the default telemetry registry.
+var (
+	telReplEntries = telemetry.Default().Counter("cluster_replication_entries_total",
+		"WAL entries shipped to followers (per follower delivery).")
+	telReplBytes = telemetry.Default().Counter("cluster_replication_bytes_total",
+		"Encoded bytes of WAL entries shipped to followers.")
+	telReplFailures = telemetry.Default().Counter("cluster_peer_append_failures_total",
+		"Replication batches a follower failed to acknowledge.")
+	telFencingRejects = telemetry.Default().Counter("cluster_fencing_rejections_total",
+		"Replicated appends rejected because the sender's fencing token was stale.")
+	telQuorumMisses = telemetry.Default().Counter("cluster_quorum_misses_total",
+		"Appends acknowledged locally but not by the configured replication quorum.")
+	telLeaseRenewals = telemetry.Default().Counter("cluster_lease_renewals_total",
+		"Successful leader lease renewals.")
+	telLeaseLosses = telemetry.Default().Counter("cluster_lease_losses_total",
+		"Lease renewals that discovered the node was deposed.")
+	telTakeovers = telemetry.Default().Counter("cluster_takeovers_total",
+		"Follower promotions to leader.")
+	telTakeoverSeconds = telemetry.Default().Histogram("cluster_takeover_seconds",
+		"Wall time from lease acquisition to serving as leader.", nil)
+)
+
+// ErrNoQuorum reports that an entry is fsynced locally but was not
+// acknowledged by the configured replication quorum. The entry is in
+// the log — state machines must still apply it — but the client ack
+// must signal uncertain durability. It aliases the server package's
+// sentinel so the serving layer can classify it through the WAL
+// interface without importing this package.
+var ErrNoQuorum = server.ErrNoQuorum
+
+// ErrFenced reports that a follower rejected this node's appends
+// because a newer fencing token exists: this node has been deposed.
+var ErrFenced = errors.New("cluster: fenced by a newer leader")
+
+// Peer identifies one other cluster member: its node ID and the base
+// URL of its listener (client API and peer API share one listener).
+type Peer struct {
+	ID  string
+	URL string
+}
+
+type peerState struct {
+	Peer
+	mu    sync.Mutex // serializes sends so batches stay ordered
+	acked uint64     // highest seq this peer has fsynced
+	lag   *telemetry.Gauge
+}
+
+// ReplicatedLog extends store.Log's fsync-before-ack discipline to
+// replicate-before-ack: Append fsyncs locally, ships the entry (plus
+// any backlog the peer is missing) to every follower, and returns once
+// `quorum` members — counting this node — have fsynced it. The full
+// entry history is kept in memory so lagging followers catch up from
+// whatever sequence they acknowledge; the in-memory copy is exactly
+// what store.Open replayed plus what was appended since.
+type ReplicatedLog struct {
+	mu            sync.Mutex
+	dir           string
+	snapshotEvery int
+	log           *store.Log
+	entries       []store.Entry
+	peers         []*peerState
+	quorum        int
+	timeout       time.Duration
+	client        *http.Client
+
+	tokenMu sync.Mutex
+	token   uint64 // fencing token while leading; 0 when following
+	fenced  bool   // a follower rejected us: stop trying to lead
+}
+
+// NewReplicatedLog opens (or creates) the local log in dir and prepares
+// replication to peers. quorum counts this node's own fsync; it is
+// clamped to [1, len(peers)+1], and 0 selects a majority. The replayed
+// history is returned for the serving layer to rebuild state from.
+func NewReplicatedLog(dir string, snapshotEvery int, peers []Peer, quorum int, timeout time.Duration) (*ReplicatedLog, []store.Entry, error) {
+	log, entries, err := store.Open(dir, snapshotEvery)
+	if err != nil {
+		return nil, nil, err
+	}
+	if quorum <= 0 {
+		quorum = (len(peers)+1)/2 + 1
+	}
+	if quorum > len(peers)+1 {
+		quorum = len(peers) + 1
+	}
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	r := &ReplicatedLog{
+		dir: dir, snapshotEvery: snapshotEvery,
+		log: log, entries: entries, quorum: quorum, timeout: timeout,
+		client: &http.Client{Timeout: timeout},
+	}
+	for _, p := range peers {
+		r.peers = append(r.peers, &peerState{
+			Peer: p,
+			lag: telemetry.Default().GaugeWith("cluster_replication_lag_entries",
+				"Entries the leader has fsynced that this follower has not acknowledged.",
+				map[string]string{"peer": p.ID}),
+		})
+	}
+	return r, entries, nil
+}
+
+// Seq returns the local log's sequence number.
+func (r *ReplicatedLog) Seq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.log.Seq()
+}
+
+// SetToken installs the fencing token this node leads under (0 = not
+// leading). Every replication batch carries it.
+func (r *ReplicatedLog) SetToken(token uint64) {
+	r.tokenMu.Lock()
+	r.token = token
+	if token > 0 {
+		r.fenced = false
+	}
+	r.tokenMu.Unlock()
+}
+
+// Fenced reports whether a follower has rejected this node's writes
+// with a newer token since the last SetToken.
+func (r *ReplicatedLog) Fenced() bool {
+	r.tokenMu.Lock()
+	defer r.tokenMu.Unlock()
+	return r.fenced
+}
+
+// Append fsyncs the entry locally, replicates it, and returns once the
+// quorum holds it. On ErrNoQuorum the entry IS durable locally and must
+// still be applied; the caller's client ack should reflect the reduced
+// durability. On ErrFenced the entry is locally durable but the node
+// has been deposed and must step down (its log may now diverge from
+// the cluster's; rejoin runs a snapshot resync).
+func (r *ReplicatedLog) Append(e store.Entry) (store.Entry, error) {
+	r.tokenMu.Lock()
+	token := r.token
+	r.tokenMu.Unlock()
+
+	r.mu.Lock()
+	ne, err := r.log.Append(e)
+	if err != nil {
+		r.mu.Unlock()
+		return store.Entry{}, err
+	}
+	r.entries = append(r.entries, ne)
+	peers := r.peers
+	r.mu.Unlock()
+
+	if len(peers) == 0 {
+		return ne, nil
+	}
+
+	target := ne.Seq
+	results := make(chan bool, len(peers))
+	for _, p := range peers {
+		go func(p *peerState) { results <- r.pump(p, target, token) }(p)
+	}
+	acks := 1 // the local fsync above
+	fenced := false
+	deadline := time.NewTimer(r.timeout + 100*time.Millisecond)
+	defer deadline.Stop()
+	for i := 0; i < len(peers) && acks < r.quorum; i++ {
+		select {
+		case ok := <-results:
+			if ok {
+				acks++
+			} else if r.Fenced() {
+				fenced = true
+			}
+		case <-deadline.C:
+			i = len(peers) // stop waiting; pumps finish in background
+		}
+	}
+	if fenced {
+		return ne, ErrFenced
+	}
+	if acks < r.quorum {
+		telQuorumMisses.Inc()
+		return ne, ErrNoQuorum
+	}
+	return ne, nil
+}
+
+// pump drives one peer to the target sequence. Sends are serialized per
+// peer so batches arrive in order; each batch is everything the peer
+// has not yet acknowledged, which makes catch-up for lagging followers
+// a natural side effect of the next append.
+func (r *ReplicatedLog) pump(p *peerState, target, token uint64) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.acked < target {
+		r.mu.Lock()
+		head := r.log.Seq()
+		batch := append([]store.Entry(nil), r.entries[p.acked:head]...)
+		r.mu.Unlock()
+		if len(batch) == 0 {
+			break
+		}
+		resp, err := r.sendAppend(p, batch, token)
+		if err != nil {
+			telReplFailures.Inc()
+			p.lag.Set(float64(target - p.acked))
+			return false
+		}
+		switch {
+		case resp.Fenced:
+			r.tokenMu.Lock()
+			r.fenced = true
+			r.tokenMu.Unlock()
+			telReplFailures.Inc()
+			return false
+		case resp.Diverged:
+			// The follower's log contradicts ours; it resyncs itself from
+			// a snapshot, so just fail this round and retry on the next
+			// append rather than streaming at it.
+			telReplFailures.Inc()
+			return false
+		case resp.Seq == p.acked:
+			// No progress and no diagnosis: bail rather than spin.
+			telReplFailures.Inc()
+			return false
+		default:
+			// On success resp.Seq is the follower's new head; on a gap it
+			// is whatever the follower actually holds (possibly *lower*
+			// than our bookkeeping if it restarted from an older log) and
+			// the next loop iteration restreams from there.
+			p.acked = resp.Seq
+		}
+		p.lag.Set(float64(target - min64(p.acked, target)))
+	}
+	p.lag.Set(float64(target - min64(p.acked, target)))
+	return p.acked >= target
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// sendAppend ships one batch to a peer and decodes the ack.
+func (r *ReplicatedLog) sendAppend(p *peerState, batch []store.Entry, token uint64) (appendResponse, error) {
+	req := appendRequest{
+		Token:   token,
+		PrevSeq: batch[0].Seq - 1,
+		Entries: batch,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return appendResponse{}, err
+	}
+	httpResp, err := r.client.Post(p.URL+peerAppendPath, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return appendResponse{}, err
+	}
+	defer httpResp.Body.Close()
+	var resp appendResponse
+	if err := json.NewDecoder(io.LimitReader(httpResp.Body, 1<<20)).Decode(&resp); err != nil {
+		return appendResponse{}, err
+	}
+	if !resp.Fenced && !resp.Diverged && resp.Error != "" {
+		return appendResponse{}, fmt.Errorf("peer %s: %s", p.ID, resp.Error)
+	}
+	telReplEntries.Add(int64(len(batch)))
+	telReplBytes.Add(int64(len(body)))
+	return resp, nil
+}
+
+// appendLocal lets the follower side write a replicated batch through
+// the shared in-memory history (one fsync per batch).
+func (r *ReplicatedLog) appendLocal(batch []store.Entry) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.log.AppendBatch(batch); err != nil {
+		return err
+	}
+	r.entries = append(r.entries, batch...)
+	return nil
+}
+
+// ReplaceAll swaps the entire local history for the given one: close
+// the current log, wipe its files, reopen, and write the new history in
+// one batch. The receiver stays valid (the server's WAL handle keeps
+// working), which is what distinguishes this from reopening a new log.
+// Used when this node's log diverged from the cluster's and only a full
+// snapshot resync can reconcile them.
+func (r *ReplicatedLog) ReplaceAll(entries []store.Entry) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.log.Close(); err != nil {
+		return err
+	}
+	if err := store.Wipe(r.dir); err != nil {
+		return err
+	}
+	log, replayed, err := store.Open(r.dir, r.snapshotEvery)
+	if err != nil {
+		return err
+	}
+	if len(replayed) != 0 {
+		log.Close()
+		return fmt.Errorf("cluster: wiped log dir not empty (%d entries)", len(replayed))
+	}
+	if err := log.AppendBatch(entries); err != nil {
+		log.Close()
+		return err
+	}
+	r.log = log
+	r.entries = append([]store.Entry(nil), entries...)
+	return nil
+}
+
+// EntriesFrom returns a copy of the history after seq (exclusive) — the
+// snapshot-transfer payload for joining or diverged followers.
+func (r *ReplicatedLog) EntriesFrom(seq uint64) []store.Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if seq >= uint64(len(r.entries)) {
+		return nil
+	}
+	return append([]store.Entry(nil), r.entries[seq:]...)
+}
+
+// entryAt returns the entry with the given seq, if present.
+func (r *ReplicatedLog) entryAt(seq uint64) (store.Entry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if seq == 0 || seq > uint64(len(r.entries)) {
+		return store.Entry{}, false
+	}
+	return r.entries[seq-1], true
+}
+
+// Close closes the local log.
+func (r *ReplicatedLog) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.log.Close()
+}

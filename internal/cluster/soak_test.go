@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"wavesched/internal/controller"
+	"wavesched/internal/netgraph"
+	"wavesched/internal/server"
+)
+
+// TestFailoverCrashLoopSoak cycles leadership around the ring by
+// repeatedly killing the leader (kill -9 semantics: no lease release,
+// no settlement) and restarting it as a follower, with writes and
+// epochs in every cycle. At the end the surviving cluster's records
+// must be byte-identical to an in-memory control server that saw the
+// same history — replicated replay across failovers loses nothing and
+// invents nothing.
+func TestFailoverCrashLoopSoak(t *testing.T) {
+	const cycles = 3
+	c := newTestCluster(t, 3, 2)
+
+	control, err := server.New(netgraph.Ring(4, 2, 10), server.Config{
+		Controller: controller.Config{Tau: 1, SliceLen: 1, K: 2, Policy: controller.PolicyMaxThroughput},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { control.Close() })
+	hc := control.Handler()
+
+	leaderID := "n1"
+	c.nodes[leaderID].node.ElectTick()
+	if !c.nodes[leaderID].node.IsLeader() {
+		t.Fatal("n1 did not take the empty lease")
+	}
+
+	jobID := 0
+	ticks := 0
+	submitBoth := func(id int, cycle int) {
+		t.Helper()
+		leader := c.nodes[leaderID]
+		j := map[string]any{
+			"id": id, "src": id % 4, "dst": (id + 2) % 4,
+			"size": float64(1 + id%3), "arrival": float64(ticks),
+			"start": float64(ticks), "end": float64(ticks + 10),
+		}
+		if code := leader.submit(t, id, id%4, (id+2)%4, float64(1+id%3), float64(ticks), float64(ticks+10), float64(ticks), false); code != http.StatusAccepted {
+			t.Fatalf("cycle %d: leader submit %d: code %d", cycle, id, code)
+		}
+		body, _ := json.Marshal(j)
+		req, _ := http.NewRequest(http.MethodPost, "/v1/jobs", bytes.NewReader(body))
+		rec := newRecorder()
+		hc.ServeHTTP(rec, req)
+		if rec.status != http.StatusAccepted {
+			t.Fatalf("cycle %d: control submit %d: code %d body %s", cycle, id, rec.status, rec.body.String())
+		}
+	}
+	tickBoth := func() {
+		t.Helper()
+		if err := c.nodes[leaderID].node.Server().Tick(); err != nil {
+			t.Fatalf("leader tick: %v", err)
+		}
+		if err := control.Tick(); err != nil {
+			t.Fatalf("control tick: %v", err)
+		}
+		ticks++
+	}
+
+	next := map[string]string{"n1": "n2", "n2": "n3", "n3": "n1"}
+	for cycle := 0; cycle < cycles; cycle++ {
+		for k := 0; k < 2; k++ {
+			jobID++
+			submitBoth(jobID, cycle)
+		}
+		tickBoth()
+
+		// Everything the leader acked is on every member before the kill
+		// (the soak tests replay fidelity, not quorum-loss semantics).
+		seq := c.nodes[leaderID].node.rlog.Seq()
+		for id, tn := range c.nodes {
+			if id != leaderID {
+				tn.waitCaughtUp(t, seq)
+			}
+		}
+
+		old := leaderID
+		c.nodes[old].kill()
+		time.Sleep(testTTL + 50*time.Millisecond)
+		leaderID = next[old]
+		electLeader(t, c.nodes[leaderID])
+		c.restart(old) // rejoin as a follower, catch up from its own WAL + peers
+		c.nodes[old].waitCaughtUp(t, c.nodes[leaderID].node.rlog.Seq())
+	}
+
+	// Drain in lockstep and compare the final accounting.
+	leader := c.nodes[leaderID].node.Server()
+	for i := 0; ; i++ {
+		ctrl := leader.Controller()
+		_, _, _, committed := ctrl.CommittedSchedule()
+		if ctrl.PendingCount() == 0 && ctrl.ActiveCount() == 0 && !committed {
+			break
+		}
+		if i > 60 {
+			t.Fatal("cluster never drained")
+		}
+		tickBoth()
+	}
+	got := recordsJSON(t, leader)
+	want := recordsJSON(t, control)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("failover soak records diverged after %d cycles:\ngot:  %s\nwant: %s", cycles, got, want)
+	}
+}
+
+// recordsJSON settles a server and returns its canonical record bytes.
+func recordsJSON(t *testing.T, s *server.Server) []byte {
+	t.Helper()
+	recs := s.Records()
+	controller.SortRecordsByFinish(recs)
+	b, err := json.Marshal(controller.RecordsJSON(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

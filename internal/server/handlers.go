@@ -58,6 +58,24 @@ type errorJSON struct {
 	Error string `json:"error"`
 }
 
+// redirectWrite routes a state-changing request away from a follower:
+// 307 to the current leader (method and body preserved), or 503 when no
+// leader is known. Returns true when the request was handled here.
+// Reads are always served locally from replicated state.
+func (s *Server) redirectWrite(w http.ResponseWriter, r *http.Request) bool {
+	cv := s.cfg.Cluster
+	if cv == nil || cv.IsLeader() {
+		return false
+	}
+	if url := cv.LeaderURL(); url != "" {
+		telRedirects.Inc()
+		http.Redirect(w, r, url+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+		return true
+	}
+	writeError(w, http.StatusServiceUnavailable, "no leader elected; retry shortly")
+	return true
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -92,6 +110,9 @@ type submitResponse struct {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.redirectWrite(w, r) {
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "read body: "+err.Error())
@@ -147,11 +168,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Durability before acknowledgement: the fully-resolved job (assigned
-	// ID, stamped arrival) is fsynced to the WAL, then applied, so replay
-	// reproduces this submission exactly.
+	// ID, stamped arrival) is fsynced to the WAL — and, in cluster mode,
+	// replicated to the quorum — then applied, so replay reproduces this
+	// submission exactly. On a quorum miss the entry is already in the
+	// local log, so the state machine must still apply it; only the ack
+	// weakens (503: durable on this node, under-replicated).
+	underReplicated := false
 	if err := s.logEvent(store.Entry{Type: store.EntrySubmit, Job: store.NewJobEntry(j)}); err != nil {
-		writeError(w, http.StatusInternalServerError, "wal append: "+err.Error())
-		return
+		if !errors.Is(err, ErrNoQuorum) {
+			writeError(w, http.StatusInternalServerError, "wal append: "+err.Error())
+			return
+		}
+		underReplicated = true
 	}
 	s.noteID(j.ID)
 	if err := s.ctrl.Submit(j); err != nil {
@@ -166,6 +194,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	telSubmitted.Inc()
+	if underReplicated {
+		writeJSON(w, http.StatusServiceUnavailable, submitResponse{
+			ID: int(j.ID), State: "pending",
+			Error: "accepted on this node but replication quorum not reached; durability is degraded",
+		})
+		return
+	}
 	writeJSON(w, http.StatusAccepted, submitResponse{ID: int(j.ID), State: "pending"})
 }
 
@@ -360,6 +395,9 @@ func (s *Server) handleLinkUp(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleLinkEvent(w http.ResponseWriter, r *http.Request, kind store.EntryType) {
+	if s.redirectWrite(w, r) {
+		return
+	}
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad link id")
@@ -387,7 +425,7 @@ func (s *Server) handleLinkEvent(w http.ResponseWriter, r *http.Request, kind st
 	if req.Time != nil {
 		t = *req.Time
 	}
-	if err := s.logEvent(store.Entry{Type: kind, Time: t, Edge: id}); err != nil {
+	if err := s.logEvent(store.Entry{Type: kind, Time: t, Edge: id}); err != nil && !errors.Is(err, ErrNoQuorum) {
 		writeError(w, http.StatusInternalServerError, "wal append: "+err.Error())
 		return
 	}
@@ -407,13 +445,18 @@ func (s *Server) handleLinkEvent(w http.ResponseWriter, r *http.Request, kind st
 	writeJSON(w, http.StatusOK, linkResponse{Edge: id, Time: t, Down: down})
 }
 
-// healthzResponse is the GET /v1/healthz body.
+// healthzResponse is the GET /v1/healthz body. Role/Node/Leader are
+// present only in cluster mode: followers advertise where writes go,
+// and orchestration uses Role to find the leader.
 type healthzResponse struct {
 	Status     string  `json:"status"`
 	Epochs     int     `json:"epochs"`
 	VirtualNow float64 `json:"virtual_now"`
 	WALSeq     uint64  `json:"wal_seq"`
 	Durable    bool    `json:"durable"`
+	Role       string  `json:"role,omitempty"`
+	Node       string  `json:"node,omitempty"`
+	Leader     string  `json:"leader_url,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -428,6 +471,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.wal != nil {
 		resp.WALSeq = s.wal.Seq()
+	}
+	if cv := s.cfg.Cluster; cv != nil {
+		resp.Node = cv.NodeID()
+		if cv.IsLeader() {
+			resp.Role = "leader"
+		} else {
+			resp.Role = "follower"
+		}
+		resp.Leader = cv.LeaderURL()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

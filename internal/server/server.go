@@ -47,7 +47,37 @@ var (
 		"Epoch ticks executed by the wall-clock loop or Tick.")
 	telIdleSkips = telemetry.Default().Counter("server_idle_ticks_skipped_total",
 		"Ticker firings skipped because the controller was idle.")
+	telRedirects = telemetry.Default().Counter("server_write_redirects_total",
+		"Write requests 307-redirected from a follower to the leader.")
 )
+
+// WAL abstracts the durable event log the server appends to. The
+// single-node daemon uses *store.Log directly; a cluster member plugs
+// in a replicated log whose Append returns only once the configured
+// quorum has fsynced the entry (replicate-before-ack).
+type WAL interface {
+	Append(store.Entry) (store.Entry, error)
+	Seq() uint64
+	Close() error
+}
+
+// ErrNoQuorum mirrors the cluster package's quorum failure without
+// importing it (the dependency points the other way). A WAL Append may
+// wrap this error to say: the entry IS durable locally and MUST still
+// be applied — determinism requires state to follow the local log — but
+// the client acknowledgement should signal reduced durability.
+var ErrNoQuorum = errors.New("server: replication quorum not reached")
+
+// ClusterView is what the serving layer needs to know about cluster
+// membership: enough to gate the epoch loop on leadership and to
+// redirect writes at followers. A nil view means single-node mode.
+type ClusterView interface {
+	NodeID() string
+	IsLeader() bool
+	// LeaderURL returns the current leader's advertised base URL, or ""
+	// when no leader is known.
+	LeaderURL() string
+}
 
 // Config tunes the serving layer. Controller carries the scheduling
 // configuration verbatim.
@@ -83,6 +113,20 @@ type Config struct {
 
 	// Logger receives serving diagnostics; nil selects slog.Default().
 	Logger *slog.Logger
+
+	// Log plugs in an externally managed WAL (cluster mode). When set it
+	// overrides WALDir, and Replay supplies the history to rebuild state
+	// from; the caller keeps ownership of replay ordering and closing
+	// semantics beyond what Close does.
+	Log WAL
+
+	// Replay is the event history to apply at startup when Log is set.
+	Replay []store.Entry
+
+	// Cluster, when non-nil, makes the server role-aware: the epoch loop
+	// only ticks while this node leads, and write endpoints redirect to
+	// the leader otherwise.
+	Cluster ClusterView
 }
 
 // Server is the scheduler daemon's core: controller + WAL + clock.
@@ -91,7 +135,7 @@ type Server struct {
 	g      *netgraph.Graph
 	cfg    Config
 	ctrl   *controller.Controller
-	wal    *store.Log // nil when running in-memory
+	wal    WAL // nil when running in-memory
 	logger *slog.Logger
 
 	maxID     int // highest job ID seen (for auto-assignment)
@@ -140,7 +184,17 @@ func New(g *netgraph.Graph, cfg Config) (*Server, error) {
 			}
 		})
 	}
-	if cfg.WALDir != "" {
+	switch {
+	case cfg.Log != nil:
+		if err := s.replay(cfg.Replay); err != nil {
+			return nil, err
+		}
+		s.wal = cfg.Log
+		if len(cfg.Replay) > 0 {
+			logger.Info("server: replayed event log",
+				"entries", len(cfg.Replay), "epochs", ctrl.Epochs, "t", ctrl.Now())
+		}
+	case cfg.WALDir != "":
 		wal, entries, err := store.Open(cfg.WALDir, cfg.SnapshotEvery)
 		if err != nil {
 			return nil, err
@@ -163,36 +217,87 @@ func New(g *netgraph.Graph, cfg Config) (*Server, error) {
 // pre-restart state.
 func (s *Server) replay(entries []store.Entry) error {
 	for _, e := range entries {
-		switch e.Type {
-		case store.EntrySubmit:
-			if e.Job == nil {
-				return fmt.Errorf("server: replay entry %d: submit without job", e.Seq)
-			}
-			j := e.Job.Job()
-			s.noteID(j.ID)
-			if err := s.ctrl.Submit(j); err != nil && !errors.Is(err, controller.ErrTooLate) {
-				return fmt.Errorf("server: replay entry %d: %w", e.Seq, err)
-			}
-		case store.EntryEpoch:
-			if err := s.ctrl.RunEpoch(); err != nil {
-				return fmt.Errorf("server: replay entry %d: %w", e.Seq, err)
-			}
-		case store.EntryLinkDown:
-			if err := s.ctrl.LinkDown(netgraph.EdgeID(e.Edge), e.Time); err != nil {
-				return fmt.Errorf("server: replay entry %d: %w", e.Seq, err)
-			}
-		case store.EntryLinkUp:
-			if err := s.ctrl.LinkUp(netgraph.EdgeID(e.Edge), e.Time); err != nil {
-				return fmt.Errorf("server: replay entry %d: %w", e.Seq, err)
-			}
-		case store.EntryAnomaly:
-			// Informational: records that a flight-recorder dump happened.
-			// The controller's audit history regenerates deterministically
-			// from the other entries, so there is nothing to re-apply.
-		default:
-			return fmt.Errorf("server: replay entry %d: unknown type %q", e.Seq, e.Type)
+		if err := s.applyEntry(e); err != nil {
+			return err
 		}
 	}
+	return nil
+}
+
+// applyEntry applies one already-durable log entry to the controller —
+// the shared spine of restart replay and follower stream application.
+// It never writes to the WAL. Caller holds s.mu (or the server is not
+// yet shared).
+func (s *Server) applyEntry(e store.Entry) error {
+	switch e.Type {
+	case store.EntrySubmit:
+		if e.Job == nil {
+			return fmt.Errorf("server: replay entry %d: submit without job", e.Seq)
+		}
+		j := e.Job.Job()
+		s.noteID(j.ID)
+		if err := s.ctrl.Submit(j); err != nil && !errors.Is(err, controller.ErrTooLate) {
+			return fmt.Errorf("server: replay entry %d: %w", e.Seq, err)
+		}
+	case store.EntryEpoch:
+		if err := s.ctrl.RunEpoch(); err != nil {
+			return fmt.Errorf("server: replay entry %d: %w", e.Seq, err)
+		}
+		s.epochWall = time.Now()
+	case store.EntryLinkDown:
+		if err := s.ctrl.LinkDown(netgraph.EdgeID(e.Edge), e.Time); err != nil {
+			return fmt.Errorf("server: replay entry %d: %w", e.Seq, err)
+		}
+	case store.EntryLinkUp:
+		if err := s.ctrl.LinkUp(netgraph.EdgeID(e.Edge), e.Time); err != nil {
+			return fmt.Errorf("server: replay entry %d: %w", e.Seq, err)
+		}
+	case store.EntryAnomaly, store.EntryLeadership:
+		// Informational: a flight-recorder dump or a leadership change.
+		// The controller's audit history regenerates deterministically
+		// from the other entries, so there is nothing to re-apply.
+	default:
+		return fmt.Errorf("server: replay entry %d: unknown type %q", e.Seq, e.Type)
+	}
+	return nil
+}
+
+// Apply applies one replicated, already-fsynced entry to the local
+// state machine — the follower-side mirror of what the leader did when
+// it appended the entry. Entries must arrive in log order.
+func (s *Server) Apply(e store.Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("server: closed")
+	}
+	return s.applyEntry(e)
+}
+
+// Reset discards the server's state and rebuilds it by replaying the
+// given history through a fresh controller — the recovery path for a
+// cluster follower whose local log diverged from the cluster's and was
+// replaced wholesale. The WAL handle is untouched: the caller has
+// already swapped the underlying log contents to match entries.
+func (s *Server) Reset(entries []store.Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("server: closed")
+	}
+	ctrl, err := controller.New(s.g, s.cfg.Controller)
+	if err != nil {
+		return err
+	}
+	oldCtrl, oldSeen, oldMax := s.ctrl, s.seen, s.maxID
+	s.ctrl = ctrl
+	s.seen = make(map[job.ID]bool)
+	s.maxID = 0
+	if err := s.replay(entries); err != nil {
+		s.ctrl, s.seen, s.maxID = oldCtrl, oldSeen, oldMax
+		return err
+	}
+	s.epochWall = time.Now()
 	return nil
 }
 
@@ -246,8 +351,18 @@ func (s *Server) tickLocked() error {
 	if s.closed {
 		return fmt.Errorf("server: closed")
 	}
+	if s.cfg.Cluster != nil && !s.cfg.Cluster.IsLeader() {
+		return fmt.Errorf("server: not the leader; epochs advance via the replicated stream")
+	}
 	if err := s.logEvent(store.Entry{Type: store.EntryEpoch}); err != nil {
-		return err
+		if !errors.Is(err, ErrNoQuorum) {
+			return err
+		}
+		// The epoch boundary is fsynced locally but under-replicated.
+		// State must follow the local log (determinism), so run the epoch
+		// anyway; the lease/fencing machinery deposes us if we are truly
+		// partitioned.
+		s.logger.Warn("server: epoch under-replicated", "err", err)
 	}
 	if err := s.ctrl.RunEpoch(); err != nil {
 		return err
@@ -288,6 +403,13 @@ func (s *Server) Run(ctx context.Context) error {
 			if s.closed {
 				s.mu.Unlock()
 				return nil
+			}
+			if s.cfg.Cluster != nil && !s.cfg.Cluster.IsLeader() {
+				// Followers' epochs arrive through the replicated stream;
+				// ticking locally would fork the log.
+				s.epochWall = time.Now()
+				s.mu.Unlock()
+				continue
 			}
 			if !s.busy() {
 				telIdleSkips.Inc()

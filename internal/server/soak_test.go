@@ -1,0 +1,81 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+
+	"wavesched/internal/job"
+	"wavesched/internal/netgraph"
+)
+
+// TestCrashLoopSoak hammers the durability path: many consecutive
+// kill -9 + restart cycles, each adding work and an epoch, must replay
+// to records byte-identical to one in-memory server that lived through
+// the whole history. A single restart can mask ratchet bugs (state that
+// survives one replay but corrupts the next); a loop cannot.
+func TestCrashLoopSoak(t *testing.T) {
+	const cycles = 6
+	dir := t.TempDir()
+	durable := Config{WALDir: dir, SnapshotEvery: 3} // compactions mid-loop
+	g := netgraph.Ring(4, 2, 10)
+
+	control := newTestServer(t, netgraph.Ring(4, 2, 10), Config{})
+	hc := control.Handler()
+
+	jobID := 0
+	for cycle := 0; cycle < cycles; cycle++ {
+		s := newTestServer(t, g, durable)
+		h := s.Handler()
+		for k := 0; k < 2; k++ {
+			jobID++
+			j := job.Job{
+				ID:  job.ID(jobID),
+				Src: netgraph.NodeID(jobID % 4), Dst: netgraph.NodeID((jobID + 2) % 4),
+				Size: float64(1 + jobID%3), Arrival: float64(cycle),
+				Start: float64(cycle), End: float64(cycle + 10),
+			}
+			for name, hh := range map[string]http.Handler{"durable": h, "control": hc} {
+				if rec := do(t, hh, http.MethodPost, "/v1/jobs", submitBody(j), nil); rec.Code != http.StatusAccepted {
+					t.Fatalf("cycle %d %s submit %d: code %d body %s", cycle, name, jobID, rec.Code, rec.Body.String())
+				}
+			}
+		}
+		if err := s.Tick(); err != nil {
+			t.Fatalf("cycle %d tick: %v", cycle, err)
+		}
+		if err := control.Tick(); err != nil {
+			t.Fatalf("cycle %d control tick: %v", cycle, err)
+		}
+		// kill -9: the WAL handle dies with the process; nothing settles.
+		if err := s.wal.Close(); err != nil {
+			t.Fatalf("cycle %d kill: %v", cycle, err)
+		}
+		s.closed = true
+	}
+
+	// Final resurrection drains to completion; the control drains in
+	// lockstep so both logs hold the same epoch count.
+	final := newTestServer(t, g, durable)
+	for i := 0; ; i++ {
+		finalIdle := final.ctrl.PendingCount() == 0 && final.ctrl.ActiveCount() == 0
+		_, _, _, committed := final.ctrl.CommittedSchedule()
+		if finalIdle && !committed {
+			break
+		}
+		if i > 60 {
+			t.Fatal("final server never drained")
+		}
+		if err := final.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		if err := control.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := recordsBytes(t, final.Records())
+	want := recordsBytes(t, control.Records())
+	if !bytes.Equal(got, want) {
+		t.Fatalf("crash-loop records diverged after %d cycles:\ngot:  %s\nwant: %s", cycles, got, want)
+	}
+}

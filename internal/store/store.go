@@ -67,6 +67,12 @@ const (
 	// the state and the controller's audit records regenerate
 	// deterministically from the other entries.
 	EntryAnomaly EntryType = "anomaly"
+	// EntryLeadership: a cluster leadership change (Node took over with
+	// fencing token Token; Reason is "elected" or "deposed"). Like
+	// anomaly entries these are informational history — replay skips
+	// them — but they make every failover auditable from the log alone,
+	// and the flight recorder can dump around them.
+	EntryLeadership EntryType = "leadership"
 )
 
 // JobEntry is the job wire format inside a submit entry, mirroring the
@@ -107,8 +113,10 @@ type Entry struct {
 	Time   float64   `json:"t,omitempty"`      // link events: virtual event time
 	Edge   int       `json:"edge"`             // link events: failed/repaired edge
 	Job    *JobEntry `json:"job,omitempty"`    // submit entries
-	Reason string    `json:"reason,omitempty"` // anomaly entries: dump trigger
+	Reason string    `json:"reason,omitempty"` // anomaly entries: dump trigger; leadership entries: elected/deposed
 	Path   string    `json:"path,omitempty"`   // anomaly entries: dump file
+	Node   string    `json:"node,omitempty"`   // leadership entries: node ID
+	Token  uint64    `json:"token,omitempty"`  // leadership entries: fencing token
 }
 
 const (
@@ -172,9 +180,15 @@ func Open(dir string, snapshotEvery int) (*Log, []Entry, error) {
 		}
 	}
 
+	_, statErr := os.Stat(walPath)
 	wal, err := os.OpenFile(walPath, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	if os.IsNotExist(statErr) {
+		// The segment file was just created: fsync the directory so the
+		// new name itself survives power loss, not only its contents.
+		syncDir(dir)
 	}
 	// Drop a torn trailing line before appending anything after it.
 	if fi, err := wal.Stat(); err == nil && fi.Size() > goodOffset {
@@ -278,6 +292,53 @@ func (l *Log) Append(e Entry) (Entry, error) {
 	return e, nil
 }
 
+// AppendBatch writes a run of pre-sequenced entries — a replication
+// batch shipped by a cluster leader — with a single fsync covering the
+// whole run. Unlike Append, the entries' sequence numbers are assigned
+// by the caller and must continue this log exactly (first entry at
+// Seq()+1, contiguous after that); a mismatch means the streams have
+// diverged and nothing is written.
+func (l *Log) AppendBatch(entries []Entry) error {
+	if l.wal == nil {
+		return fmt.Errorf("store: log is closed")
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	var buf []byte
+	for i, e := range entries {
+		if e.Seq != l.seq+uint64(i)+1 {
+			return fmt.Errorf("store: batch entry %d has seq %d, want %d (stream diverged)", i, e.Seq, l.seq+uint64(i)+1)
+		}
+		b, err := json.Marshal(e)
+		if err != nil {
+			return fmt.Errorf("store: marshal entry: %w", err)
+		}
+		buf = append(buf, b...)
+		buf = append(buf, '\n')
+	}
+	if _, err := l.wal.Write(buf); err != nil {
+		return fmt.Errorf("store: append batch: %w", err)
+	}
+	t0 := time.Now()
+	if err := l.wal.Sync(); err != nil {
+		return fmt.Errorf("store: fsync: %w", err)
+	}
+	telFsync.ObserveSince(t0)
+	telAppends.Add(int64(len(entries)))
+	l.seq = entries[len(entries)-1].Seq
+	l.segEntries += len(entries)
+	l.segBytes += int64(len(buf))
+	telWALBytes.Set(float64(l.segBytes))
+
+	if l.snapshotEvery > 0 && l.segEntries >= l.snapshotEvery {
+		if err := l.compact(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // compact folds the live WAL segment into the snapshot: write
 // snapshot+wal to a temp file, fsync, rename over the snapshot, then
 // truncate the WAL. A crash between the rename and the truncate leaves
@@ -322,6 +383,11 @@ func (l *Log) compact() error {
 	if err := os.Rename(tmpPath, snapPath); err != nil {
 		return fmt.Errorf("store: compact: %w", err)
 	}
+	// Fsync the directory immediately after the rename: without it the
+	// rename may not be durable, and a power loss could resurrect the old
+	// snapshot after the WAL below has already been truncated — losing
+	// the folded segment entirely.
+	syncDir(l.dir)
 	if err := l.wal.Truncate(0); err != nil {
 		return fmt.Errorf("store: compact: truncate wal: %w", err)
 	}
@@ -336,6 +402,20 @@ func (l *Log) compact() error {
 	l.segBytes = 0
 	telWALBytes.Set(0)
 	telSnapshots.Inc()
+	return nil
+}
+
+// Wipe removes the log files from dir — a closed log only. A cluster
+// follower whose log has diverged from the elected leader's (it was a
+// leader itself and kept an unreplicated suffix) wipes and re-pulls the
+// authoritative history via snapshot transfer.
+func Wipe(dir string) error {
+	for _, name := range []string{snapName, walName, snapName + ".tmp"} {
+		if err := os.Remove(filepath.Join(dir, name)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("store: wipe: %w", err)
+		}
+	}
+	syncDir(dir)
 	return nil
 }
 

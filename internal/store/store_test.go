@@ -225,6 +225,120 @@ func TestSeqGapRejected(t *testing.T) {
 	}
 }
 
+// TestRenamedDirReopens is the regression test for the compaction
+// durability fix: the snapshot rename (and the WAL segment creation)
+// must be anchored by a directory fsync, and nothing in the log may
+// depend on the directory's absolute path — a store directory renamed
+// wholesale must reopen and replay bit-for-bit. The rename also forces
+// the dirent metadata through the same path a post-power-loss remount
+// would take.
+func TestRenamedDirReopens(t *testing.T) {
+	parent := t.TempDir()
+	dir := filepath.Join(parent, "a")
+	l, _, err := Open(dir, 2) // small: compaction (and its rename) must trigger
+	if err != nil {
+		t.Fatal(err)
+	}
+	written := appendAll(t, l,
+		Entry{Type: EntrySubmit, Job: NewJobEntry(testJob(1))},
+		Entry{Type: EntryEpoch},
+		Entry{Type: EntryLeadership, Node: "n2", Token: 7, Reason: "elected"},
+		Entry{Type: EntryEpoch},
+		Entry{Type: EntryEpoch},
+	)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapName)); err != nil {
+		t.Fatalf("snapshot missing after compaction: %v", err)
+	}
+
+	moved := filepath.Join(parent, "b")
+	if err := os.Rename(dir, moved); err != nil {
+		t.Fatal(err)
+	}
+	l2, replayed, err := Open(moved, 2)
+	if err != nil {
+		t.Fatalf("open renamed dir: %v", err)
+	}
+	defer l2.Close()
+	if !reflect.DeepEqual(replayed, written) {
+		t.Fatalf("replay from renamed dir: %+v\nwant %+v", replayed, written)
+	}
+	if replayed[2].Type != EntryLeadership || replayed[2].Token != 7 || replayed[2].Node != "n2" {
+		t.Fatalf("leadership entry did not round-trip: %+v", replayed[2])
+	}
+	if e, err := l2.Append(Entry{Type: EntryEpoch}); err != nil || e.Seq != 6 {
+		t.Fatalf("append after rename: seq %d err %v, want seq 6", e.Seq, err)
+	}
+}
+
+// TestAppendBatch covers the follower replication path: pre-sequenced
+// entries land with one fsync, contiguity is enforced, and the batch
+// participates in compaction and replay like any other appends.
+func TestAppendBatch(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := appendAll(t, l, Entry{Type: EntryEpoch})
+	batch := []Entry{
+		{Seq: 2, Type: EntrySubmit, Job: NewJobEntry(testJob(9))},
+		{Seq: 3, Type: EntryEpoch},
+	}
+	if err := l.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if l.Seq() != 3 {
+		t.Errorf("seq after batch = %d, want 3", l.Seq())
+	}
+	// Gapped and overlapping batches are stream divergence: rejected
+	// whole, nothing written.
+	if err := l.AppendBatch([]Entry{{Seq: 5, Type: EntryEpoch}}); err == nil {
+		t.Fatal("gapped batch accepted")
+	}
+	if err := l.AppendBatch([]Entry{{Seq: 3, Type: EntryEpoch}}); err == nil {
+		t.Fatal("overlapping batch accepted")
+	}
+	if err := l.AppendBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, replayed, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]Entry{}, local...), batch...)
+	if !reflect.DeepEqual(replayed, want) {
+		t.Fatalf("replayed %+v\nwant %+v", replayed, want)
+	}
+}
+
+func TestWipe(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, Entry{Type: EntryEpoch}, Entry{Type: EntryEpoch}, Entry{Type: EntryEpoch})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Wipe(dir); err != nil {
+		t.Fatal(err)
+	}
+	_, replayed, err := Open(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != 0 {
+		t.Fatalf("wiped dir replayed %d entries", len(replayed))
+	}
+}
+
 func TestClosedLogRejectsAppends(t *testing.T) {
 	dir := t.TempDir()
 	l, _, err := Open(dir, 0)
