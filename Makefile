@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race race-serve cluster-test bench bench-smoke bench-telemetry bench-trace-guard clean
+.PHONY: check vet build test race race-serve cluster-test bench bench-smoke bench-admission bench-telemetry bench-trace-guard clean
 
 check: vet build race-serve race cluster-test
 
@@ -46,8 +46,16 @@ bench:
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkSolveTelemetryOff$$|BenchmarkRETWarmVsCold|BenchmarkRETDecomposition' -benchtime 1x .
 	$(GO) run ./cmd/benchfig -quick -fig 3 -json /tmp/benchsmoke.json -baseline BENCH_04.json -max-regress 20
+	$(MAKE) bench-admission
 	$(MAKE) bench-trace-guard
 	$(MAKE) bench-cluster-guard
+
+# Admission-subsystem sustained-load smoke: 5000 durable submissions
+# through the batched intake path vs the per-request mutex path, plus the
+# incremental re-plan timing. Fails if batched intake throughput drops
+# more than 10% against the committed BENCH_08.json baseline.
+bench-admission:
+	$(GO) run ./cmd/benchfig -quick -fig admission -json /tmp/benchadmission.json -baseline BENCH_08.json -max-regress 10
 
 # Tracing-overhead guard: the Fig. 4 RET solve with JSONL span tracing
 # enabled must stay within 5% of the tracing-off path (the per-span work

@@ -59,15 +59,15 @@ type benchReport struct {
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, or all")
-		quick  = flag.Bool("quick", false, "use the reduced quick scale")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		nodes  = flag.Int("nodes", 0, "override random-network node count")
-		pairs  = flag.Int("pairs", 0, "override random-network link-pair count")
-		jobs   = flag.Int("jobs", 0, "override job count")
-		slices = flag.Int("slices", 0, "override horizon slices")
-		k      = flag.Int("k", 0, "override paths per job")
-		seeds  = flag.String("seeds", "", "comma-separated replication seeds")
+		fig        = flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, or all")
+		quick      = flag.Bool("quick", false, "use the reduced quick scale")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		nodes      = flag.Int("nodes", 0, "override random-network node count")
+		pairs      = flag.Int("pairs", 0, "override random-network link-pair count")
+		jobs       = flag.Int("jobs", 0, "override job count")
+		slices     = flag.Int("slices", 0, "override horizon slices")
+		k          = flag.Int("k", 0, "override paths per job")
+		seeds      = flag.String("seeds", "", "comma-separated replication seeds")
 		waves      = flag.String("waves", "", "comma-separated wavelength sweep for figs 1-2")
 		counts     = flag.String("counts", "", "comma-separated job-count sweep for figs 3-4")
 		jsonOut    = flag.String("json", "", "write headline metrics and ns/op per figure to this file (e.g. BENCH_05.json)")
@@ -214,6 +214,30 @@ func main() {
 		render(experiments.RETTable(
 			"Fig. 4 + §III-B.1 — RET: average end time (slices) and fraction finished", rows))
 	}
+	if want("admission") && *fig != "all" {
+		// Explicit selection only: the sustained-load half hammers a real
+		// WAL with thousands of durable submissions, which would dominate
+		// an -fig all run.
+		// The load half always runs at the acceptance scale (5000 queued
+		// jobs, 32 writers) — it takes seconds, and a fixed scale keeps
+		// -quick gate runs comparable with the committed baseline.
+		start := time.Now()
+		res, err := experiments.AdmissionLoad(sc, 5000, 32)
+		if err != nil {
+			fatal("admission: %v", err)
+		}
+		record("admission", time.Since(start), map[string]float64{
+			"jobs_per_sec":        res.BatchedPerSec,
+			"jobs_per_sec_inline": res.InlinePerSec,
+			"speedup_vs_mutex":    res.Speedup,
+			"full_ms":             res.FullMs,
+			"incr_ms":             res.IncrMs,
+			"incr_cost_ratio":     res.IncrRatio,
+			"components_reused":   float64(res.Reused),
+		})
+		render(experiments.AdmissionTable(
+			"Admission — sustained-load intake throughput and incremental re-planning", res))
+	}
 	if want("decomp") {
 		start := time.Now()
 		rows, err := experiments.CompareDecomposition(sc, nil, experiments.RETConfig{})
@@ -330,10 +354,23 @@ func compareBaseline(path string, fresh benchReport, maxPct float64) error {
 		if !ok {
 			continue
 		}
-		check(name, "ns_per_op", float64(br.NsPerOp), float64(fr.NsPerOp))
+		// Throughput harnesses (figures that publish jobs_per_sec) are
+		// gated on that metric below; their wall time also includes a
+		// deliberately-slow control path, so ns_per_op is not a signal.
+		if _, isThroughput := br.Metrics["jobs_per_sec"]; !isThroughput {
+			check(name, "ns_per_op", float64(br.NsPerOp), float64(fr.NsPerOp))
+		}
 		if oldMS, ok := br.Metrics["lp_ms"]; ok {
 			if newMS, ok := fr.Metrics["lp_ms"]; ok {
 				check(name, "lp_ms", oldMS, newMS)
+			}
+		}
+		// Throughput metrics regress in the other direction: a DROP in
+		// jobs/sec is the failure. Feed the check the inverted values so
+		// the shared percent math applies.
+		if oldTP, ok := br.Metrics["jobs_per_sec"]; ok && oldTP > 0 {
+			if newTP, ok := fr.Metrics["jobs_per_sec"]; ok && newTP > 0 {
+				check(name, "jobs_per_sec (inverted)", 1/oldTP, 1/newTP)
 			}
 		}
 	}

@@ -10,10 +10,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"wavesched/internal/admission"
 	"wavesched/internal/cluster"
 	"wavesched/internal/controller"
 	"wavesched/internal/netgraph"
@@ -47,6 +49,16 @@ type serveOptions struct {
 	TracePath     string
 	FlightFrames  int
 	FlightDir     string
+	Incremental   bool
+
+	// Admission subsystem (batched intake, tenant quotas, priority
+	// classes). Enabled by default; -admission=false restores the
+	// original inline per-request submit path.
+	AdmissionOn   bool
+	QuotasRaw     []string
+	PriorityRaw   string
+	RequireTenant bool
+	Admission     *admission.Config
 
 	// Cluster mode (enabled by -node-id).
 	NodeID     string
@@ -77,6 +89,14 @@ func parseServeFlags(args []string) (serveOptions, error) {
 	fs.StringVar(&o.TracePath, "trace", "", "write solver/scheduler trace spans (JSONL) to this file")
 	fs.IntVar(&o.FlightFrames, "flight-frames", 64, "epochs of full solve detail retained by the flight recorder (0 = off)")
 	fs.StringVar(&o.FlightDir, "flight-dir", "", "directory for flight-recorder anomaly dumps (default: the WAL directory)")
+	fs.BoolVar(&o.Incremental, "incremental", false, "re-plan incrementally: churn re-solves only its connected component, untouched components reuse their cached plans (byte-identical under deterministic pricing)")
+	fs.BoolVar(&o.AdmissionOn, "admission", true, "route submissions through the batched admission subsystem (intake queue, tenant quotas, priority classes)")
+	fs.Func("quota", "tenant policy as [tenant:]k=v pairs (rate, burst, max_jobs, max_demand); no tenant prefix sets the default policy; repeatable, e.g. -quota cms:rate=50,max_jobs=200 -quota rate=10", func(v string) error {
+		o.QuotasRaw = append(o.QuotasRaw, v)
+		return nil
+	})
+	fs.StringVar(&o.PriorityRaw, "priority", "", "priority-class weight multipliers as class=mult pairs, e.g. critical=8,standard=1,scavenger=0.125 (empty = built-in defaults)")
+	fs.BoolVar(&o.RequireTenant, "require-tenant", false, "reject submissions whose tenant has no -quota entry (403)")
 	fs.StringVar(&o.NodeID, "node-id", "", "cluster member name; enables HA cluster mode (requires -cluster-dir, -advertise, -wal)")
 	fs.StringVar(&o.Advertise, "advertise", "", "base URL peers and redirected clients reach this node at, e.g. http://10.0.0.1:8080")
 	fs.StringVar(&o.PeersRaw, "peers", "", "other cluster members as id=url pairs, comma-separated: n2=http://host2:8080,n3=http://host3:8080")
@@ -91,6 +111,15 @@ func parseServeFlags(args []string) (serveOptions, error) {
 	}
 	if o.Tau <= 0 {
 		return o, fmt.Errorf("serve: -tau must be positive")
+	}
+	if o.AdmissionOn {
+		acfg, err := buildAdmissionConfig(o)
+		if err != nil {
+			return o, err
+		}
+		o.Admission = acfg
+	} else if len(o.QuotasRaw) > 0 || o.PriorityRaw != "" || o.RequireTenant {
+		return o, fmt.Errorf("serve: -quota/-priority/-require-tenant need the admission subsystem (-admission=true)")
 	}
 	if o.NodeID != "" {
 		if o.ClusterDir == "" {
@@ -111,6 +140,98 @@ func parseServeFlags(args []string) (serveOptions, error) {
 		return o, fmt.Errorf("serve: -peers/-cluster-dir require -node-id (cluster mode)")
 	}
 	return o, nil
+}
+
+// buildAdmissionConfig assembles the admission subsystem's policy from
+// the -quota/-priority/-require-tenant flags.
+func buildAdmissionConfig(o serveOptions) (*admission.Config, error) {
+	cfg := &admission.Config{RequireTenant: o.RequireTenant}
+	for _, raw := range o.QuotasRaw {
+		tenant, tp, err := parseQuota(raw)
+		if err != nil {
+			return nil, err
+		}
+		if tenant == "" {
+			cfg.Default = tp
+			continue
+		}
+		if cfg.Tenants == nil {
+			cfg.Tenants = make(map[string]admission.TenantPolicy)
+		}
+		cfg.Tenants[tenant] = tp
+	}
+	if o.PriorityRaw != "" {
+		weights, err := parseClassWeights(o.PriorityRaw)
+		if err != nil {
+			return nil, err
+		}
+		cfg.ClassWeights = weights
+	}
+	return cfg, nil
+}
+
+// parseQuota decodes one -quota value: "[tenant:]k=v,k=v" with keys
+// rate, burst, max_jobs, max_demand. An empty tenant names the default
+// policy applied to unconfigured tenants.
+func parseQuota(raw string) (string, admission.TenantPolicy, error) {
+	tenant, spec := "", raw
+	if i := strings.IndexByte(raw, ':'); i >= 0 {
+		tenant, spec = raw[:i], raw[i+1:]
+	}
+	var tp admission.TenantPolicy
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return "", tp, fmt.Errorf("serve: bad -quota entry %q (want k=v)", part)
+		}
+		var err error
+		switch k {
+		case "rate":
+			tp.RatePerSec, err = strconv.ParseFloat(v, 64)
+		case "burst":
+			tp.Burst, err = strconv.ParseFloat(v, 64)
+		case "max_jobs":
+			tp.MaxJobs, err = strconv.Atoi(v)
+		case "max_demand":
+			tp.MaxDemand, err = strconv.ParseFloat(v, 64)
+		default:
+			return "", tp, fmt.Errorf("serve: unknown -quota key %q (want rate, burst, max_jobs, or max_demand)", k)
+		}
+		if err != nil {
+			return "", tp, fmt.Errorf("serve: bad -quota value %q: %v", part, err)
+		}
+	}
+	return tenant, tp, nil
+}
+
+// parseClassWeights decodes the -priority value: "class=mult" pairs
+// overriding the built-in stage-2 weight multipliers.
+func parseClassWeights(raw string) (map[admission.Class]float64, error) {
+	out := make(map[admission.Class]float64)
+	for _, part := range strings.Split(raw, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("serve: bad -priority entry %q (want class=multiplier)", part)
+		}
+		class, err := admission.ParseClass(k)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %v", err)
+		}
+		mult, err := strconv.ParseFloat(v, 64)
+		if err != nil || mult <= 0 {
+			return nil, fmt.Errorf("serve: bad -priority multiplier %q (want a positive number)", part)
+		}
+		out[class] = mult
+	}
+	return out, nil
 }
 
 // parsePeers decodes "id=url,id=url", skipping this node's own entry so
@@ -161,12 +282,14 @@ func serverConfig(o serveOptions) (server.Config, error) {
 			Tau: o.Tau.Seconds(), SliceLen: o.SliceLen, K: o.K,
 			Alpha: o.Alpha, BMax: o.BMax, Policy: policy,
 			Solver: lpOptions(), Tracer: tracer, Monolithic: o.Monolithic,
+			Incremental: o.Incremental,
 		},
 		Period:        o.Tau,
 		WALDir:        o.WALDir,
 		SnapshotEvery: o.SnapshotEvery,
 		FlightFrames:  o.FlightFrames,
 		FlightDir:     o.FlightDir,
+		Admission:     o.Admission,
 	}, nil
 }
 

@@ -135,6 +135,23 @@ type Config struct {
 	// decompose into independent components — the A/B switch against the
 	// decomposed parallel path (the default).
 	Monolithic bool
+	// Incremental re-plans each epoch from the previous epoch's
+	// per-component plan cache (PolicyMaxThroughput/PolicyReject only):
+	// decomposition components that are structurally unchanged since the
+	// last solve — same jobs, same residual demand, windows shifted by
+	// the epoch step — skip both LP stages and reuse their cached
+	// solution, so steady-state epoch cost scales with the churned
+	// components (arrivals, completions, actively-transferring jobs)
+	// rather than the whole fleet. The committed schedules are
+	// byte-identical to the full re-solve under a deterministic pricing
+	// rule; see schedule.MaxThroughputIncremental.
+	Incremental bool
+	// PriorityRank, when non-nil, orders pending requests ahead of
+	// admission: lower ranks are considered first (ties keep arrival
+	// order), so under PolicyReject the feasible admission prefix prefers
+	// critical work and sheds scavenger work first. Nil keeps pure
+	// arrival order.
+	PriorityRank func(job.Job) int
 	// FlightRecorder, when non-nil, receives one EpochFrame per epoch
 	// (probe trajectories, per-component b̂, warm-start and timeout
 	// counter deltas, degradation tier) and is auto-dumped to disk when
@@ -268,6 +285,12 @@ type Controller struct {
 	// reject the structural mismatch anyway), and a link failure evicts
 	// only the components whose paths used the failed edge.
 	warmRET map[string]*schedule.ComponentBasis
+	// planCache carries per-component stage-1/stage-2 plans between
+	// epochs under Config.Incremental, replaced wholesale by every
+	// successful policy solve. Structural matching makes stale entries
+	// harmless, but link events clear it anyway (the residual-graph swap
+	// would defeat every match until the next full solve regardless).
+	planCache *schedule.PlanCache
 
 	disruptions []Disruption
 
@@ -432,6 +455,42 @@ func (c *Controller) Submit(j job.Job) error {
 	})
 	c.pending = append(c.pending, j)
 	return nil
+}
+
+// SubmitBatch buffers one admission batch for the next scheduling
+// instant: each job goes through the same validation, too-late rejection,
+// and audit trail as Submit, and the returned slice pairs each job with
+// its outcome (nil = buffered). A rejection never blocks the rest of the
+// batch — this is the controller half of the admission subsystem's
+// batched intake, where one WAL entry and one mutex acquisition admit an
+// entire intake drain.
+func (c *Controller) SubmitBatch(jobs []job.Job) []error {
+	errs := make([]error, len(jobs))
+	for i, j := range jobs {
+		errs[i] = c.Submit(j)
+	}
+	return errs
+}
+
+// RecordCount reports how many final records exist as of the last
+// settlement, without settling or copying. With RecordsFrom it gives
+// upper layers (the admission quota ledger) a cursor over the record
+// stream: count once, read only the new suffix.
+func (c *Controller) RecordCount() int { return len(c.records) }
+
+// RecordsFrom returns a copy of the final records from index i on, as of
+// the last settlement, without settling. Like CurrentRecords it never
+// mutates controller state.
+func (c *Controller) RecordsFrom(i int) []Record {
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(c.records) {
+		return nil
+	}
+	out := make([]Record, len(c.records)-i)
+	copy(out, c.records[i:])
+	return out
 }
 
 // Records returns the accounting for all finished (or rejected) jobs. Any
@@ -1095,11 +1154,18 @@ func (c *Controller) logDegrade(now float64, msg string, err error) {
 func (c *Controller) solvePolicy(inst *schedule.Instance, fresh []*activeJob, now float64) (*schedule.Assignment, error) {
 	switch c.cfg.Policy {
 	case PolicyMaxThroughput, PolicyReject:
-		res, err := schedule.MaxThroughput(inst, schedule.Config{
+		scfg := schedule.Config{
 			Alpha: c.cfg.Alpha, AlphaGrowth: 0.1, Solver: c.solverOpts(),
 			Weight: c.cfg.Weight, WarmStart: c.cfg.WarmStart,
 			Monolithic: c.cfg.Monolithic,
-		})
+		}
+		var res *schedule.Result
+		var err error
+		if c.cfg.Incremental {
+			res, c.planCache, err = schedule.MaxThroughputIncremental(inst, scfg, c.planCache)
+		} else {
+			res, err = schedule.MaxThroughput(inst, scfg)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("controller: epoch at t=%g: %w", now, err)
 		}
@@ -1241,6 +1307,9 @@ func (c *Controller) LinkDown(e netgraph.EdgeID, t float64) error {
 	c.down[e] = true
 	c.resid = nil
 	c.dropWarmBasesUsing(e) // only components routed over e lose their basis
+	// The incremental plan cache is pinned to the healthy graph object;
+	// the residual-graph swap defeats every structural match, so drop it.
+	c.planCache = nil
 
 	// Drop jobs with no route left.
 	for _, aj := range c.active {
@@ -1289,6 +1358,7 @@ func (c *Controller) LinkUp(e netgraph.EdgeID, t float64) error {
 	// Restored capacity can reroute any job's candidate paths and merge
 	// components, so every fingerprint may shift: clear wholesale.
 	c.warmRET = nil
+	c.planCache = nil
 	return nil
 }
 
@@ -1496,7 +1566,13 @@ func (c *Controller) periodUsage(plan *schedule.Assignment, now float64) (schedu
 // requests that, together with the already-admitted jobs, the network can
 // complete on time (stage-1 Z* ≥ 1). Returns the prefix length.
 func (c *Controller) admitPrefix(now float64) (int, error) {
+	rank := c.cfg.PriorityRank
 	sort.SliceStable(c.pending, func(a, b int) bool {
+		if rank != nil {
+			if ra, rb := rank(c.pending[a]), rank(c.pending[b]); ra != rb {
+				return ra < rb
+			}
+		}
 		return c.pending[a].Arrival < c.pending[b].Arrival
 	})
 	base, _ := c.snapshotJobs(now)

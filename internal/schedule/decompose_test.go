@@ -240,8 +240,8 @@ func TestDecomposedMatchesMonolithicWithZ(t *testing.T) {
 			t.Fatalf("seed %d: alpha differs: mono %v dec %v", seed, mono.Alpha, dec.Alpha)
 		}
 		for _, pair := range []struct {
-			name       string
-			mono, dec  *Assignment
+			name      string
+			mono, dec *Assignment
 		}{{"LP", mono.LP, dec.LP}, {"LPD", mono.LPD, dec.LPD}, {"LPDAR", mono.LPDAR, dec.LPDAR}} {
 			if mb, db := assignmentBytes(pair.mono), assignmentBytes(pair.dec); mb != db {
 				t.Fatalf("seed %d: %s schedule differs between monolithic and decomposed:\nmono:\n%s\ndec:\n%s",

@@ -77,6 +77,11 @@ type Result struct {
 	// decomposed into (1 for a monolithic solve or a fully coupled
 	// instance).
 	Components int
+
+	// Reused is the number of components whose cached plan an incremental
+	// solve substituted for a fresh LP (always 0 outside
+	// MaxThroughputIncremental).
+	Reused int
 }
 
 // LPTime is the total optimization time shared by all three variants.

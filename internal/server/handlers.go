@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
 	"time"
 
+	"wavesched/internal/admission"
 	"wavesched/internal/controller"
 	"wavesched/internal/job"
 	"wavesched/internal/netgraph"
@@ -23,6 +25,8 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	s.route(mux, "POST /v1/jobs", s.handleSubmit)
+	s.route(mux, "POST /v1/jobs/batch", s.handleSubmitBatch)
+	s.route(mux, "GET /v1/admission", s.handleAdmission)
 	s.route(mux, "GET /v1/jobs", s.handleListJobs)
 	s.route(mux, "GET /v1/jobs/{id}", s.handleGetJob)
 	s.route(mux, "GET /v1/jobs/{id}/explain", s.handleExplainJob)
@@ -90,23 +94,81 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 
 // submitRequest is the POST /v1/jobs body: the paper's 6-tuple with the
 // ID and arrival optional (the server assigns the next free ID and
-// stamps the arrival with the current virtual time).
+// stamps the arrival with the current virtual time), plus the admission
+// metadata — tenant (quota/rate-limit accounting) and priority class.
 type submitRequest struct {
-	ID      *int     `json:"id"`
-	Src     int      `json:"src"`
-	Dst     int      `json:"dst"`
-	Size    float64  `json:"size"`
-	Start   float64  `json:"start"`
-	End     float64  `json:"end"`
-	Arrival *float64 `json:"arrival"`
+	ID       *int     `json:"id"`
+	Src      int      `json:"src"`
+	Dst      int      `json:"dst"`
+	Size     float64  `json:"size"`
+	Start    float64  `json:"start"`
+	End      float64  `json:"end"`
+	Arrival  *float64 `json:"arrival"`
+	Tenant   string   `json:"tenant,omitempty"`
+	Priority string   `json:"priority,omitempty"`
 }
 
-// submitResponse acknowledges an admission request. State is "pending"
-// (buffered for the next scheduling instant) or "rejected".
+// submitResponse acknowledges an accepted admission request. State is
+// "pending" (buffered for the next scheduling instant).
 type submitResponse struct {
 	ID    int    `json:"id"`
 	State string `json:"state"`
 	Error string `json:"error,omitempty"`
+}
+
+// rejectEnvelope is the structured rejection body: a machine-readable
+// code, the human-readable reason, and — for rate limits — the back-off
+// hint mirrored in the Retry-After header.
+type rejectEnvelope struct {
+	Code        string  `json:"code"`
+	Reason      string  `json:"reason"`
+	RetryAfterS float64 `json:"retry_after_s,omitempty"`
+}
+
+// rejectResponse is the body of every rejected submission. Rejection
+// codes are part of the wire format:
+//
+//	too_late         409  scheduling window already unusable
+//	duplicate_id     409  job ID already seen (or raced within a batch)
+//	rate_limited     429  tenant token bucket empty (Retry-After set)
+//	quota_exceeded   429  tenant capacity quota would be breached
+//	forbidden_tenant 403  tenant unknown and the server requires one
+//	invalid_job      400  the 6-tuple failed validation
+type rejectResponse struct {
+	ID    int            `json:"id,omitempty"`
+	State string         `json:"state"`
+	Error rejectEnvelope `json:"error"`
+}
+
+// writeReject emits the structured rejection envelope, mirroring a
+// positive retry hint into the standard Retry-After header.
+func writeReject(w http.ResponseWriter, status int, id job.ID, code, reason string, retryAfter float64) {
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retryAfter))))
+	}
+	writeJSON(w, status, rejectResponse{
+		ID: int(id), State: "rejected",
+		Error: rejectEnvelope{Code: code, Reason: reason, RetryAfterS: retryAfter},
+	})
+}
+
+// rejectionFor maps an admission decision error to its HTTP status and
+// wire code.
+func rejectionFor(err error) (status int, code string) {
+	switch {
+	case errors.Is(err, controller.ErrTooLate):
+		return http.StatusConflict, "too_late"
+	case errors.Is(err, admission.ErrDuplicateID):
+		return http.StatusConflict, "duplicate_id"
+	case errors.Is(err, admission.ErrRateLimited):
+		return http.StatusTooManyRequests, "rate_limited"
+	case errors.Is(err, admission.ErrQuotaExceeded):
+		return http.StatusTooManyRequests, "quota_exceeded"
+	case errors.Is(err, admission.ErrUnknownTenant):
+		return http.StatusForbidden, "forbidden_tenant"
+	default:
+		return http.StatusBadRequest, "invalid_job"
+	}
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -121,6 +183,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req submitRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "decode job: "+err.Error())
+		return
+	}
+	if s.intake != nil {
+		s.submitQueued(w, r, req)
 		return
 	}
 
@@ -152,10 +218,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.seen[j.ID] {
 		telSubmitConflicts.Inc()
-		writeJSON(w, http.StatusConflict, submitResponse{
-			ID: int(j.ID), State: "rejected",
-			Error: "duplicate job id",
-		})
+		writeReject(w, http.StatusConflict, j.ID, "duplicate_id", "duplicate job id", 0)
 		return
 	}
 	if err := j.Validate(); err != nil {
@@ -185,9 +248,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := s.ctrl.Submit(j); err != nil {
 		if errors.Is(err, controller.ErrTooLate) {
 			telSubmitConflicts.Inc()
-			writeJSON(w, http.StatusConflict, submitResponse{
-				ID: int(j.ID), State: "rejected", Error: err.Error(),
-			})
+			writeReject(w, http.StatusConflict, j.ID, "too_late", err.Error(), 0)
 			return
 		}
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -202,6 +263,191 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, submitResponse{ID: int(j.ID), State: "pending"})
+}
+
+// enqueueSubmission runs the pre-WAL admission gates (priority-class
+// parse, tenant check, rate limit — all decisions that must never reach
+// the durable log) and enqueues the survivor on the intake queue. On
+// refusal it returns the rejection triple instead of a submission.
+func (s *Server) enqueueSubmission(req submitRequest) (*admission.Submission, int, rejectEnvelope) {
+	class, err := admission.ParseClass(req.Priority)
+	if err != nil {
+		return nil, http.StatusBadRequest, rejectEnvelope{Code: "invalid_priority", Reason: err.Error()}
+	}
+	if err := s.policy.CheckTenant(req.Tenant); err != nil {
+		return nil, http.StatusForbidden, rejectEnvelope{Code: "forbidden_tenant", Reason: err.Error()}
+	}
+	if retry, err := s.policy.AllowRate(req.Tenant); err != nil {
+		return nil, http.StatusTooManyRequests, rejectEnvelope{
+			Code: "rate_limited", Reason: err.Error(), RetryAfterS: retry,
+		}
+	}
+	sub := &admission.Submission{
+		Job: job.Job{
+			Src: netgraph.NodeID(req.Src), Dst: netgraph.NodeID(req.Dst),
+			Size: req.Size, Start: req.Start, End: req.End,
+		},
+		Tenant:  req.Tenant,
+		Class:   class,
+		Arrival: req.Arrival,
+	}
+	if req.ID != nil {
+		sub.Job.ID = job.ID(*req.ID)
+	} else {
+		sub.AssignID = true
+	}
+	return s.intake.Enqueue(sub), 0, rejectEnvelope{}
+}
+
+// submitQueued is the admission-subsystem submit path: gate, enqueue,
+// and block until the batch drain decides — the handler goroutine never
+// takes the server's write lock, so thousands of concurrent submitters
+// cost lock-free enqueues plus one drain per coalesced batch.
+func (s *Server) submitQueued(w http.ResponseWriter, r *http.Request, req submitRequest) {
+	sub, status, env := s.enqueueSubmission(req)
+	if sub == nil {
+		if env.RetryAfterS > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(env.RetryAfterS))))
+		}
+		id := 0
+		if req.ID != nil {
+			id = *req.ID
+		}
+		writeJSON(w, status, rejectResponse{ID: id, State: "rejected", Error: env})
+		return
+	}
+	select {
+	case d := <-sub.Done():
+		s.writeDecision(w, d)
+	case <-s.shutdown:
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+	case <-r.Context().Done():
+		// Client gone; the drain still decides the submission (it may
+		// already be durable), there is just no one left to tell.
+	}
+}
+
+// writeDecision renders one intake decision.
+func (s *Server) writeDecision(w http.ResponseWriter, d admission.Decision) {
+	if d.Err != nil {
+		status, code := rejectionFor(d.Err)
+		writeReject(w, status, d.ID, code, d.Err.Error(), d.RetryAfter)
+		return
+	}
+	if d.Degraded {
+		writeJSON(w, http.StatusServiceUnavailable, submitResponse{
+			ID: int(d.ID), State: "pending",
+			Error: "accepted on this node but replication quorum not reached; durability is degraded",
+		})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitResponse{ID: int(d.ID), State: "pending"})
+}
+
+// batchSubmitRequest is the POST /v1/jobs/batch body.
+type batchSubmitRequest struct {
+	Jobs []submitRequest `json:"jobs"`
+}
+
+// batchResult is one job's outcome inside a batch response.
+type batchResult struct {
+	ID    int             `json:"id"`
+	State string          `json:"state"`
+	Error *rejectEnvelope `json:"error,omitempty"`
+}
+
+// batchSubmitResponse mirrors the request order: Results[i] answers
+// Jobs[i]. Accepted counts the admissions.
+type batchSubmitResponse struct {
+	Accepted int           `json:"accepted"`
+	Results  []batchResult `json:"results"`
+}
+
+// handleSubmitBatch admits many jobs in one request. The whole body is
+// enqueued before any decision is awaited, so the intake drain coalesces
+// the batch under a single WAL fsync.
+func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	if s.redirectWrite(w, r) {
+		return
+	}
+	if s.intake == nil {
+		writeError(w, http.StatusNotImplemented, "admission subsystem disabled; submit jobs individually")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	var req batchSubmitRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode batch: "+err.Error())
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	subs := make([]*admission.Submission, len(req.Jobs))
+	resp := batchSubmitResponse{Results: make([]batchResult, len(req.Jobs))}
+	for i, jr := range req.Jobs {
+		sub, _, env := s.enqueueSubmission(jr)
+		if sub == nil {
+			id := 0
+			if jr.ID != nil {
+				id = *jr.ID
+			}
+			envCopy := env
+			resp.Results[i] = batchResult{ID: id, State: "rejected", Error: &envCopy}
+			continue
+		}
+		subs[i] = sub
+	}
+	for i, sub := range subs {
+		if sub == nil {
+			continue
+		}
+		select {
+		case d := <-sub.Done():
+			if d.Err != nil {
+				_, code := rejectionFor(d.Err)
+				resp.Results[i] = batchResult{
+					ID: int(d.ID), State: "rejected",
+					Error: &rejectEnvelope{Code: code, Reason: d.Err.Error(), RetryAfterS: d.RetryAfter},
+				}
+			} else {
+				resp.Accepted++
+				resp.Results[i] = batchResult{ID: int(d.ID), State: "pending"}
+			}
+		case <-s.shutdown:
+			writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// admissionResponse is the GET /v1/admission body: subsystem status,
+// live intake depth, and per-tenant quota consumption.
+type admissionResponse struct {
+	Enabled bool                    `json:"enabled"`
+	Depth   int                     `json:"depth"`
+	Tenants []admission.TenantUsage `json:"tenants"`
+}
+
+func (s *Server) handleAdmission(w http.ResponseWriter, r *http.Request) {
+	resp := admissionResponse{Tenants: []admission.TenantUsage{}}
+	if s.intake != nil {
+		resp.Enabled = true
+		resp.Depth = s.intake.Depth()
+		resp.Tenants = append(resp.Tenants, s.policy.Usage()...)
+		sort.Slice(resp.Tenants, func(a, b int) bool {
+			return resp.Tenants[a].Tenant < resp.Tenants[b].Tenant
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // jobListResponse is the GET /v1/jobs body.
@@ -438,6 +684,7 @@ func (s *Server) handleLinkEvent(w http.ResponseWriter, r *http.Request, kind st
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	s.releaseFinishedLocked() // disruptions may have finalized records
 	down := make([]int, 0)
 	for _, e := range s.ctrl.DownLinks() {
 		down = append(down, int(e))

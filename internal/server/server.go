@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"wavesched/internal/admission"
 	"wavesched/internal/controller"
 	"wavesched/internal/job"
 	"wavesched/internal/netgraph"
@@ -83,6 +84,14 @@ type ClusterView interface {
 // configuration verbatim.
 type Config struct {
 	Controller controller.Config
+
+	// Admission, when non-nil, enables the production admission
+	// subsystem: submissions flow through a sharded lock-free intake
+	// queue and are drained in batches (one WAL fsync per drain), gated
+	// by per-tenant rate limits and capacity quotas, and carry priority
+	// classes that scale stage-2 weights and order admission preference.
+	// Nil keeps the original inline per-request submit path.
+	Admission *admission.Config
 
 	// Period is the wall-clock duration of one scheduling period τ. The
 	// Run loop executes one epoch per period. Zero disables the loop;
@@ -142,6 +151,14 @@ type Server struct {
 	seen      map[job.ID]bool
 	epochWall time.Time // wall instant of the most recent tick
 	closed    bool
+
+	// Admission subsystem (nil/zero when Config.Admission is nil).
+	intake    *admission.Queue  // sharded lock-free intake buffer
+	policy    *admission.Policy // tenant quotas, rate limits, class weights
+	recCursor int               // records already quota-released
+	pumpStop  chan struct{}     // closes to stop the intake pump
+	pumpDone  chan struct{}     // pump goroutine exit signal
+	shutdown  chan struct{}     // closes on Close; unblocks queued waiters
 }
 
 // New builds a server over the graph. With Config.WALDir set, the
@@ -165,6 +182,20 @@ func New(g *netgraph.Graph, cfg Config) (*Server, error) {
 		}
 		cfg.Controller.FlightRecorder = telemetry.NewFlightRecorder(cfg.FlightFrames, dir)
 	}
+	var policy *admission.Policy
+	if cfg.Admission != nil {
+		// The policy's class registry must exist before the controller:
+		// its Weight/Rank hooks are closures over the registry, rebuilt
+		// identically on WAL replay, so class-weighted schedules stay
+		// deterministic across restarts.
+		policy = admission.NewPolicy(*cfg.Admission)
+		if cfg.Controller.Weight == nil {
+			cfg.Controller.Weight = policy.Weight
+		}
+		if cfg.Controller.PriorityRank == nil {
+			cfg.Controller.PriorityRank = policy.Rank
+		}
+	}
 	ctrl, err := controller.New(g, cfg.Controller)
 	if err != nil {
 		return nil, err
@@ -172,6 +203,10 @@ func New(g *netgraph.Graph, cfg Config) (*Server, error) {
 	s := &Server{
 		g: g, cfg: cfg, ctrl: ctrl, logger: logger,
 		seen: make(map[job.ID]bool), epochWall: time.Now(),
+		policy: policy, shutdown: make(chan struct{}),
+	}
+	if cfg.Admission != nil {
+		s.intake = admission.NewQueue(cfg.Admission.Shards)
 	}
 	if fr := cfg.Controller.FlightRecorder; fr != nil {
 		// Anomaly dumps become durable history: the WAL records when and
@@ -209,6 +244,14 @@ func New(g *netgraph.Graph, cfg Config) (*Server, error) {
 				"entries", len(entries), "epochs", ctrl.Epochs, "t", ctrl.Now())
 		}
 	}
+	// Records finalized during replay have already left the system; free
+	// their quota before serving so usage reflects live jobs only.
+	s.releaseFinishedLocked()
+	if s.intake != nil {
+		s.pumpStop = make(chan struct{})
+		s.pumpDone = make(chan struct{})
+		go s.pump()
+	}
 	return s, nil
 }
 
@@ -234,30 +277,62 @@ func (s *Server) applyEntry(e store.Entry) error {
 		if e.Job == nil {
 			return fmt.Errorf("server: replay entry %d: submit without job", e.Seq)
 		}
-		j := e.Job.Job()
-		s.noteID(j.ID)
-		if err := s.ctrl.Submit(j); err != nil && !errors.Is(err, controller.ErrTooLate) {
-			return fmt.Errorf("server: replay entry %d: %w", e.Seq, err)
+		if err := s.applyJobEntry(*e.Job, e.Seq); err != nil {
+			return err
+		}
+	case store.EntryBatchSubmit:
+		// One intake drain: equivalent to its jobs as individual submit
+		// entries, applied in intake order.
+		for _, je := range e.Jobs {
+			if err := s.applyJobEntry(je, e.Seq); err != nil {
+				return err
+			}
 		}
 	case store.EntryEpoch:
 		if err := s.ctrl.RunEpoch(); err != nil {
 			return fmt.Errorf("server: replay entry %d: %w", e.Seq, err)
 		}
 		s.epochWall = time.Now()
+		s.releaseFinishedLocked()
 	case store.EntryLinkDown:
 		if err := s.ctrl.LinkDown(netgraph.EdgeID(e.Edge), e.Time); err != nil {
 			return fmt.Errorf("server: replay entry %d: %w", e.Seq, err)
 		}
+		s.releaseFinishedLocked()
 	case store.EntryLinkUp:
 		if err := s.ctrl.LinkUp(netgraph.EdgeID(e.Edge), e.Time); err != nil {
 			return fmt.Errorf("server: replay entry %d: %w", e.Seq, err)
 		}
+		s.releaseFinishedLocked()
 	case store.EntryAnomaly, store.EntryLeadership:
 		// Informational: a flight-recorder dump or a leadership change.
 		// The controller's audit history regenerates deterministically
 		// from the other entries, so there is nothing to re-apply.
 	default:
 		return fmt.Errorf("server: replay entry %d: unknown type %q", e.Seq, e.Type)
+	}
+	return nil
+}
+
+// applyJobEntry re-applies one durable job admission — shared by submit
+// and batch-submit replay. Acceptance re-registers the job's tenant and
+// class with the admission policy, so quota accounting and class-scaled
+// stage-2 weights rebuild to the exact pre-restart state.
+func (s *Server) applyJobEntry(je store.JobEntry, seq uint64) error {
+	j := je.Job()
+	s.noteID(j.ID)
+	if err := s.ctrl.Submit(j); err != nil {
+		if errors.Is(err, controller.ErrTooLate) {
+			return nil
+		}
+		return fmt.Errorf("server: replay entry %d: %w", seq, err)
+	}
+	if s.policy != nil {
+		class, err := admission.ParseClass(je.Priority)
+		if err != nil {
+			return fmt.Errorf("server: replay entry %d: %w", seq, err)
+		}
+		s.policy.Register(j.ID, je.Tenant, class, j.Size)
 	}
 	return nil
 }
@@ -293,6 +368,13 @@ func (s *Server) Reset(entries []store.Entry) error {
 	s.ctrl = ctrl
 	s.seen = make(map[job.ID]bool)
 	s.maxID = 0
+	s.recCursor = 0
+	if s.policy != nil {
+		// Quota accounting rebuilds from the replacement history; replay
+		// re-registers every accepted job (applyJobEntry) and the release
+		// cursor walks the new record list from the start.
+		s.policy.ResetUsage()
+	}
 	if err := s.replay(entries); err != nil {
 		s.ctrl, s.seen, s.maxID = oldCtrl, oldSeen, oldMax
 		return err
@@ -354,6 +436,9 @@ func (s *Server) tickLocked() error {
 	if s.cfg.Cluster != nil && !s.cfg.Cluster.IsLeader() {
 		return fmt.Errorf("server: not the leader; epochs advance via the replicated stream")
 	}
+	// Sweep the intake backlog into this epoch first, so the scheduling
+	// instant sees every submission buffered before its WAL boundary.
+	s.drainIntakeLocked()
 	if err := s.logEvent(store.Entry{Type: store.EntryEpoch}); err != nil {
 		if !errors.Is(err, ErrNoQuorum) {
 			return err
@@ -367,6 +452,7 @@ func (s *Server) tickLocked() error {
 	if err := s.ctrl.RunEpoch(); err != nil {
 		return err
 	}
+	s.releaseFinishedLocked()
 	s.epochWall = time.Now()
 	telTicks.Inc()
 	return nil
@@ -427,20 +513,34 @@ func (s *Server) Run(ctx context.Context) error {
 }
 
 // Close settles the in-flight commitment — crediting every transfer the
-// committed schedule still owes — and closes the WAL. The server rejects
-// all traffic afterwards.
+// committed schedule still owes — stops the intake pump, resolves any
+// submissions still queued (with a shutdown error), and closes the WAL.
+// The server rejects all traffic afterwards.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
-	s.ctrl.Records() // settle in-flight commitments
+	close(s.shutdown) // unblocks handlers waiting on queued decisions
+	s.ctrl.Records()  // settle in-flight commitments
+	s.releaseFinishedLocked()
+	var err error
 	if s.wal != nil {
-		return s.wal.Close()
+		err = s.wal.Close()
 	}
-	return nil
+	s.mu.Unlock()
+	if s.pumpStop != nil {
+		close(s.pumpStop)
+		<-s.pumpDone
+		// The pump is gone; one final drain (now the sole consumer)
+		// rejects any submissions that slipped in during shutdown.
+		s.mu.Lock()
+		s.drainIntakeLocked()
+		s.mu.Unlock()
+	}
+	return err
 }
 
 // Records settles and returns the controller's final accounting, for

@@ -163,11 +163,12 @@ func TestSubmitValidationAndConflicts(t *testing.T) {
 		t.Fatalf("second auto-id submit: code %d resp %+v", rec.Code, resp)
 	}
 
-	// Duplicate explicit ID: 409.
+	// Duplicate explicit ID: 409 with a structured rejection envelope.
+	var rej rejectResponse
 	rec = do(t, h, http.MethodPost, "/v1/jobs",
-		submitBody(job.Job{ID: 1, Src: 0, Dst: 1, Size: 1, Start: 0, End: 8}), &resp)
-	if rec.Code != http.StatusConflict {
-		t.Fatalf("duplicate id: code %d, want 409", rec.Code)
+		submitBody(job.Job{ID: 1, Src: 0, Dst: 1, Size: 1, Start: 0, End: 8}), &rej)
+	if rec.Code != http.StatusConflict || rej.Error.Code != "duplicate_id" {
+		t.Fatalf("duplicate id: code %d envelope %+v, want 409 duplicate_id", rec.Code, rej)
 	}
 
 	// Invalid 6-tuples: 400.
@@ -195,10 +196,11 @@ func TestSubmitValidationAndConflicts(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	rej = rejectResponse{}
 	rec = do(t, h, http.MethodPost, "/v1/jobs",
-		submitBody(job.Job{ID: 10, Src: 0, Dst: 1, Size: 1, Start: 0, End: 2}), &resp)
-	if rec.Code != http.StatusConflict || resp.State != "rejected" {
-		t.Fatalf("too-late submit: code %d resp %+v, want 409 rejected", rec.Code, resp)
+		submitBody(job.Job{ID: 10, Src: 0, Dst: 1, Size: 1, Start: 0, End: 2}), &rej)
+	if rec.Code != http.StatusConflict || rej.State != "rejected" || rej.Error.Code != "too_late" {
+		t.Fatalf("too-late submit: code %d resp %+v, want 409 rejected/too_late", rec.Code, rej)
 	}
 	// The rejection is recorded and visible.
 	var st controller.JobStatusJSON

@@ -55,6 +55,13 @@ const (
 	// EntrySubmit: one job admission request, with the fully-resolved job
 	// (server-assigned ID and arrival included) so replay is exact.
 	EntrySubmit EntryType = "submit"
+	// EntryBatchSubmit: one admission intake drain — every job accepted
+	// in one batch, fully resolved, acknowledged under a single fsync.
+	// Replay applies the jobs in order, so a batch of N is equivalent to
+	// N submit entries; the batch form exists so the durability cost of
+	// an intake drain is one write + one fsync regardless of N, and so
+	// cluster followers replicate the batch boundary intact.
+	EntryBatchSubmit EntryType = "submit_batch"
 	// EntryLinkDown: a link failure at virtual time T.
 	EntryLinkDown EntryType = "link_down"
 	// EntryLinkUp: a link repair at virtual time T.
@@ -85,6 +92,12 @@ type JobEntry struct {
 	Size    float64 `json:"size"`
 	Start   float64 `json:"start"`
 	End     float64 `json:"end"`
+	// Admission metadata (absent pre-admission entries decode to the
+	// anonymous tenant and the standard class). Replay feeds these back
+	// into the admission policy so quota accounting and class weights —
+	// and therefore schedules — reproduce exactly.
+	Tenant   string `json:"tenant,omitempty"`
+	Priority string `json:"priority,omitempty"`
 }
 
 // NewJobEntry converts a job to its WAL form.
@@ -108,15 +121,16 @@ func (e *JobEntry) Job() job.Job {
 // Entry is one WAL record: a monotonically increasing sequence number,
 // the event type, and the type's payload.
 type Entry struct {
-	Seq    uint64    `json:"seq"`
-	Type   EntryType `json:"type"`
-	Time   float64   `json:"t,omitempty"`      // link events: virtual event time
-	Edge   int       `json:"edge"`             // link events: failed/repaired edge
-	Job    *JobEntry `json:"job,omitempty"`    // submit entries
-	Reason string    `json:"reason,omitempty"` // anomaly entries: dump trigger; leadership entries: elected/deposed
-	Path   string    `json:"path,omitempty"`   // anomaly entries: dump file
-	Node   string    `json:"node,omitempty"`   // leadership entries: node ID
-	Token  uint64    `json:"token,omitempty"`  // leadership entries: fencing token
+	Seq    uint64     `json:"seq"`
+	Type   EntryType  `json:"type"`
+	Time   float64    `json:"t,omitempty"`      // link events: virtual event time
+	Edge   int        `json:"edge"`             // link events: failed/repaired edge
+	Job    *JobEntry  `json:"job,omitempty"`    // submit entries
+	Jobs   []JobEntry `json:"jobs,omitempty"`   // batch-submit entries: accepted jobs in intake order
+	Reason string     `json:"reason,omitempty"` // anomaly entries: dump trigger; leadership entries: elected/deposed
+	Path   string     `json:"path,omitempty"`   // anomaly entries: dump file
+	Node   string     `json:"node,omitempty"`   // leadership entries: node ID
+	Token  uint64     `json:"token,omitempty"`  // leadership entries: fencing token
 }
 
 const (
