@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race race-serve cluster-test bench bench-smoke bench-admission bench-telemetry bench-trace-guard clean
+.PHONY: check vet build test race race-serve cluster-test bench bench-smoke bench-admission bench-ret bench-telemetry bench-trace-guard clean
 
 check: vet build race-serve race cluster-test
 
@@ -40,15 +40,25 @@ bench:
 # Benchmark smoke: one iteration of the telemetry-off guard, the
 # warm-vs-cold RET comparison, and the decomposition speedup, so those
 # paths are exercised (and kept compiling) on every PR without paying for
-# a full bench run. The second step regenerates Fig. 3 at quick scale and
-# fails if its headline lp_ms or wall time regressed more than 20% against
-# the committed BENCH_04.json baseline.
+# a full bench run. The later steps regenerate Fig. 3 (gated ±20% against
+# BENCH_04.json) and the Fig. 4 RET sweep (gated ±10% against
+# BENCH_09.json, which also pins fig4 lp_ms at the certificate-pruned
+# level) at quick scale.
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkSolveTelemetryOff$$|BenchmarkRETWarmVsCold|BenchmarkRETDecomposition' -benchtime 1x .
 	$(GO) run ./cmd/benchfig -quick -fig 3 -json /tmp/benchsmoke.json -baseline BENCH_04.json -max-regress 20
 	$(MAKE) bench-admission
+	$(MAKE) bench-ret
 	$(MAKE) bench-trace-guard
 	$(MAKE) bench-cluster-guard
+
+# RET search-speed gate: regenerate the Fig. 4 sweep at quick scale under
+# the probe-economy lens and fail if lp_ms or wall time regressed more
+# than 10% against the committed BENCH_09.json (the certificate-pruned
+# search baseline; the lp_ms guard is direction-aware — only slowdowns
+# fail, speedups just move the next committed baseline).
+bench-ret:
+	$(GO) run ./cmd/benchfig -quick -fig ret -json /tmp/benchret.json -baseline BENCH_09.json -max-regress 10
 
 # Admission-subsystem sustained-load smoke: 5000 durable submissions
 # through the batched intake path vs the per-request mutex path, plus the

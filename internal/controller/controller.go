@@ -1194,19 +1194,30 @@ func (c *Controller) solvePolicy(inst *schedule.Instance, fresh []*activeJob, no
 		}
 		if c.cfg.WarmStart {
 			retCfg.WarmStart = true
-			// Hand the previous epoch's probe bases over per component;
-			// components whose job mix changed miss the map, and a
-			// mismatched basis is merely a wasted lp fallback, never a
-			// wrong answer.
+			retCfg.Certificates = true
+			// Hand the previous epoch's probe bases AND certificates over
+			// per component; components whose job mix changed miss the
+			// map, a mismatched basis is merely a wasted lp fallback, and
+			// a stale certificate self-declines — never a wrong answer.
 			if len(c.warmRET) > 0 {
-				retCfg.WarmBases = make(map[string]*lp.Basis, len(c.warmRET))
-				for key, cb := range c.warmRET {
-					retCfg.WarmBases[key] = cb.Basis
-				}
+				retCfg.WarmComponents = c.warmRET
 			}
 		}
 		res, err := schedule.SolveRET(inst, retCfg)
 		if err != nil {
+			// A failed search (typically infeasible even at BMax) still
+			// exports certificates; merging them in lets the next epoch —
+			// often just as overloaded — refute its ceiling probe without
+			// a solve. Merge rather than replace: components the failed
+			// search never reached keep their carried entries.
+			if c.cfg.WarmStart && res != nil && len(res.ProbeBases) > 0 {
+				if c.warmRET == nil {
+					c.warmRET = make(map[string]*schedule.ComponentBasis, len(res.ProbeBases))
+				}
+				for k, v := range res.ProbeBases {
+					c.warmRET[k] = v
+				}
+			}
 			return nil, fmt.Errorf("controller: epoch at t=%g: %w", now, err)
 		}
 		if c.cfg.WarmStart {

@@ -40,11 +40,13 @@ func runScenario(t *testing.T, policy Policy, warm bool) ([]Record, []EpochStat)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Two early epochs legitimately degrade (RET infeasible within BMax);
-	// the test wants them — the fallback tiers must be deterministic too —
-	// but not their log noise.
+	// BMax is sized so the first epoch runs a full bisection search (b̂ ≈
+	// 4.35): that exercises chained re-entry and certificate pruning inside
+	// the search, which the reuse assertion below depends on. Degraded
+	// (RET-infeasible) epochs are covered by fault_test.go; log noise from
+	// the disruption epochs is discarded.
 	c, err := New(g, Config{
-		Tau: 1, SliceLen: 1, K: 3, Policy: policy, BMax: 3, WarmStart: warm,
+		Tau: 1, SliceLen: 1, K: 3, Policy: policy, BMax: 5, WarmStart: warm,
 		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
 	})
 	if err != nil {
@@ -87,13 +89,19 @@ func TestControllerWarmByteIdenticalRecords(t *testing.T) {
 		t.Run(pol.name, func(t *testing.T) {
 			coldRecs, coldStats := runScenario(t, pol.policy, false)
 			warmBefore := telemetry.Default().Counter("lp_warmstart_hits_total", "").Value()
+			prunedBefore := telemetry.Default().Counter("lp_probe_pruned_total", "").Value()
 			warmRecs, warmStats := runScenario(t, pol.policy, true)
 			if len(coldRecs) == 0 {
 				t.Fatal("scenario produced no records")
 			}
 			if pol.policy == PolicyRET {
-				if hits := telemetry.Default().Counter("lp_warmstart_hits_total", "").Value(); hits == warmBefore {
-					t.Error("warm run never took the lp warm-start path")
+				// Cross-epoch reuse shows up either as a warm-started solve
+				// or — stronger — as a probe answered by a carried
+				// certificate with no solve at all.
+				hits := telemetry.Default().Counter("lp_warmstart_hits_total", "").Value()
+				pruned := telemetry.Default().Counter("lp_probe_pruned_total", "").Value()
+				if hits == warmBefore && pruned == prunedBefore {
+					t.Error("warm run engaged neither the lp warm-start path nor certificate pruning")
 				}
 			}
 			if cb, wb := recordsBytes(coldRecs), recordsBytes(warmRecs); cb != wb {

@@ -287,6 +287,14 @@ type RETRow struct {
 	FracLPD     float64 // fraction of jobs finished, LPD (typically ≈ 0)
 	FracLPDAR   float64 // fraction of jobs finished, LPDAR (always 1)
 	LPms        float64 // mean LP optimization time (search + solve), ms
+
+	// Probe-economy metrics of the binary search (PR 9): how many
+	// feasibility probes were answered by a simplex solve vs a
+	// certificate / window-memo check, and the pivots spent per solved
+	// probe-or-round.
+	ProbesSolved   float64 // mean probes answered by a solve
+	ProbesPruned   float64 // mean probes answered by certificate or memo
+	PivotsPerSolve float64 // mean simplex pivots per LP solve (probes + rounds)
 }
 
 // RETConfig controls the Fig. 4 / fraction-finished runs.
@@ -329,8 +337,14 @@ func Fig4(sc Scale, jobCounts []int, cfg RETConfig) ([]RETRow, error) {
 			if err != nil {
 				return RETRow{}, err
 			}
+			// Let Auto pick the pricing rule per model size for the RET
+			// search; fig1–3 (which pin their own rule in Scale.Solver)
+			// are unaffected.
+			solver := sc.Solver
+			solver.Pricing = lp.Auto
 			res, err := schedule.SolveRET(inst, schedule.RETConfig{
-				BMax: cfg.BMax, Solver: sc.Solver, WarmStart: sc.Warm,
+				BMax: cfg.BMax, Solver: solver, WarmStart: sc.Warm,
+				Certificates: sc.Warm, Speculate: true,
 				Monolithic: sc.Monolithic, Parallelism: sc.Parallelism,
 			})
 			if err != nil {
@@ -338,6 +352,7 @@ func Fig4(sc Scale, jobCounts []int, cfg RETConfig) ([]RETRow, error) {
 			}
 			lpEnd, _ := res.LP.AverageEndTime()
 			darEnd, _ := res.LPDAR.AverageEndTime()
+			solves := float64(res.ProbesSolved + res.Rounds + 1) // probes + δ-rounds + the b̂ extraction
 			return RETRow{
 				BHat:        res.BHat,
 				B:           res.B,
@@ -347,6 +362,10 @@ func Fig4(sc Scale, jobCounts []int, cfg RETConfig) ([]RETRow, error) {
 				FracLPD:     res.LPD.FractionFinished(),
 				FracLPDAR:   res.LPDAR.FractionFinished(),
 				LPms:        float64(res.SearchTime+res.SolveTime) / float64(time.Millisecond),
+
+				ProbesSolved:   float64(res.ProbesSolved),
+				ProbesPruned:   float64(res.ProbesPruned),
+				PivotsPerSolve: float64(res.LPIters) / solves,
 			}, nil
 		})
 		if err != nil {
@@ -362,6 +381,9 @@ func Fig4(sc Scale, jobCounts []int, cfg RETConfig) ([]RETRow, error) {
 			row.FracLPD += s.FracLPD
 			row.FracLPDAR += s.FracLPDAR
 			row.LPms += s.LPms
+			row.ProbesSolved += s.ProbesSolved
+			row.ProbesPruned += s.ProbesPruned
+			row.PivotsPerSolve += s.PivotsPerSolve
 		}
 		k := float64(len(sc.Seeds))
 		row.BHat /= k
@@ -372,6 +394,9 @@ func Fig4(sc Scale, jobCounts []int, cfg RETConfig) ([]RETRow, error) {
 		row.FracLPD /= k
 		row.FracLPDAR /= k
 		row.LPms /= k
+		row.ProbesSolved /= k
+		row.ProbesPruned /= k
+		row.PivotsPerSolve /= k
 		rows = append(rows, row)
 	}
 	return rows, nil
@@ -410,7 +435,8 @@ func TimeTable(title string, rows []TimeRow) *metrics.Table {
 // RETTable renders Fig. 4 / §III-B.1 rows.
 func RETTable(title string, rows []RETRow) *metrics.Table {
 	t := metrics.NewTable(title, "jobs", "b^", "b", "avg end LP", "avg end LPDAR",
-		"finished LP", "finished LPD", "finished LPDAR", "LP (ms)")
+		"finished LP", "finished LPD", "finished LPDAR", "LP (ms)",
+		"probes solved", "probes pruned", "pivots/solve")
 	for _, r := range rows {
 		t.AddRow(
 			fmt.Sprintf("%d", r.Jobs),
@@ -422,6 +448,9 @@ func RETTable(title string, rows []RETRow) *metrics.Table {
 			fmt.Sprintf("%.2f", r.FracLPD),
 			fmt.Sprintf("%.2f", r.FracLPDAR),
 			fmt.Sprintf("%.1f", r.LPms),
+			fmt.Sprintf("%.1f", r.ProbesSolved),
+			fmt.Sprintf("%.1f", r.ProbesPruned),
+			fmt.Sprintf("%.0f", r.PivotsPerSolve),
 		)
 	}
 	return t

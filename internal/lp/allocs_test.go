@@ -76,9 +76,13 @@ func TestAutoPricingSelection(t *testing.T) {
 	if small.Pricing != Dantzig {
 		t.Fatalf("small model: Auto resolved to %v, want Dantzig", small.Pricing)
 	}
-	large := Options{}.withDefaults(autoPricingThreshold, autoPricingThreshold)
-	if large.Pricing != PartialDantzig {
-		t.Fatalf("large model: Auto resolved to %v, want PartialDantzig", large.Pricing)
+	mid := Options{}.withDefaults(autoPricingThreshold, autoPricingThreshold)
+	if mid.Pricing != PartialDantzig {
+		t.Fatalf("mid-size model: Auto resolved to %v, want PartialDantzig", mid.Pricing)
+	}
+	large := Options{}.withDefaults(autoDevexThreshold, autoDevexThreshold)
+	if large.Pricing != Devex {
+		t.Fatalf("large model: Auto resolved to %v, want Devex", large.Pricing)
 	}
 	forced := Options{Pricing: Bland}.withDefaults(autoPricingThreshold, autoPricingThreshold)
 	if forced.Pricing != Bland {

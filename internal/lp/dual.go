@@ -26,6 +26,7 @@ func (s *simplex) dualSimplex() (dualStatus, error) {
 	tol := s.opt.Tol
 	pivTol := s.opt.PivotTol
 	rho := s.rho
+	s.infeasRow, s.infeasSigma = -1, 0
 
 	for {
 		if s.iters >= s.opt.MaxIter {
@@ -115,7 +116,9 @@ func (s *simplex) dualSimplex() (dualStatus, error) {
 		}
 		if q < 0 {
 			// No entering candidate: the primal is infeasible under the
-			// new bounds.
+			// new bounds. Record the exit row so a Farkas certificate can
+			// be extracted (y = σ·B⁻ᵀe_r).
+			s.infeasRow, s.infeasSigma = r, sigma
 			return dualInfeasible, nil
 		}
 
@@ -189,19 +192,70 @@ type Incremental struct {
 	s     *simplex
 	nVars int
 	nRows int
-	valid bool // s holds an optimal basis for the current costs
+	valid bool // s holds a chainable basis for the current costs
+
+	lastStatus Status
+	lastSol    *Solution
 }
 
 // NewIncremental wraps a model for repeated solves. Presolve is disabled
 // (reductions would invalidate the basis mapping).
 func NewIncremental(m *Model, opt Options) *Incremental {
 	opt.Presolve = false
-	return &Incremental{model: m, opt: opt}
+	return &Incremental{model: m, opt: opt, lastStatus: Numerical}
+}
+
+// SeedBasis supplies a warm-start basis for the first solve — typically
+// carried over from a previous Incremental over a structurally identical
+// model (the controller's previous epoch). Ignored after the first solve,
+// which already chains its own basis; a mismatched basis is harmless (the
+// first solve falls back to a cold start).
+func (inc *Incremental) SeedBasis(b *Basis) {
+	if inc.s == nil {
+		inc.opt.WarmStart = b
+	}
+}
+
+// Basis snapshots the current basis for cross-session carry, or nil
+// before the first solve.
+func (inc *Incremental) Basis() *Basis {
+	if inc.s == nil {
+		return nil
+	}
+	return inc.s.snapshotBasis()
+}
+
+// Certificate exports a feasibility or infeasibility certificate from the
+// last solve (nil when the last outcome supports none). See
+// Model.CheckFeasibleWithCertificate.
+func (inc *Incremental) Certificate() *Certificate {
+	if inc.s == nil {
+		return nil
+	}
+	switch inc.lastStatus {
+	case Optimal:
+		return feasCertificate(inc.model, inc.lastSol)
+	case Infeasible:
+		return inc.s.infeasCertificate(inc.model)
+	}
+	return nil
 }
 
 // Solve optimizes the wrapped model, reusing the previous basis via the
 // dual simplex when only bounds changed since the last call.
 func (inc *Incremental) Solve() (*Solution, error) {
+	sol, err := inc.solve()
+	if sol != nil {
+		inc.lastStatus = sol.Status
+		inc.lastSol = sol
+	} else {
+		inc.lastStatus = Numerical
+		inc.lastSol = nil
+	}
+	return sol, err
+}
+
+func (inc *Incremental) solve() (*Solution, error) {
 	if err := inc.model.Validate(); err != nil {
 		return nil, err
 	}
@@ -215,20 +269,69 @@ func (inc *Incremental) Solve() (*Solution, error) {
 		s.deadline = time.Now().Add(inc.opt.TimeLimit)
 		s.untilTick = 0
 	}
-	// Refresh structural bounds from the model; slack and artificial
-	// bounds are invariant.
+	// Refresh structural bounds from the model, tracking whether any
+	// nonbasic variable's resting VALUE moved. The RET probes only toggle
+	// columns between [0,0] and [0,∞) — the nonbasic value stays 0 either
+	// way — so on that path both the basic values and the factorization
+	// remain exact and the refactorize/recompute step is pure overhead.
+	needRecompute := false
 	for j := 0; j < s.nStruct; j++ {
 		lb, ub := inc.model.Bounds(VarID(j))
+		if lb == s.l[j] && ub == s.u[j] {
+			continue
+		}
+		st := s.state[j]
+		var oldV float64
+		if st != stBasic {
+			oldV = s.nonbasicValue(j)
+		}
 		s.l[j], s.u[j] = lb, ub
-		if s.state[j] == stAtUpper && math.IsInf(ub, 1) {
+		if st == stAtUpper && math.IsInf(ub, 1) {
 			s.state[j] = stAtLower
 		}
+		if st != stBasic && s.nonbasicValue(j) != oldV {
+			needRecompute = true
+		}
 	}
-	// Rebuild primal values under the new bounds; the basis stays dual
-	// feasible because costs did not change.
-	if err := s.refactorize(); err != nil {
-		return inc.fullSolve()
+	if s.phase1 {
+		// Chained from a cold infeasible exit: the state still carries
+		// phase-1 costs and loose artificials. Install the real costs and
+		// pin the artificials, exactly as a warm start would; any basic
+		// artificial stuck at a positive value becomes a bound violation
+		// the dual simplex resolves below.
+		copy(s.c, s.cMin)
+		for i := 0; i < s.m; i++ {
+			col := s.n + i
+			s.c[col] = 0
+			s.l[col], s.u[col] = 0, 0
+		}
+		s.phase1 = false
+		if s.gamma != nil {
+			s.resetDevex()
+		}
 	}
+	if needRecompute {
+		// A nonbasic resting value moved: rebuild the basic values (and
+		// the factorization, conservatively) from scratch.
+		if err := s.refactorize(); err != nil {
+			return inc.fullSolve()
+		}
+	}
+	// Budget the re-entry: from an unlucky (degenerate) basis the dual
+	// crawl plus cleanup can cost an order of magnitude more pivots than
+	// a cold solve. Past about one pivot per model dimension, cut losses
+	// and restart from scratch — the budget is deterministic, so chained
+	// and cold runs still agree on every verdict.
+	budget := inc.nRows + inc.nVars + 1000
+	savedMax := s.opt.MaxIter
+	budgeted := s.iters+budget < savedMax
+	if budgeted {
+		s.opt.MaxIter = s.iters + budget
+	}
+	defer func() { s.opt.MaxIter = savedMax }()
+
+	// Ratio-test-only re-entry: go straight to the dual simplex violation
+	// scan on the live basis.
 	st, err := s.dualSimplex()
 	if errors.Is(err, ErrTimeLimit) {
 		// Retrying from scratch would double the wall-clock budget, which
@@ -241,11 +344,20 @@ func (inc *Incremental) Solve() (*Solution, error) {
 	}
 	switch st {
 	case dualInfeasible:
-		inc.valid = false // basis lost primal meaning; next call resolves
+		// The basis keeps its meaning for chaining: a later bound
+		// relaxation re-enters the dual scan from right here.
 		return &Solution{Status: Infeasible, Iters: s.iters}, nil
 	case dualIterLimit:
+		if budgeted {
+			return inc.fullSolve() // re-entry budget exhausted, not the caller's cap
+		}
 		inc.valid = false
 		return &Solution{Status: IterLimit, Iters: s.iters}, nil
+	}
+	// Dual pivots do not maintain the devex reference framework; restart
+	// it before any primal cleanup prices against stale weights.
+	if s.gamma != nil {
+		s.resetDevex()
 	}
 	// Safety net: confirm dual feasibility with the primal pricing; clean
 	// up any residual attractive columns (tolerance drift).
@@ -263,24 +375,29 @@ func (inc *Incremental) Solve() (*Solution, error) {
 	if err != nil {
 		return inc.fullSolve()
 	}
+	sol.BoundFlips = s.boundFlips
 	return sol, nil
 }
 
-// fullSolve runs the two-phase primal simplex from scratch and caches the
-// final state.
+// fullSolve runs the two-phase primal simplex from scratch (or from a
+// SeedBasis warm start) and caches the final state.
 func (inc *Incremental) fullSolve() (*Solution, error) {
 	s, sol, err := inc.model.solveCore(inc.opt)
 	// The cached simplex aliases the model's reusable scratch buffers;
 	// detach them so a later direct SolveWith on the same model cannot
 	// clobber the basis this wrapper resumes from.
 	inc.model.bufs = nil
+	inc.opt.WarmStart = nil // a seed applies to the first solve only
 	if err != nil {
 		return sol, err
 	}
 	inc.s = s
 	inc.nVars = inc.model.NumVars()
 	inc.nRows = inc.model.NumRows()
-	inc.valid = s != nil && sol.Status == Optimal
+	// An Infeasible exit still leaves a chainable basis: relaxing bounds
+	// later re-enters the dual simplex from it (via the phase-1
+	// normalization above when the exit was a cold phase-1 one).
+	inc.valid = s != nil && (sol.Status == Optimal || sol.Status == Infeasible)
 	return sol, nil
 }
 

@@ -30,6 +30,15 @@ type Solution struct {
 	// against the model size).
 	Pricing Pricing
 
+	// BoundFlips counts the pivots that resolved as bound flips (the
+	// entering variable jumped to its opposite bound without a basis
+	// change) — the cheap pivots the RET probe bound-toggling produces.
+	BoundFlips int
+
+	// DevexResets counts devex reference-framework restarts during the
+	// solve (0 under other pricing rules).
+	DevexResets int
+
 	// PrimalInfeas is the largest constraint violation of the returned
 	// point, a numerical diagnostic (0 is exact).
 	PrimalInfeas float64
@@ -83,6 +92,12 @@ func (m *Model) SolveWith(opt Options) (*Solution, error) {
 				telemetry.KV("pricing", sol.Pricing.String()))
 			if sol.Phase1Iters > 0 {
 				attrs = append(attrs, telemetry.KV("phase1_iters", sol.Phase1Iters))
+			}
+			if sol.BoundFlips > 0 {
+				attrs = append(attrs, telemetry.KV("bound_flips", sol.BoundFlips))
+			}
+			if sol.DevexResets > 0 {
+				attrs = append(attrs, telemetry.KV("devex_resets", sol.DevexResets))
 			}
 			if sol.Warm != "" {
 				attrs = append(attrs, telemetry.KV("warm", sol.Warm))
@@ -167,6 +182,8 @@ func (m *Model) solveCore(opt Options) (*simplex, *Solution, error) {
 			if sol != nil {
 				sol.Warm = "hit"
 				sol.Pricing = s.opt.Pricing
+				sol.BoundFlips = s.boundFlips
+				sol.DevexResets = s.devexResets
 			}
 			return s, sol, err
 		}
@@ -178,6 +195,8 @@ func (m *Model) solveCore(opt Options) (*simplex, *Solution, error) {
 	st, sol, err := m.coldSolve(s, opt)
 	if sol != nil {
 		sol.Pricing = s.opt.Pricing
+		sol.BoundFlips = s.boundFlips
+		sol.DevexResets = s.devexResets
 		if opt.WarmStart != nil {
 			sol.Warm = "fallback"
 		}
@@ -325,6 +344,7 @@ func (m *Model) assemble(opt Options) *simplex {
 	}
 
 	s.nStruct = nVars
+	s.infeasRow = -1
 	return s
 }
 
@@ -374,6 +394,7 @@ func (m *Model) coldSolve(s *simplex, opt Options) (*simplex, *Solution, error) 
 	}
 
 	// Phase 1: minimize the sum of artificial values.
+	s.phase1 = true
 	st, err := s.runPhase()
 	phase1Iters := s.iters
 	telPhase1Pivots.Add(int64(phase1Iters))
@@ -400,10 +421,13 @@ func (m *Model) coldSolve(s *simplex, opt Options) (*simplex, *Solution, error) 
 		if capture {
 			sol.Basis = s.snapshotBasis()
 		}
-		return nil, sol, nil
+		// Return the state: its phase-1 duals are a Farkas ray, and an
+		// incremental caller can chain from the basis.
+		return s, sol, nil
 	}
 
 	// Phase 2: real costs; artificials pinned to zero and never attractive.
+	s.phase1 = false
 	for j := 0; j < n; j++ {
 		s.c[j] = c[j]
 	}
@@ -417,6 +441,9 @@ func (m *Model) coldSolve(s *simplex, opt Options) (*simplex, *Solution, error) 
 	}
 	s.blandMode = false
 	s.degenRun = 0
+	if s.gamma != nil {
+		s.resetDevex() // phase-2 costs invalidate the phase-1 framework
+	}
 	st, err = s.runPhase()
 	telPhase2Pivots.Add(int64(s.iters - phase1Iters))
 	if err != nil {

@@ -41,6 +41,13 @@ type Component struct {
 type ComponentBasis struct {
 	Basis *lp.Basis
 	Edges []netgraph.EdgeID
+	// Feas and Infeas carry the component's last feasibility witness and
+	// Farkas ray across epochs, so the next solve's bisection can be
+	// answered by certificate checks instead of solves. Certificates
+	// self-verify at answer time, so stale entries (job mix, demand, or
+	// capacity drift) decline rather than mislead.
+	Feas   *lp.Certificate
+	Infeas *lp.Certificate
 }
 
 // componentKey renders the job-ID fingerprint of a set of parent job

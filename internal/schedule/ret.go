@@ -2,6 +2,10 @@ package schedule
 
 import (
 	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
 	"time"
 
 	"wavesched/internal/job"
@@ -46,14 +50,30 @@ type RETConfig struct {
 	Adjust *AdjustOptions
 	// MaxRounds bounds the δ-extension loop; default 200.
 	MaxRounds int
-	// WarmStart speeds up the binary search on b by chaining a warm-start
-	// basis across the feasibility probes: one probe model is built at
-	// BMax windows, each candidate b only flips variable bounds
-	// (out-of-window flow pinned to zero), and the lp layer re-solves from
-	// the previous probe's basis. Probes are feasibility-only, so the
-	// extraction solves — and the returned schedule — are byte-identical
-	// to a cold run.
+	// WarmStart speeds up the binary search on b by chaining one probe
+	// model across the feasibility probes: the model is built at BMax
+	// windows, each candidate b only flips variable bounds (out-of-window
+	// flow pinned to zero), and the lp layer re-solves incrementally from
+	// the previous probe's basis — including after infeasible probes,
+	// whose phase-1 basis chains into the next dual re-solve. Probes are
+	// feasibility-only, so the extraction solves — and the returned
+	// schedule — are byte-identical to a cold run.
 	WarmStart bool
+	// Certificates enables probe pruning: a feasibility probe is first
+	// answered from the window memo (two b values that quantize to the
+	// same per-job windows pose the same LP), then from a stored witness
+	// point or Farkas ray of an earlier solve, and only solved when no
+	// certificate applies. Certificate verdicts are self-verifying and
+	// exact, so b̂ and the returned schedule are byte-identical to a
+	// full-solve run.
+	Certificates bool
+	// Speculate solves the two possible next bisection midpoints on spare
+	// worker-pool slots (Parallelism minus concurrent component searches)
+	// while the current midpoint resolves, and consumes a finished
+	// speculative verdict instead of solving. Verdicts come from ordinary
+	// cold solves, so the b̂ trajectory is unchanged; with no spare
+	// workers this is a no-op.
+	Speculate bool
 	// WarmBasis optionally seeds the first probe — typically
 	// RETResult.ProbeBasis from a previous solve of the same instance
 	// shape (e.g. the controller's previous epoch). A mismatched basis is
@@ -64,6 +84,11 @@ type RETConfig struct {
 	// solve. A monolithic solve consults the full-instance key, so the
 	// map works uniformly for both paths.
 	WarmBases map[string]*lp.Basis
+	// WarmComponents supersedes WarmBases with full per-component carry:
+	// basis plus feasibility/Farkas certificates, keyed by Component.Key —
+	// feed RETResult.ProbeBases back in. Stale entries self-decline
+	// (shape or RHS drift), so the map is always safe to pass.
+	WarmComponents map[string]*ComponentBasis
 	// Monolithic forces one SUB-RET model over all jobs even when the
 	// instance decomposes into independent components at BMax windows —
 	// the A/B switch against the decomposed parallel path (the default).
@@ -79,18 +104,39 @@ type RETConfig struct {
 	OnProbe func(ProbeStep)
 }
 
+// ProbeStage labels how a feasibility probe of the RET binary search was
+// answered. The values are the flight-recorder dump vocabulary.
+type ProbeStage string
+
+// Probe stages.
+const (
+	StageB0          ProbeStage = "b0"          // the b = 0 probe (cold solve, prunable by a carried certificate)
+	StageBMax        ProbeStage = "bmax"        // the b = BMax ceiling probe (the extraction chain's seed solve)
+	StageBisect      ProbeStage = "bisect"      // a bisection midpoint, answered by a solve
+	StagePruned      ProbeStage = "pruned"      // answered by a certificate or the window memo — no solve
+	StageSpeculative ProbeStage = "speculative" // answered by a consumed speculative solve
+)
+
+// Probe certificate kinds, recorded in ProbeStep.Cert for pruned probes.
+const (
+	CertWindow = "window" // window memo: same quantized windows as an earlier probe
+	CertPoint  = "point"  // stored feasible point lies within the probe's bounds
+	CertFarkas = "farkas" // stored Farkas ray proves the probe infeasible
+)
+
 // ProbeStep is one feasibility probe of the RET binary search, recorded
 // on RETResult.Probes and delivered to RETConfig.OnProbe. The JSON tags
 // are the flight-recorder dump format.
 type ProbeStep struct {
-	Component string  `json:"component,omitempty"` // Component.Key; empty for monolithic
-	B         float64 `json:"b"`
-	Stage     string  `json:"stage"` // "b0" | "bmax" | "bisect"
-	Feasible  bool    `json:"feasible"`
-	Warm      bool    `json:"warm"`
-	Iters     int     `json:"iters"`
-	DurUS     float64 `json:"dur_us"`
-	Err       string  `json:"err,omitempty"`
+	Component string     `json:"component,omitempty"` // Component.Key; empty for monolithic
+	B         float64    `json:"b"`
+	Stage     ProbeStage `json:"stage"`
+	Feasible  bool       `json:"feasible"`
+	Warm      bool       `json:"warm"`
+	Cert      string     `json:"cert,omitempty"` // how a pruned probe was answered
+	Iters     int        `json:"iters"`
+	DurUS     float64    `json:"dur_us"`
+	Err       string     `json:"err,omitempty"`
 }
 
 func (c RETConfig) withDefaults() RETConfig {
@@ -130,15 +176,24 @@ type RETResult struct {
 	SearchTime time.Duration
 	SolveTime  time.Duration
 
+	// ProbesSolved and ProbesPruned split the search trajectory by how
+	// each probe was answered: a simplex solve (stages b0/bmax/bisect/
+	// speculative) versus a certificate or window-memo check (stage
+	// pruned). Their sum is the probe count.
+	ProbesSolved int
+	ProbesPruned int
+
 	// ProbeBasis is the final warm-start basis of the probe model, set
-	// when RETConfig.WarmStart was on and the solve was monolithic (or
-	// single-component). Feed it to RETConfig.WarmBasis of the next solve
-	// over the same instance shape.
+	// when RETConfig.WarmStart or Certificates was on and the solve was
+	// monolithic (or single-component). Feed it to RETConfig.WarmBasis of
+	// the next solve over the same instance shape.
 	ProbeBasis *lp.Basis
-	// ProbeBases holds the final probe basis of every component (the
-	// full instance, for a monolithic solve), keyed by Component.Key and
-	// tagged with the component's edge set so a caller can invalidate
-	// entries per topology event. Set when RETConfig.WarmStart was on.
+	// ProbeBases holds the final probe basis and certificates of every
+	// component (the full instance, for a monolithic solve), keyed by
+	// Component.Key and tagged with the component's edge set so a caller
+	// can invalidate entries per topology event. Set when
+	// RETConfig.WarmStart or Certificates was on; feed it back via
+	// RETConfig.WarmComponents.
 	ProbeBases map[string]*ComponentBasis
 	// Components is the number of independent blocks the instance was
 	// decomposed into (1 for a monolithic solve or a fully coupled
@@ -193,30 +248,120 @@ func fullInstanceKeyEdges(inst *Instance) (string, []netgraph.EdgeID) {
 	return c.Key, c.Edges
 }
 
-// retSearch runs the feasibility binary search for b̂ on one instance
-// (the whole instance, or one component's sub-instance), optionally
-// through the warm probe model. comp labels the probe trajectory with
-// the component fingerprint (empty for monolithic). The returned steps
-// are valid even when the search errors out, so post-mortems see the
-// probe that failed.
-func retSearch(inst *Instance, cfg RETConfig, pr *retProbe, comp string) (bhat float64, itersTotal int, steps []ProbeStep, err error) {
-	tracer := cfg.Solver.Tracer
+// resolveCarry picks the cross-epoch warm state for a component key:
+// WarmComponents (basis + certificates) wins over the legacy WarmBases,
+// which wins over the global WarmBasis (consulted only when useGlobal —
+// the monolithic path).
+func resolveCarry(cfg RETConfig, key string, useGlobal bool) *ComponentBasis {
+	if cb := cfg.WarmComponents[key]; cb != nil {
+		return cb
+	}
+	if b := cfg.WarmBases[key]; b != nil {
+		return &ComponentBasis{Basis: b}
+	}
+	if useGlobal && cfg.WarmBasis != nil {
+		return &ComponentBasis{Basis: cfg.WarmBasis}
+	}
+	return nil
+}
 
-	// probe wraps the feasibility solves of the binary search with the
-	// step counter, the b-trajectory trace, and the ProbeStep record.
-	probe := func(b float64, stage string) (bool, int, error) {
+// retSearchEnv bundles the solving machinery one component's binary
+// search runs against.
+type retSearchEnv struct {
+	chain  *retChain    // extraction chain; its seed solve answers the ceiling probe
+	prober *retProber   // probe chain + certificates; nil on the cold path
+	spec   *speculator  // shared speculative solver; nil without spare workers
+}
+
+// retSearch runs the feasibility binary search for b̂ on one instance
+// (the whole instance, or one component's sub-instance). comp labels the
+// probe trajectory with the component fingerprint (empty for monolithic).
+// The returned steps are valid even when the search errors out, so
+// post-mortems see the probe that failed.
+func retSearch(inst *Instance, cfg RETConfig, env retSearchEnv, comp string) (bhat float64, itersTotal int, steps []ProbeStep, err error) {
+	tracer := cfg.Solver.Tracer
+	P := env.prober
+
+	// probe answers one feasibility question of the binary search, through
+	// the cheapest sound mechanism available:
+	//
+	//  1. the b = BMax probe IS the extraction chain's seed solve (run in
+	//     every configuration, so pruning cannot perturb the chain). Its
+	//     optimum doubles as the feasible-point certificate: the quick-
+	//     finish objective concentrates flow early, so the ceiling optimum
+	//     typically satisfies every narrower window down to b̂ and prunes
+	//     the feasible half of the bisection outright;
+	//  2. the window memo and stored certificates (stage "pruned");
+	//  3. a finished speculative solve (stage "speculative");
+	//  4. the incremental probe chain, falling back to a cold per-b solve
+	//     when the chain cannot give an authoritative verdict. The b = 0
+	//     probe skips the chain — re-entering the ceiling basis with every
+	//     extension column pinned is slower than a cold solve.
+	probe := func(b float64, stage ProbeStage) (bool, int, error) {
 		start := time.Now()
-		warm := false
-		var feasible bool
-		var iters int
-		var err error
-		if pr != nil {
-			var ok bool
-			feasible, iters, ok, err = pr.solve(inst, b, cfg)
-			warm = ok && err == nil
+		var (
+			feasible bool
+			iters    int
+			warm     bool
+			cert     string
+			err      error
+		)
+		resolved := false
+		if stage == StageBMax {
+			// A carried Farkas ray may refute the ceiling outright. Only the
+			// infeasible direction may bypass the chain solve: an infeasible
+			// ceiling aborts the search before any schedule exists, so the
+			// prune is identity-free, whereas a feasible ceiling must still
+			// come from the chain's own seed solve.
+			if cfg.Certificates && P != nil && P.checkInfeasible(inst, cfg.BMax) {
+				cert, stage = CertFarkas, StagePruned
+				resolved = true
+			} else {
+				var ok bool
+				feasible, _, iters, ok, err = env.chain.solveAt(inst, cfg.BMax)
+				if err == nil && !ok {
+					var it2 int
+					feasible, _, it2, err = solveSubRET(inst, cfg.BMax, cfg, false)
+					iters += it2
+				}
+				resolved = true
+				if P != nil && err == nil {
+					P.seedFrom(env.chain)
+					if cfg.Certificates {
+						P.note(inst, cfg.BMax, feasible)
+						P.adopt(env.chain.inc.Certificate())
+					}
+				}
+			}
 		}
-		if !warm && err == nil {
-			feasible, _, iters, err = solveSubRET(inst, b, cfg, false)
+		if !resolved && cfg.Certificates && P != nil {
+			if f, via, ok := P.check(inst, b); ok {
+				feasible, cert, stage = f, via, StagePruned
+				resolved = true
+			}
+		}
+		if !resolved && env.spec != nil {
+			if sr := env.spec.take(comp, b); sr != nil {
+				feasible, iters = sr.feasible, sr.iters
+				stage = StageSpeculative
+				resolved = true
+				if cfg.Certificates && P != nil {
+					P.note(inst, b, feasible)
+				}
+			}
+		}
+		if !resolved {
+			if cfg.WarmStart && P != nil && stage != StageB0 {
+				var ok bool
+				feasible, iters, ok, err = P.solve(inst, b)
+				warm = ok && err == nil
+			}
+			if !warm && err == nil {
+				feasible, _, iters, err = solveSubRET(inst, b, cfg, false)
+				if err == nil && cfg.Certificates && P != nil {
+					P.note(inst, b, feasible)
+				}
+			}
 		}
 		telRETSearchSteps.Inc()
 		step := ProbeStep{
@@ -225,6 +370,7 @@ func retSearch(inst *Instance, cfg RETConfig, pr *retProbe, comp string) (bhat f
 			Stage:     stage,
 			Feasible:  feasible,
 			Warm:      warm,
+			Cert:      cert,
 			Iters:     iters,
 			DurUS:     float64(time.Since(start)) / float64(time.Microsecond),
 		}
@@ -241,26 +387,21 @@ func retSearch(inst *Instance, cfg RETConfig, pr *retProbe, comp string) (bhat f
 		if tracer != nil {
 			tracer.Event("ret.search_step",
 				telemetry.KV("b", b),
-				telemetry.KV("stage", stage),
+				telemetry.KV("stage", string(stage)),
 				telemetry.KV("component", comp),
 				telemetry.KV("feasible", feasible),
 				telemetry.KV("warm", warm),
+				telemetry.KV("cert", cert),
 				telemetry.KV("iters", iters))
 		}
 		return feasible, iters, err
 	}
 
 	// Feasibility of SUB-RET is monotone in b: larger b only widens
-	// windows. First check b = 0, then b = BMax, then bisect.
-	feas0, iters, err := probe(0, "b0")
-	itersTotal += iters
-	if err != nil {
-		return 0, itersTotal, steps, err
-	}
-	if feas0 {
-		return 0, itersTotal, steps, nil
-	}
-	feasMax, iters, err := probe(cfg.BMax, "bmax")
+	// windows. The ceiling probe runs first — it is the extraction
+	// chain's seed solve and the source of the feasible-point
+	// certificate — then b = 0, then bisection.
+	feasMax, iters, err := probe(cfg.BMax, StageBMax)
 	itersTotal += iters
 	if err != nil {
 		return 0, itersTotal, steps, err
@@ -268,10 +409,28 @@ func retSearch(inst *Instance, cfg RETConfig, pr *retProbe, comp string) (bhat f
 	if !feasMax {
 		return 0, itersTotal, steps, fmt.Errorf("schedule: RET infeasible even at b=%g — raise BMax or the grid horizon", cfg.BMax)
 	}
+	feas0, iters, err := probe(0, StageB0)
+	itersTotal += iters
+	if err != nil {
+		return 0, itersTotal, steps, err
+	}
+	if feas0 {
+		return 0, itersTotal, steps, nil
+	}
 	lo, hi := 0.0, cfg.BMax
 	for hi-lo > cfg.Eps {
 		mid := (lo + hi) / 2
-		feasible, iters, err := probe(mid, "bisect")
+		if env.spec != nil {
+			// Speculate both possible next midpoints while mid resolves;
+			// only intervals the loop would actually visit are worth it.
+			if mid-lo > cfg.Eps {
+				env.spec.launch(inst, (lo+mid)/2, cfg, comp)
+			}
+			if hi-mid > cfg.Eps {
+				env.spec.launch(inst, (mid+hi)/2, cfg, comp)
+			}
+		}
+		feasible, iters, err := probe(mid, StageBisect)
 		itersTotal += iters
 		if err != nil {
 			return 0, itersTotal, steps, err
@@ -285,6 +444,20 @@ func retSearch(inst *Instance, cfg RETConfig, pr *retProbe, comp string) (bhat f
 	return hi, itersTotal, steps, nil
 }
 
+// tallyProbes splits a search trajectory into solved vs pruned counts.
+func tallyProbes(res *RETResult, steps []ProbeStep) {
+	for _, st := range steps {
+		if st.Err != "" {
+			continue
+		}
+		if st.Stage == StagePruned {
+			res.ProbesPruned++
+		} else {
+			res.ProbesSolved++
+		}
+	}
+}
+
 // solveRETMono is the single-model Algorithm 2 path.
 func solveRETMono(inst *Instance, cfg RETConfig) (*RETResult, error) {
 	res := &RETResult{Components: 1}
@@ -295,24 +468,40 @@ func solveRETMono(inst *Instance, cfg RETConfig) (*RETResult, error) {
 	tracer := cfg.Solver.Tracer
 
 	fullKey, fullEdges := fullInstanceKeyEdges(inst)
-	if cfg.WarmBasis == nil && cfg.WarmBases != nil {
-		cfg.WarmBasis = cfg.WarmBases[fullKey]
-	}
 
-	// The warm probe model is shared by every feasibility solve of the
-	// binary search; a build failure just disables the fast path.
-	var pr *retProbe
-	if cfg.WarmStart {
-		pr, _ = newRETProbe(inst, cfg)
-	}
-
-	searchStart := time.Now()
-	bhat, iters, steps, err := retSearch(inst, cfg, pr, "")
-	res.LPIters += iters
-	res.Probes = steps
+	// The extraction chain runs in every configuration — its solve
+	// sequence (cold seed at b = BMax, then incremental re-solves at b̂
+	// and each δ-round) depends only on the instance and the bit-exact b̂,
+	// so warm, certificate-pruned, and cold runs extract byte-identical
+	// schedules by construction.
+	E, err := newRETChain(inst, "sub-ret", cfg)
 	if err != nil {
 		retSpan.End(telemetry.KV("error", err.Error()))
 		return nil, err
+	}
+	var P *retProber
+	if cfg.WarmStart || cfg.Certificates {
+		P = newRETProber(inst, cfg, resolveCarry(cfg, fullKey, true))
+	}
+	spec := newSpeculator(cfg, 1)
+
+	searchStart := time.Now()
+	bhat, iters, steps, err := retSearch(inst, cfg, retSearchEnv{chain: E, prober: P, spec: spec}, "")
+	res.LPIters += iters
+	res.Probes = steps
+	tallyProbes(res, steps)
+	if err != nil {
+		// Even a failed search leaves reusable state: the Farkas ray of an
+		// infeasible-at-BMax epoch lets the next epoch refute its ceiling
+		// by certificate instead of a cold solve. Export it alongside the
+		// error; callers that carry warm state keep it, others discard res.
+		if P != nil {
+			res.ProbeBases = map[string]*ComponentBasis{
+				fullKey: {Basis: P.exportBasis(), Edges: fullEdges, Feas: P.feas, Infeas: P.infeas},
+			}
+		}
+		retSpan.End(telemetry.KV("error", err.Error()))
+		return res, err
 	}
 	res.BHat = bhat
 	res.SearchTime = time.Since(searchStart)
@@ -331,7 +520,19 @@ func solveRETMono(inst *Instance, cfg RETConfig) (*RETResult, error) {
 			retSpan.End(telemetry.KV("error", err.Error()))
 			return nil, err
 		}
-		feasible, frac, iters, err := solveSubRET(inst, b, cfg, true)
+		var (
+			feasible bool
+			frac     *Assignment
+			iters    int
+			err      error
+		)
+		if b <= cfg.BMax {
+			feasible, frac, iters, err = E.extractAt(inst, b)
+		} else {
+			// Past the chain's column set (windows beyond BMax): cold
+			// per-b model, as before.
+			feasible, frac, iters, err = solveSubRET(inst, b, cfg, true)
+		}
 		res.LPIters += iters
 		if err != nil {
 			retSpan.End(telemetry.KV("error", err.Error()))
@@ -351,10 +552,11 @@ func solveRETMono(inst *Instance, cfg RETConfig) (*RETResult, error) {
 			res.LPDAR = lpdar
 			res.Rounds = round
 			res.SolveTime = time.Since(solveStart)
-			if pr != nil {
-				res.ProbeBasis = pr.basis
+			if P != nil {
+				basis := P.exportBasis()
+				res.ProbeBasis = basis
 				res.ProbeBases = map[string]*ComponentBasis{
-					fullKey: {Basis: pr.basis, Edges: fullEdges},
+					fullKey: {Basis: basis, Edges: fullEdges, Feas: P.feas, Infeas: P.infeas},
 				}
 			}
 			telRETDeltaRounds.Add(int64(round))
@@ -364,7 +566,9 @@ func solveRETMono(inst *Instance, cfg RETConfig) (*RETResult, error) {
 				telemetry.KV("bhat", res.BHat),
 				telemetry.KV("b", res.B),
 				telemetry.KV("delta_rounds", round),
-				telemetry.KV("lp_iters", res.LPIters))
+				telemetry.KV("lp_iters", res.LPIters),
+				telemetry.KV("probes_solved", res.ProbesSolved),
+				telemetry.KV("certificate_hits", res.ProbesPruned))
 			return res, nil
 		}
 		if tracer != nil {
@@ -395,14 +599,16 @@ func solveRETDecomposed(inst *Instance, comps []*Component, cfg RETConfig) (*RET
 	wall := time.Now()
 
 	type compState struct {
-		cfg    RETConfig // per-component copy: WarmBasis and tracer scope differ
-		probe  *retProbe
+		cfg    RETConfig // per-component copy: warm state and tracer scope differ
+		chain  *retChain // extraction chain; survives into the δ-rounds
+		prober *retProber
 		bhat   float64
 		iters  int
 		dur    time.Duration
 		probes []ProbeStep
 	}
 	states := make([]compState, len(comps))
+	spec := newSpeculator(cfg, len(comps))
 
 	searchStart := time.Now()
 	err := runComponents(len(comps), cfg.Parallelism, func(i int) error {
@@ -411,13 +617,16 @@ func solveRETDecomposed(inst *Instance, comps []*Component, cfg RETConfig) (*RET
 		st.cfg = cfg
 		compSpan := tracer.Start("schedule.ret_component")
 		st.cfg.Solver.Tracer = compSpan.Tracer()
-		if cfg.WarmBases != nil {
-			st.cfg.WarmBasis = cfg.WarmBases[comps[i].Key]
+		E, err := newRETChain(comps[i].Inst, "sub-ret", st.cfg)
+		if err != nil {
+			compSpan.End(telemetry.KV("error", err.Error()))
+			return fmt.Errorf("component {%s}: %w", comps[i].Key, err)
 		}
-		if cfg.WarmStart {
-			st.probe, _ = newRETProbe(comps[i].Inst, st.cfg)
+		st.chain = E
+		if cfg.WarmStart || cfg.Certificates {
+			st.prober = newRETProber(comps[i].Inst, st.cfg, resolveCarry(cfg, comps[i].Key, false))
 		}
-		bhat, iters, steps, err := retSearch(comps[i].Inst, st.cfg, st.probe, comps[i].Key)
+		bhat, iters, steps, err := retSearch(comps[i].Inst, st.cfg, retSearchEnv{chain: E, prober: st.prober, spec: spec}, comps[i].Key)
 		st.bhat, st.iters, st.probes = bhat, iters, steps
 		st.dur = time.Since(start)
 		attrs := []telemetry.Attr{
@@ -437,10 +646,29 @@ func solveRETDecomposed(inst *Instance, comps []*Component, cfg RETConfig) (*RET
 	})
 	for i := range states {
 		res.Probes = append(res.Probes, states[i].probes...)
+		tallyProbes(res, states[i].probes)
 	}
 	if err != nil {
+		// Export whatever per-component carry state the searches produced
+		// before failing (see the monolithic path): a Farkas ray from an
+		// overloaded component prunes the same component's ceiling probe
+		// next epoch.
+		if cfg.WarmStart || cfg.Certificates {
+			res.ProbeBases = make(map[string]*ComponentBasis, len(comps))
+			for i, c := range comps {
+				if states[i].prober == nil {
+					continue
+				}
+				res.ProbeBases[c.Key] = &ComponentBasis{
+					Basis:  states[i].prober.exportBasis(),
+					Edges:  c.Edges,
+					Feas:   states[i].prober.feas,
+					Infeas: states[i].prober.infeas,
+				}
+			}
+		}
 		retSpan.End(telemetry.KV("error", err.Error()))
-		return nil, err
+		return res, err
 	}
 	var serial time.Duration
 	res.BHats = make(map[string]float64, len(comps))
@@ -458,8 +686,8 @@ func solveRETDecomposed(inst *Instance, comps []*Component, cfg RETConfig) (*RET
 	}
 	res.SearchTime = time.Since(searchStart)
 
-	// Step 2–5 at the global b: per-component fractional solves, merge,
-	// then global integerization.
+	// Step 2–5 at the global b: per-component incremental extraction
+	// solves, merge, then global integerization.
 	solveStart := time.Now()
 	b := res.BHat
 	for round := 0; ; round++ {
@@ -475,7 +703,7 @@ func solveRETDecomposed(inst *Instance, comps []*Component, cfg RETConfig) (*RET
 			feas := make([]bool, len(comps))
 			err := runComponents(len(comps), cfg.Parallelism, func(i int) error {
 				start := time.Now()
-				f, a, iters, err := solveSubRET(comps[i].Inst, b, states[i].cfg, true)
+				f, a, iters, err := states[i].chain.extractAt(comps[i].Inst, b)
 				feas[i], fracs[i] = f, a
 				states[i].iters = iters
 				states[i].dur += time.Since(start)
@@ -518,11 +746,17 @@ func solveRETDecomposed(inst *Instance, comps []*Component, cfg RETConfig) (*RET
 			res.LPDAR = lpdar
 			res.Rounds = round
 			res.SolveTime = time.Since(solveStart)
-			if cfg.WarmStart {
+			if cfg.WarmStart || cfg.Certificates {
 				res.ProbeBases = make(map[string]*ComponentBasis, len(comps))
 				for i, c := range comps {
-					if states[i].probe != nil && states[i].probe.basis != nil {
-						res.ProbeBases[c.Key] = &ComponentBasis{Basis: states[i].probe.basis, Edges: c.Edges}
+					if states[i].prober == nil {
+						continue
+					}
+					res.ProbeBases[c.Key] = &ComponentBasis{
+						Basis:  states[i].prober.exportBasis(),
+						Edges:  c.Edges,
+						Feas:   states[i].prober.feas,
+						Infeas: states[i].prober.infeas,
 					}
 				}
 			}
@@ -539,7 +773,9 @@ func solveRETDecomposed(inst *Instance, comps []*Component, cfg RETConfig) (*RET
 				telemetry.KV("bhat", res.BHat),
 				telemetry.KV("b", res.B),
 				telemetry.KV("delta_rounds", round),
-				telemetry.KV("lp_iters", res.LPIters))
+				telemetry.KV("lp_iters", res.LPIters),
+				telemetry.KV("probes_solved", res.ProbesSolved),
+				telemetry.KV("certificate_hits", res.ProbesPruned))
 			return res, nil
 		}
 		if tracer != nil {
@@ -552,15 +788,13 @@ func solveRETDecomposed(inst *Instance, comps []*Component, cfg RETConfig) (*RET
 	}
 }
 
-// solveSubRET builds and solves the fractional SUB-RET LP (eqs. 14–16 with
-// (5) in place of (10)) under extension factor b. It reports feasibility;
-// the assignment is extracted only when extract is true.
-func solveSubRET(inst *Instance, b float64, cfg RETConfig, extract bool) (bool, *Assignment, int, error) {
-	extLast := retExtendedLast(inst, b, cfg)
-	m := lp.NewModel("sub-ret", lp.Minimize)
+// buildSubRETModel assembles the fractional SUB-RET program (eqs. 14–16
+// with (5) in place of (10)) at the given per-job windows.
+func buildSubRETModel(name string, inst *Instance, extLast []int, cfg RETConfig) (*lp.Model, flowVars, error) {
+	m := lp.NewModel(name, lp.Minimize)
 	xvars, err := addFlowVars(m, inst, extLast, 0)
 	if err != nil {
-		return false, nil, 0, err
+		return nil, nil, err
 	}
 	// Quick-Finish objective (14): Σ_j γ(j)·Σ x.
 	for k := range inst.Jobs {
@@ -576,7 +810,18 @@ func solveSubRET(inst *Instance, b float64, cfg RETConfig, extract bool) (bool, 
 		})
 	}
 	addCapacityRows(m, inst, xvars, 0)
+	return m, xvars, nil
+}
 
+// solveSubRET builds and solves the fractional SUB-RET LP under extension
+// factor b as a standalone per-b model. It reports feasibility; the
+// assignment is extracted only when extract is true.
+func solveSubRET(inst *Instance, b float64, cfg RETConfig, extract bool) (bool, *Assignment, int, error) {
+	extLast := retExtendedLast(inst, b, cfg)
+	m, xvars, err := buildSubRETModel("sub-ret", inst, extLast, cfg)
+	if err != nil {
+		return false, nil, 0, err
+	}
 	sol, err := m.SolveWith(cfg.Solver)
 	if err != nil {
 		return false, nil, 0, fmt.Errorf("schedule: SUB-RET(b=%g): %w", b, err)
@@ -627,94 +872,374 @@ func retExtendedLast(inst *Instance, b float64, cfg RETConfig) []int {
 	return extLast
 }
 
-// retProbe is the reusable feasibility-probe model for the binary search
-// on b. It is built once with every job's window extended to BMax; a probe
-// at a smaller b pins the out-of-window flow variables to [0,0], which is
-// feasibility-equivalent to the per-b model solveSubRET would build (a
-// variable fixed at zero contributes nothing to any row). Between probes
-// only bounds change, so each solve warm-starts from the previous probe's
-// basis.
-type retProbe struct {
+// retChain is a persistent SUB-RET model over BMax-extended windows,
+// re-solved incrementally as b moves. A candidate b only flips variable
+// bounds — out-of-window flow pinned to [0,0], re-opened flow to [0,∞) —
+// which is feasibility-equivalent to the per-b model solveSubRET would
+// build (a variable fixed at zero contributes nothing to any row). The
+// lp.Incremental underneath chains the basis across solves, including
+// after infeasible verdicts.
+type retChain struct {
+	cfg     RETConfig
 	m       *lp.Model
 	xv      flowVars
 	maxLast []int // extended windows at BMax (the model's variable set)
 	curLast []int // windows currently applied via bounds
-	basis   *lp.Basis
-	opts    lp.Options
+	inc     *lp.Incremental
 }
 
-// newRETProbe builds the probe model at BMax windows.
-func newRETProbe(inst *Instance, cfg RETConfig) (*retProbe, error) {
+// newRETChain builds the chain model at BMax windows.
+func newRETChain(inst *Instance, name string, cfg RETConfig) (*retChain, error) {
 	maxLast := retExtendedLast(inst, cfg.BMax, cfg)
-	m := lp.NewModel("sub-ret-probe", lp.Minimize)
-	xv, err := addFlowVars(m, inst, maxLast, 0)
+	m, xv, err := buildSubRETModel(name, inst, maxLast, cfg)
 	if err != nil {
 		return nil, err
 	}
-	for k := range inst.Jobs {
-		forEachVar(inst, xv, k, func(p, j int, v lp.VarID) {
-			m.SetObj(v, cfg.Gamma(j))
-		})
-	}
-	for k, jb := range inst.Jobs {
-		r := m.AddRow(fmt.Sprintf("demand%d", jb.ID), lp.GE, jb.Size)
-		forEachVar(inst, xv, k, func(p, j int, v lp.VarID) {
-			m.AddTerm(r, v, inst.Grid.Len(j))
-		})
-	}
-	addCapacityRows(m, inst, xv, 0)
-
-	opts := cfg.Solver
-	opts.Presolve = false // presolve would disable basis capture
-	opts.CaptureBasis = true
 	cur := make([]int, len(maxLast))
 	copy(cur, maxLast)
-	return &retProbe{m: m, xv: xv, maxLast: maxLast, curLast: cur, opts: opts, basis: cfg.WarmBasis}, nil
+	return &retChain{
+		cfg:     cfg,
+		m:       m,
+		xv:      xv,
+		maxLast: maxLast,
+		curLast: cur,
+		inc:     lp.NewIncremental(m, cfg.Solver),
+	}, nil
 }
 
-// solve probes feasibility at b. ok is false when the solver returned a
-// status the probe cannot interpret (iteration/time limit, numerical) —
-// the caller then falls back to the cold probe for an authoritative
-// answer.
-func (pr *retProbe) solve(inst *Instance, b float64, cfg RETConfig) (feasible bool, iters int, ok bool, err error) {
-	last := retExtendedLast(inst, b, cfg)
+// applyLast flips variable bounds to realize the given per-job windows.
+func (ch *retChain) applyLast(last []int) {
 	for k := range last {
-		if last[k] == pr.curLast[k] {
+		if last[k] == ch.curLast[k] {
 			continue
 		}
-		for p := range pr.xv[k] {
-			for j, v := range pr.xv[k][p] {
+		for p := range ch.xv[k] {
+			for j, v := range ch.xv[k][p] {
 				if v < 0 {
 					continue
 				}
 				switch {
 				case j > last[k]:
-					pr.m.SetBounds(v, 0, 0) // outside the b-window: pinned
-				case j > pr.curLast[k]:
-					pr.m.SetBounds(v, 0, lp.Inf) // re-opened by a larger b
+					ch.m.SetBounds(v, 0, 0) // outside the b-window: pinned
+				case j > ch.curLast[k]:
+					ch.m.SetBounds(v, 0, lp.Inf) // re-opened by a larger b
 				}
 			}
 		}
-		pr.curLast[k] = last[k]
+		ch.curLast[k] = last[k]
 	}
+}
 
-	opts := pr.opts
-	opts.WarmStart = pr.basis
-	sol, err := pr.m.SolveWith(opts)
+// solveAt re-solves the chain at extension factor b. ok is false when the
+// solver returned a status the chain cannot interpret (iteration/time
+// limit, numerical) — the caller then needs an authoritative cold solve.
+func (ch *retChain) solveAt(inst *Instance, b float64) (feasible bool, sol *lp.Solution, iters int, ok bool, err error) {
+	ch.applyLast(retExtendedLast(inst, b, ch.cfg))
+	before := ch.inc.Iters()
+	sol, err = ch.inc.Solve()
+	iters = ch.inc.Iters() - before
 	if err != nil {
-		return false, 0, false, fmt.Errorf("schedule: SUB-RET probe(b=%g): %w", b, err)
-	}
-	if sol.Basis != nil {
-		pr.basis = sol.Basis
+		return false, nil, iters, false, fmt.Errorf("schedule: SUB-RET(b=%g): %w", b, err)
 	}
 	switch sol.Status {
 	case lp.Optimal:
-		return true, sol.Iters, true, nil
+		return true, sol, iters, true, nil
 	case lp.Infeasible:
-		return false, sol.Iters, true, nil
+		return false, sol, iters, true, nil
 	default:
-		return false, sol.Iters, false, nil
+		return false, nil, iters, false, nil
 	}
+}
+
+// extractAt solves at b and extracts the fractional assignment. Residual
+// values on pinned (out-of-window) columns are zeroed, so the assignment
+// matches what a per-b model would structurally enforce.
+func (ch *retChain) extractAt(inst *Instance, b float64) (bool, *Assignment, int, error) {
+	feasible, sol, iters, ok, err := ch.solveAt(inst, b)
+	if err != nil {
+		return false, nil, iters, err
+	}
+	if !ok {
+		// Authoritative fallback, mirroring the probe path.
+		f, a, it2, err := solveSubRET(inst, b, ch.cfg, true)
+		return f, a, iters + it2, err
+	}
+	if !feasible {
+		return false, nil, iters, nil
+	}
+	a := extractAssignment(inst, ch.xv, sol)
+	for k, last := range ch.curLast {
+		for p := range a.X[k] {
+			row := a.X[k][p]
+			for j := last + 1; j < len(row); j++ {
+				row[j] = 0
+			}
+		}
+	}
+	a.SetExtendedWindows(retExtendedLast(inst, b, ch.cfg))
+	return true, a, iters, nil
+}
+
+// lastKey fingerprints a per-job window vector for the probe memo: two b
+// values quantizing to the same windows pose the exact same LP.
+func lastKey(last []int) string {
+	var sb strings.Builder
+	sb.Grow(4 * len(last))
+	for _, v := range last {
+		sb.WriteString(strconv.Itoa(v))
+		sb.WriteByte(',')
+	}
+	return sb.String()
+}
+
+// retProber answers feasibility probes for one component: first from the
+// window memo, then from stored certificates, and only then by an
+// incremental solve on its own probe chain. The chain is separate from
+// the extraction chain so probe traffic cannot perturb the extraction
+// solve sequence (which is what keeps schedules byte-identical across
+// configurations).
+type retProber struct {
+	inst *Instance
+	cfg  RETConfig
+
+	seed     *lp.Basis // first-solve warm start: cross-epoch carry, else the extraction chain's ceiling basis
+	chain    *retChain // lazily built: a fully pruned search never pays for it
+	chainErr bool
+
+	memo   map[string]bool // window fingerprint → feasibility verdict
+	feas   *lp.Certificate // most recent feasible witness (smallest proven b)
+	infeas *lp.Certificate // most recent Farkas ray (largest refuted b)
+}
+
+// newRETProber wires the prober with optional cross-epoch carry.
+func newRETProber(inst *Instance, cfg RETConfig, carry *ComponentBasis) *retProber {
+	p := &retProber{inst: inst, cfg: cfg, memo: make(map[string]bool)}
+	if carry != nil {
+		p.seed = carry.Basis
+		p.feas = carry.Feas
+		p.infeas = carry.Infeas
+	}
+	return p
+}
+
+// seedFrom adopts the extraction chain's current basis as the probe
+// chain's first-solve warm start, unless a cross-epoch seed already won.
+func (p *retProber) seedFrom(E *retChain) {
+	if p.seed == nil {
+		p.seed = E.inc.Basis()
+	}
+}
+
+// adopt stores a certificate from the extraction chain's ceiling solve.
+// Both directions replace any cross-epoch carry: the fresh certificate
+// was computed on this epoch's instance, and a ceiling verdict is the
+// strongest the search produces — the ceiling optimum is the point most
+// likely to satisfy every narrower window, and a b = BMax Farkas ray
+// refutes every smaller b (pinning columns only widens its gap).
+func (p *retProber) adopt(c *lp.Certificate) {
+	if c == nil {
+		return
+	}
+	if c.Feasible() {
+		p.feas = c
+	} else {
+		p.infeas = c
+	}
+}
+
+// note records a solved verdict in the window memo.
+func (p *retProber) note(inst *Instance, b float64, feasible bool) {
+	p.memo[lastKey(retExtendedLast(inst, b, p.cfg))] = feasible
+}
+
+func (p *retProber) ensureChain() *retChain {
+	if p.chain == nil && !p.chainErr {
+		ch, err := newRETChain(p.inst, "sub-ret-probe", p.cfg)
+		if err != nil {
+			p.chainErr = true
+			return nil
+		}
+		if p.seed != nil {
+			ch.inc.SeedBasis(p.seed)
+		}
+		p.chain = ch
+	}
+	return p.chain
+}
+
+// checkInfeasible tries to REFUTE feasibility at b from the stored
+// Farkas ray alone, for the ceiling probe: a feasible ceiling must still
+// be established by the extraction chain's seed solve, but an infeasible
+// one aborts the whole search, so answering it by certificate skips the
+// most expensive cold solve of a repeatedly-overloaded epoch sequence.
+func (p *retProber) checkInfeasible(inst *Instance, b float64) bool {
+	if p.infeas == nil {
+		return false
+	}
+	ch := p.ensureChain()
+	if ch == nil {
+		return false
+	}
+	ch.applyLast(retExtendedLast(inst, b, p.cfg))
+	f, ok := ch.m.CheckFeasibleWithCertificate(p.infeas)
+	return ok && !f
+}
+
+// check tries to answer the probe at b without a solve: window memo, then
+// stored feasible point, then stored Farkas ray. ok is false when nothing
+// applies; answers are exact (certificates self-verify against the
+// current bounds, so a stale one declines rather than lies).
+func (p *retProber) check(inst *Instance, b float64) (feasible bool, via string, ok bool) {
+	last := retExtendedLast(inst, b, p.cfg)
+	key := lastKey(last)
+	if v, hit := p.memo[key]; hit {
+		return v, CertWindow, true
+	}
+	if p.feas == nil && p.infeas == nil {
+		return false, "", false
+	}
+	ch := p.ensureChain()
+	if ch == nil {
+		return false, "", false
+	}
+	ch.applyLast(last)
+	if f, ok := ch.m.CheckFeasibleWithCertificate(p.feas); ok {
+		p.memo[key] = f
+		return f, CertPoint, true
+	}
+	if f, ok := ch.m.CheckFeasibleWithCertificate(p.infeas); ok {
+		p.memo[key] = f
+		return f, CertFarkas, true
+	}
+	return false, "", false
+}
+
+// solve answers the probe at b on the incremental probe chain. ok is
+// false when the chain could not give an authoritative verdict — the
+// caller then falls back to a cold per-b solve.
+func (p *retProber) solve(inst *Instance, b float64) (feasible bool, iters int, ok bool, err error) {
+	ch := p.ensureChain()
+	if ch == nil {
+		return false, 0, false, nil
+	}
+	feasible, _, iters, ok, err = ch.solveAt(inst, b)
+	if err != nil {
+		return false, iters, false, fmt.Errorf("schedule: SUB-RET probe(b=%g): %w", b, err)
+	}
+	if ok && p.cfg.Certificates {
+		p.memo[lastKey(ch.curLast)] = feasible
+		if c := ch.inc.Certificate(); c != nil {
+			if c.Feasible() {
+				p.feas = c
+			} else {
+				p.infeas = c
+			}
+		}
+	}
+	return feasible, iters, ok, nil
+}
+
+// exportBasis snapshots the probe chain's basis for cross-epoch carry,
+// falling back to the seed (the extraction chain's ceiling basis, or the
+// carried entry) when every probe was pruned and the chain never solved.
+func (p *retProber) exportBasis() *lp.Basis {
+	if p.chain != nil {
+		if b := p.chain.inc.Basis(); b != nil {
+			return b
+		}
+	}
+	return p.seed
+}
+
+// speculator runs bounded speculative cold probes on spare worker-pool
+// slots. Launches never block (no token → drop) and takes never wait
+// (still running → caller solves normally), so speculation can only
+// overlap work, never serialize it.
+type speculator struct {
+	sem     chan struct{}
+	cfg     RETConfig
+	mu      sync.Mutex
+	pending map[string]*specResult
+}
+
+type specResult struct {
+	done     chan struct{}
+	feasible bool
+	iters    int
+	err      error
+}
+
+// newSpeculator sizes the speculative pool: Parallelism (or NumCPU) minus
+// the concurrent component searches. nil — speculation off — when
+// nothing is spare.
+func newSpeculator(cfg RETConfig, comps int) *speculator {
+	if !cfg.Speculate {
+		return nil
+	}
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	spare := workers - comps
+	if spare <= 0 {
+		return nil
+	}
+	scfg := cfg
+	scfg.Solver.Tracer = nil // wasted speculation must not pollute traces
+	scfg.OnProbe = nil
+	return &speculator{sem: make(chan struct{}, spare), cfg: scfg, pending: make(map[string]*specResult)}
+}
+
+func specKey(comp string, b float64) string {
+	return comp + "|" + strconv.FormatFloat(b, 'x', -1, 64)
+}
+
+// launch starts a speculative cold probe at b if a pool slot is free and
+// none is already pending for the same (component, b).
+func (sp *speculator) launch(inst *Instance, b float64, cfg RETConfig, comp string) {
+	key := specKey(comp, b)
+	sp.mu.Lock()
+	if _, dup := sp.pending[key]; dup {
+		sp.mu.Unlock()
+		return
+	}
+	select {
+	case sp.sem <- struct{}{}:
+	default:
+		sp.mu.Unlock()
+		return // no spare slot: skip, never block
+	}
+	sr := &specResult{done: make(chan struct{})}
+	sp.pending[key] = sr
+	sp.mu.Unlock()
+	go func() {
+		feasible, _, iters, err := solveSubRET(inst, b, sp.cfg, false)
+		sr.feasible, sr.iters, sr.err = feasible, iters, err
+		close(sr.done)
+		<-sp.sem
+	}()
+}
+
+// take returns the finished speculative verdict for (comp, b), or nil if
+// none exists, it is still running, or it errored — the caller then
+// probes normally. Consumed and superseded entries are removed.
+func (sp *speculator) take(comp string, b float64) *specResult {
+	key := specKey(comp, b)
+	sp.mu.Lock()
+	sr := sp.pending[key]
+	if sr != nil {
+		select {
+		case <-sr.done:
+			delete(sp.pending, key)
+		default:
+			sr = nil // still running: don't wait for it
+		}
+	}
+	sp.mu.Unlock()
+	if sr != nil && sr.err != nil {
+		return nil
+	}
+	return sr
 }
 
 // BuildRETInstance constructs an instance whose uniform grid (slices of
