@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race race-serve cluster-test bench bench-smoke bench-admission bench-ret bench-telemetry bench-trace-guard clean
+.PHONY: check vet build test race race-serve cluster-test bench bench-smoke bench-admission bench-ret bench-scale bench-telemetry bench-trace-guard clean
 
 check: vet build race-serve race cluster-test
 
@@ -41,14 +41,15 @@ bench:
 # warm-vs-cold RET comparison, and the decomposition speedup, so those
 # paths are exercised (and kept compiling) on every PR without paying for
 # a full bench run. The later steps regenerate Fig. 3 (gated ±20% against
-# BENCH_04.json) and the Fig. 4 RET sweep (gated ±10% against
-# BENCH_09.json, which also pins fig4 lp_ms at the certificate-pruned
-# level) at quick scale.
+# BENCH_04.json), the Fig. 4 RET sweep (gated ±10% against BENCH_09.json,
+# which also pins fig4 lp_ms at the certificate-pruned level), and the
+# scale-tier proxy (gated ±10% against BENCH_10.json) at quick scale.
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkSolveTelemetryOff$$|BenchmarkRETWarmVsCold|BenchmarkRETDecomposition' -benchtime 1x .
 	$(GO) run ./cmd/benchfig -quick -fig 3 -json /tmp/benchsmoke.json -baseline BENCH_04.json -max-regress 20
 	$(MAKE) bench-admission
 	$(MAKE) bench-ret
+	$(MAKE) bench-scale
 	$(MAKE) bench-trace-guard
 	$(MAKE) bench-cluster-guard
 
@@ -59,6 +60,14 @@ bench-smoke:
 # fail, speedups just move the next committed baseline).
 bench-ret:
 	$(GO) run ./cmd/benchfig -quick -fig ret -json /tmp/benchret.json -baseline BENCH_09.json -max-regress 10
+
+# Scale-tier gate: the quick proxy of the 400/1000-node sweep (K=8
+# enumeration vs column generation), gated ±10% against the committed
+# BENCH_10.json. lp_ms here is the column-generation arm's wall time, so
+# the guard is direction-aware: only a colgen slowdown fails, while the
+# enumeration baseline getting slower cannot mask one.
+bench-scale:
+	$(GO) run ./cmd/benchfig -quick -fig scale -json /tmp/benchscale.json -baseline BENCH_10.json -max-regress 10
 
 # Admission-subsystem sustained-load smoke: 5000 durable submissions
 # through the batched intake path vs the per-request mutex path, plus the

@@ -9,6 +9,7 @@
 //	benchfig -fig 4            # Fig. 4 + §III-B.1: RET end times & fractions
 //	benchfig -fig ret          # RET probe economy: certificate-pruned search
 //	benchfig -fig decomp       # decomposition: mono vs per-component solves
+//	benchfig -fig scale        # scale tier: K=8 enumeration vs column generation
 //	benchfig -fig all          # everything
 //	benchfig -fig 1 -quick     # reduced scale for a fast run
 //	benchfig -fig 1 -csv       # CSV instead of aligned text
@@ -269,6 +270,34 @@ func main() {
 		})
 		render(experiments.AdmissionTable(
 			"Admission — sustained-load intake throughput and incremental re-planning", res))
+	}
+	if want("scale") && *fig != "all" {
+		// Explicit selection only: at paper scale this sweep builds full
+		// K=8 Yen enumerations over the 400- and 1000-node preset
+		// networks — exactly the cost column generation avoids — so it
+		// would dominate an -fig all run.
+		start := time.Now()
+		rows, err := experiments.CompareScale(sc, nil)
+		if err != nil {
+			fatal("scale: %v", err)
+		}
+		last := rows[len(rows)-1]
+		objOK := 1.0
+		for _, r := range rows {
+			if !r.ObjOK {
+				objOK = 0
+			}
+		}
+		record("scale", time.Since(start), map[string]float64{
+			"lp_ms":           last.ColGenMs,
+			"enum_ms":         last.EnumMs,
+			"speedup_vs_enum": last.Speedup,
+			"colgen_paths":    float64(last.ColGenPaths),
+			"enum_paths":      float64(last.EnumPaths),
+			"obj_ok":          objOK,
+		})
+		render(experiments.ScaleTable(
+			"Scale tier — stage-1 wall clock, K=8 enumeration vs column generation", rows))
 	}
 	if want("decomp") {
 		start := time.Now()

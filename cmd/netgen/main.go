@@ -6,6 +6,14 @@
 //	netgen -topo waxman -nodes 100 -pairs 200 -waves 4 -seed 1 > net.json
 //	netgen -topo abilene -waves 8 > abilene.json
 //	netgen -topo abilene-dense -waves 8 > abilene20.json
+//	netgen -topo scale400 > examples/scale/scale400.json
+//	netgen -topo scale1000 > examples/scale/scale1000.json
+//
+// scale400 and scale1000 are the fixed scale-tier presets: Waxman graphs
+// at 400 nodes / 800 link pairs (seed 10400) and 1000 nodes / 2000 link
+// pairs (seed 11000), 4 wavelengths per 20 Gb/s link. The seeds are part
+// of the preset, so regenerating always reproduces the committed
+// examples/scale/ topologies byte for byte.
 package main
 
 import (
@@ -18,7 +26,7 @@ import (
 
 func main() {
 	var (
-		topo   = flag.String("topo", "waxman", "topology: waxman, abilene, abilene-dense, geant2, ring, line, grid")
+		topo   = flag.String("topo", "waxman", "topology: waxman, abilene, abilene-dense, geant2, ring, line, grid, scale400, scale1000")
 		nodes  = flag.Int("nodes", 100, "node count (waxman/ring/line); rows for grid")
 		cols   = flag.Int("cols", 4, "columns (grid only)")
 		pairs  = flag.Int("pairs", 200, "bidirectional link pairs (waxman)")
@@ -39,6 +47,10 @@ func main() {
 			Nodes: *nodes, LinkPairs: *pairs,
 			Wavelengths: *waves, GbpsPerWave: perWave, Seed: *seed,
 		})
+	case "scale400":
+		g, err = netgraph.Waxman(netgraph.ScalePreset400)
+	case "scale1000":
+		g, err = netgraph.Waxman(netgraph.ScalePreset1000)
 	case "abilene":
 		g = netgraph.Abilene(*waves)
 	case "abilene-dense":

@@ -91,6 +91,7 @@ func main() {
 		bmax     = flag.Float64("bmax", 5, "RET extension ceiling")
 		warm     = flag.Bool("warm", false, "warm-start LP solves across repeated-solve loops (same schedules, fewer pivots)")
 		mono     = flag.Bool("monolithic", false, "disable instance decomposition; solve every instance as one coupled model")
+		colgen   = flag.Bool("colgen", false, "price path columns on demand (column generation) instead of enumerating -k paths upfront")
 		verbose  = flag.Bool("verbose", false, "dump per-slice assignments")
 		jsonOut  = flag.Bool("json", false, "emit the -algo sim result as JSON instead of text")
 
@@ -147,9 +148,9 @@ func main() {
 
 	switch *algo {
 	case "maxthroughput":
-		runMaxThroughput(g, jobs, *slices, *sliceLen, *k, *alpha, *warm, *mono, *verbose)
+		runMaxThroughput(g, jobs, *slices, *sliceLen, *k, *alpha, *warm, *mono, *colgen, *verbose)
 	case "ret":
-		runRET(g, jobs, *sliceLen, *k, *bmax, *warm, *mono, *verbose)
+		runRET(g, jobs, *sliceLen, *k, *bmax, *warm, *mono, *colgen, *verbose)
 	case "admit":
 		runAdmit(g, jobs, *slices, *sliceLen, *k)
 	case "bottleneck":
@@ -158,6 +159,7 @@ func main() {
 		err := runSim(os.Stdout, g, jobs, simOptions{
 			Tau: *tau, SliceLen: *sliceLen, K: *k, Alpha: *alpha, BMax: *bmax,
 			Policy: *policy, MaxTime: *maxTime, JSON: *jsonOut, Warm: *warm, Monolithic: *mono,
+			ColumnGen: *colgen,
 			FailTrace: *failTrace, MTBF: *mtbf, MTTR: *mttr, FailSeed: *failSeed,
 		})
 		if err != nil {
@@ -304,14 +306,22 @@ func setupLogging(level string) error {
 	return nil
 }
 
-func runMaxThroughput(g *netgraph.Graph, jobs []job.Job, slices int, sliceLen float64, k int, alpha float64, warm, mono, verbose bool) {
+func runMaxThroughput(g *netgraph.Graph, jobs []job.Job, slices int, sliceLen float64, k int, alpha float64, warm, mono, colgen, verbose bool) {
 	grid, err := timeslice.Uniform(0, sliceLen, slices)
 	if err != nil {
 		fatal("%v", err)
 	}
-	inst, err := schedule.NewInstance(g, grid, jobs, k)
+	inst, err := schedule.NewInstanceOpts(g, grid, jobs, schedule.InstanceOptions{K: k, ColumnGen: colgen})
 	if err != nil {
 		fatal("%v", err)
+	}
+	if colgen {
+		stats, err := schedule.GeneratePaths(inst, schedule.ColGenConfig{Solver: lpOptions(), Alpha: alpha})
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("column generation: %d seed paths, %d priced in over %d rounds (%d solves)\n",
+			stats.SeedPaths, stats.AddedPaths, stats.Rounds, stats.Solves)
 	}
 	res, err := schedule.MaxThroughput(inst, schedule.Config{
 		Alpha: alpha, AlphaGrowth: 0.1, Solver: lpOptions(), WarmStart: warm,
@@ -351,10 +361,20 @@ func runMaxThroughput(g *netgraph.Graph, jobs []job.Job, slices int, sliceLen fl
 	}
 }
 
-func runRET(g *netgraph.Graph, jobs []job.Job, sliceLen float64, k int, bmax float64, warm, mono, verbose bool) {
-	inst, err := schedule.BuildRETInstance(g, jobs, sliceLen, k, bmax)
+func runRET(g *netgraph.Graph, jobs []job.Job, sliceLen float64, k int, bmax float64, warm, mono, colgen, verbose bool) {
+	inst, err := schedule.BuildRETInstanceOpts(g, jobs, sliceLen, k, bmax, schedule.InstanceOptions{K: k, ColumnGen: colgen})
 	if err != nil {
 		fatal("%v", err)
+	}
+	if colgen {
+		stats, err := schedule.GeneratePaths(inst, schedule.ColGenConfig{
+			Solver: lpOptions(), RET: &schedule.RETConfig{BMax: bmax, Solver: lpOptions()},
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("column generation: %d seed paths, %d priced in over %d rounds (%d solves)\n",
+			stats.SeedPaths, stats.AddedPaths, stats.Rounds, stats.Solves)
 	}
 	res, err := schedule.SolveRET(inst, schedule.RETConfig{BMax: bmax, Solver: lpOptions(), WarmStart: warm, Monolithic: mono})
 	if err != nil {

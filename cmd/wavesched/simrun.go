@@ -29,6 +29,10 @@ type simOptions struct {
 	// solve path splits independent job clusters into per-component LPs).
 	Monolithic bool
 
+	// ColumnGen prices path columns on demand instead of enumerating K
+	// paths per job upfront.
+	ColumnGen bool
+
 	FailTrace string  // JSON link-event trace to inject
 	MTBF      float64 // generate failures with this mean up-time (0 = off)
 	MTTR      float64 // mean repair time for generated failures
@@ -94,7 +98,7 @@ func runSim(w io.Writer, g *netgraph.Graph, jobs []job.Job, o simOptions) error 
 	ctrl, err := controller.New(g, controller.Config{
 		Tau: o.Tau, SliceLen: o.SliceLen, K: o.K, Alpha: o.Alpha,
 		Policy: policy, BMax: o.BMax, Solver: lpOptions(), Tracer: tracer,
-		WarmStart: o.Warm, Monolithic: o.Monolithic,
+		WarmStart: o.Warm, Monolithic: o.Monolithic, ColumnGen: o.ColumnGen,
 	})
 	if err != nil {
 		return err

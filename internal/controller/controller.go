@@ -146,6 +146,17 @@ type Config struct {
 	// byte-identical to the full re-solve under a deterministic pricing
 	// rule; see schedule.MaxThroughputIncremental.
 	Incremental bool
+	// ColumnGen prices path columns on demand instead of enumerating K
+	// paths per job upfront: each epoch's instance starts from SeedPaths
+	// edge-disjoint seed paths per (src, dst) pair — plus whatever the
+	// previous epochs' pricing runs discovered, reused through the
+	// controller's PathCache — and schedule.GeneratePaths grows the sets
+	// by LP pricing before the policy solve. K is ignored for path
+	// construction while set.
+	ColumnGen bool
+	// SeedPaths is the per-pair seed set size under ColumnGen;
+	// non-positive selects the schedule default (2).
+	SeedPaths int
 	// PriorityRank, when non-nil, orders pending requests ahead of
 	// admission: lower ranks are considered first (ties keep arrival
 	// order), so under PolicyReject the feasible admission prefix prefers
@@ -1081,13 +1092,39 @@ func (c *Controller) buildInstance(now float64) (*schedule.Instance, []*activeJo
 	if err != nil {
 		return nil, fresh, err
 	}
-	inst, err := schedule.NewInstanceOpts(c.graph(), grid, jobs, schedule.InstanceOptions{
-		K: c.cfg.K, PathCache: c.pathCache,
-	})
+	inst, err := c.newInstance(grid, jobs, false)
 	if err != nil {
 		return nil, fresh, fmt.Errorf("controller: epoch at t=%g: %w", now, err)
 	}
 	return inst, fresh, nil
+}
+
+// newInstance builds a scheduling instance with the controller's path
+// configuration. Under ColumnGen it also runs the pricing loop, so the
+// returned instance's path sets already cover every column the solves
+// that follow can use; discovered sets are published to the PathCache
+// and seed the next epoch's build. stage1Only skips stage-2 (and SUB-RET)
+// pricing — enough for feasibility probes that only consult Z*.
+func (c *Controller) newInstance(grid *timeslice.Grid, jobs []job.Job, stage1Only bool) (*schedule.Instance, error) {
+	opts := schedule.InstanceOptions{K: c.cfg.K, PathCache: c.pathCache}
+	if c.cfg.ColumnGen {
+		opts.ColumnGen, opts.SeedPaths = true, c.cfg.SeedPaths
+	}
+	inst, err := schedule.NewInstanceOpts(c.graph(), grid, jobs, opts)
+	if err != nil || !c.cfg.ColumnGen {
+		return inst, err
+	}
+	cg := schedule.ColGenConfig{
+		Solver: c.solverOpts(), Alpha: c.cfg.Alpha, Weight: c.cfg.Weight,
+		SkipStage2: stage1Only,
+	}
+	if !stage1Only && c.cfg.Policy == PolicyRET {
+		cg.RET = &schedule.RETConfig{BMax: c.cfg.BMax, Solver: c.solverOpts()}
+	}
+	if _, err := schedule.GeneratePaths(inst, cg); err != nil {
+		return nil, fmt.Errorf("column generation: %w", err)
+	}
+	return inst, nil
 }
 
 // solveChain runs the degradation chain over one instance: the configured
@@ -1617,9 +1654,7 @@ func (c *Controller) admitPrefix(now float64) (int, error) {
 		if err != nil {
 			return false, err
 		}
-		inst, err := schedule.NewInstanceOpts(c.graph(), grid, jobs, schedule.InstanceOptions{
-			K: c.cfg.K, PathCache: c.pathCache,
-		})
+		inst, err := c.newInstance(grid, jobs, true)
 		if err != nil {
 			return false, err
 		}

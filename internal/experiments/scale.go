@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"wavesched/internal/metrics"
+	"wavesched/internal/netgraph"
+	"wavesched/internal/schedule"
+)
+
+// ScaleRow is one sweep point of the scale-tier experiment: the same
+// stage-1 instance solved from a full K=8 eager path enumeration and by
+// column generation from a small seed set, averaged over seeds.
+type ScaleRow struct {
+	Nodes int
+	Pairs int
+	Jobs  int
+
+	EnumPaths   int     // total enumerated paths across jobs (mean, rounded)
+	EnumMs      float64 // K=8 build (Yen) + stage-1 solve wall time
+	EnumZ       float64 // mean stage-1 Z* from the enumerated instance
+	ColGenPaths int     // seed + priced paths across jobs (mean, rounded)
+	Rounds      int     // pricing rounds that appended columns (mean)
+	ColGenMs    float64 // seed build + pricing + stage-1 solve wall time
+	ColGenZ     float64 // mean stage-1 Z* from the generated instance
+
+	Speedup float64 // EnumMs / ColGenMs
+	// ObjOK reports ColGenZ ≥ EnumZ − 1e-9 on every seed: pricing proved
+	// optimality over the full path space, so the column-generated Z* may
+	// exceed the top-K enumeration but must never trail it.
+	ObjOK bool
+}
+
+// scaleEnumK is the eager-enumeration baseline of the scale tier ("full
+// K=8 enumeration" in the paper-repro roadmap).
+const scaleEnumK = 8
+
+// ScaleNodeCounts returns the default node sweep: the fixed 400/1000-node
+// tier at paper scale, a small proxy sweep under -quick so CI can gate the
+// trajectory in seconds.
+func ScaleNodeCounts(sc Scale) []int {
+	if sc.Nodes < 100 { // quick proxy
+		return []int{80, 160}
+	}
+	return []int{400, 1000}
+}
+
+// scaleNet builds the sweep topology for n nodes: the committed scale-tier
+// presets at 400 and 1000 nodes (so benchfig measures exactly the
+// examples/scale/ networks), plain seeded Waxman elsewhere.
+func scaleNet(n int, seed int64) (*netgraph.Graph, error) {
+	switch n {
+	case netgraph.ScalePreset400.Nodes:
+		return netgraph.Waxman(netgraph.ScalePreset400)
+	case netgraph.ScalePreset1000.Nodes:
+		return netgraph.Waxman(netgraph.ScalePreset1000)
+	default:
+		return netgraph.Waxman(netgraph.WaxmanConfig{
+			Nodes: n, LinkPairs: 2 * n, Wavelengths: 4, GbpsPerWave: 5, Seed: seed,
+		})
+	}
+}
+
+// CompareScale measures stage-1 wall clock at the scale tier: for each
+// node count it builds the instance twice — eager K=8 enumeration plus a
+// cold stage-1 solve vs column generation from the seed set, whose final
+// pricing round proves stage-1 optimality over the full path space and
+// reports Z* directly. Both arms are timed end to end (path construction
+// + solve/pricing), since at 400+ nodes enumeration cost is part of what
+// column generation replaces. Jobs scale with the node count (nodes/4,
+// the tier's 100+ jobs at 400 nodes).
+func CompareScale(sc Scale, nodeCounts []int) ([]ScaleRow, error) {
+	if len(nodeCounts) == 0 {
+		nodeCounts = ScaleNodeCounts(sc)
+	}
+	rows := make([]ScaleRow, 0, len(nodeCounts))
+	for _, n := range nodeCounts {
+		n := n
+		njobs := n / 4
+		type sample struct {
+			enumPaths, cgPaths, rounds int
+			enumMs, cgMs               float64
+			enumZ, cgZ                 float64
+			objOK                      bool
+		}
+		samples, err := runSeeds(sc.Seeds, func(seed int64) (sample, error) {
+			g, err := scaleNet(n, seed)
+			if err != nil {
+				return sample{}, err
+			}
+			grid, err := sc.grid()
+			if err != nil {
+				return sample{}, err
+			}
+			const waves = 4
+			jobs, err := sc.jobsFor(g, njobs, waves, seed+1000)
+			if err != nil {
+				return sample{}, err
+			}
+			var s sample
+
+			start := time.Now()
+			enumInst, err := schedule.NewInstanceOpts(g, grid, jobs,
+				schedule.InstanceOptions{K: scaleEnumK})
+			if err != nil {
+				return sample{}, err
+			}
+			enumS1, err := schedule.SolveStage1(enumInst, sc.Solver)
+			if err != nil {
+				return sample{}, fmt.Errorf("experiments: scale n=%d seed=%d enum: %w", n, seed, err)
+			}
+			s.enumMs = float64(time.Since(start)) / float64(time.Millisecond)
+			s.enumZ = enumS1.ZStar
+			for _, ps := range enumInst.JobPaths {
+				s.enumPaths += len(ps)
+			}
+
+			start = time.Now()
+			cgInst, err := schedule.NewInstanceOpts(g, grid, jobs,
+				schedule.InstanceOptions{ColumnGen: true})
+			if err != nil {
+				return sample{}, err
+			}
+			stats, err := schedule.GeneratePaths(cgInst, schedule.ColGenConfig{
+				Solver: sc.Solver, SkipStage2: true, Parallelism: sc.Parallelism,
+			})
+			if err != nil {
+				return sample{}, fmt.Errorf("experiments: scale n=%d seed=%d colgen: %w", n, seed, err)
+			}
+			s.cgMs = float64(time.Since(start)) / float64(time.Millisecond)
+			s.cgZ = stats.ZStar
+			s.cgPaths = stats.SeedPaths + stats.AddedPaths
+			s.rounds = stats.Rounds
+			s.objOK = s.cgZ >= s.enumZ-1e-9
+			return s, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := ScaleRow{Nodes: n, Pairs: 2 * n, Jobs: njobs, ObjOK: true}
+		for _, s := range samples {
+			row.EnumPaths += s.enumPaths
+			row.ColGenPaths += s.cgPaths
+			row.Rounds += s.rounds
+			row.EnumMs += s.enumMs
+			row.ColGenMs += s.cgMs
+			row.EnumZ += s.enumZ
+			row.ColGenZ += s.cgZ
+			row.ObjOK = row.ObjOK && s.objOK
+		}
+		k := float64(len(sc.Seeds))
+		row.EnumPaths = int(float64(row.EnumPaths)/k + 0.5)
+		row.ColGenPaths = int(float64(row.ColGenPaths)/k + 0.5)
+		row.Rounds = (row.Rounds + len(sc.Seeds)/2) / len(sc.Seeds)
+		row.EnumMs /= k
+		row.ColGenMs /= k
+		row.EnumZ /= k
+		row.ColGenZ /= k
+		if row.ColGenMs > 0 {
+			row.Speedup = row.EnumMs / row.ColGenMs
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ScaleTable renders scale rows.
+func ScaleTable(title string, rows []ScaleRow) *metrics.Table {
+	t := metrics.NewTable(title, "nodes", "pairs", "jobs",
+		"enum paths", "enum (ms)", "cg paths", "rounds", "cg (ms)", "speedup", "obj ok")
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%d", r.Nodes),
+			fmt.Sprintf("%d", r.Pairs),
+			fmt.Sprintf("%d", r.Jobs),
+			fmt.Sprintf("%d", r.EnumPaths),
+			fmt.Sprintf("%.1f", r.EnumMs),
+			fmt.Sprintf("%d", r.ColGenPaths),
+			fmt.Sprintf("%d", r.Rounds),
+			fmt.Sprintf("%.1f", r.ColGenMs),
+			fmt.Sprintf("%.2fx", r.Speedup),
+			fmt.Sprintf("%v", r.ObjOK),
+		)
+	}
+	return t
+}

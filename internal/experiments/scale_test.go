@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCompareScale runs a tiny sweep end to end: every row must report
+// the column-generated Z* no worse than the K=8 enumeration's (the
+// pricing optimality invariant) and a generated path count no larger
+// than the enumerated one.
+func TestCompareScale(t *testing.T) {
+	sc := QuickScale()
+	rows, err := CompareScale(sc, []int{40, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if !r.ObjOK {
+			t.Errorf("nodes=%d: colgen Z*=%g trails enum Z*=%g", r.Nodes, r.ColGenZ, r.EnumZ)
+		}
+		if r.EnumMs <= 0 || r.ColGenMs <= 0 {
+			t.Errorf("nodes=%d: non-positive timing %+v", r.Nodes, r)
+		}
+		if r.ColGenPaths > r.EnumPaths {
+			t.Errorf("nodes=%d: colgen used %d paths, enumeration only %d",
+				r.Nodes, r.ColGenPaths, r.EnumPaths)
+		}
+		if r.Jobs != r.Nodes/4 {
+			t.Errorf("nodes=%d: jobs=%d, want %d", r.Nodes, r.Jobs, r.Nodes/4)
+		}
+	}
+	if testing.Verbose() {
+		var sb strings.Builder
+		if err := ScaleTable("scale tier", rows).Render(&sb); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("\n" + sb.String())
+	}
+}

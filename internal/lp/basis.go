@@ -26,6 +26,66 @@ type Basis struct {
 	art   []float64 // artificial signs, length nRows
 }
 
+// Extend remaps a captured basis onto the shape the model takes after
+// appending addedVars structural columns and addedLERows trailing LE
+// constraint rows (the column-generation growth pattern: new path columns
+// plus any capacity rows they are the first to load). The returned snapshot
+// keeps the original basis matrix unchanged — appended columns enter
+// nonbasic at their lower bound, each appended row's slack enters basic —
+// so a warm solve from it refactorizes the same basis and prices the new
+// columns in from the old optimum instead of solving cold.
+//
+// Only LE rows may be appended this way (their +1 slack provides the basic
+// column for the new slot). The receiver is not modified; a nil receiver or
+// negative counts return nil, and Extend(0, 0) returns a plain copy.
+func (ws *Basis) Extend(addedVars, addedLERows int) *Basis {
+	if ws == nil || addedVars < 0 || addedLERows < 0 {
+		return nil
+	}
+	nVars := ws.nVars + addedVars
+	nRows := ws.nRows + addedLERows
+	nCols := ws.nCols + addedVars + addedLERows
+	out := &Basis{
+		nVars: nVars,
+		nRows: nRows,
+		nCols: nCols,
+		basis: make([]int, nRows),
+		state: make([]int8, nCols+nRows),
+		art:   make([]float64, nRows),
+	}
+	// Old column index j maps to: itself (structural), j+addedVars (slack:
+	// the slack block starts after the enlarged structural block), or
+	// nCols+i (artificial i: the artificial block starts after the enlarged
+	// structural+slack block).
+	remap := func(j int) int {
+		switch {
+		case j < ws.nVars:
+			return j
+		case j < ws.nCols:
+			return j + addedVars
+		default:
+			return nCols + (j - ws.nCols)
+		}
+	}
+	for slot, j := range ws.basis {
+		out.basis[slot] = remap(j)
+	}
+	for j, st := range ws.state {
+		out.state[remap(j)] = st
+	}
+	copy(out.art, ws.art)
+	// Appended structural columns rest at their lower bound; appended rows
+	// get their own slack basic (slot value = rhs − activity, which the dual
+	// simplex repairs if negative) and a positive-signed artificial.
+	for t := 0; t < addedLERows; t++ {
+		slackCol := ws.nCols + addedVars + t
+		out.basis[ws.nRows+t] = slackCol
+		out.state[slackCol] = stBasic
+		out.art[ws.nRows+t] = 1
+	}
+	return out
+}
+
 // snapshotBasis copies the live basis out of the solver state.
 func (s *simplex) snapshotBasis() *Basis {
 	ws := &Basis{

@@ -196,6 +196,65 @@ func (m *Model) AddTerm(r RowID, v VarID, coef float64) {
 	m.rows[r].terms = append(m.rows[r].terms, term{col: v, coef: coef})
 }
 
+// AddColumn adds a variable together with its constraint-matrix column in
+// one call: the new variable gets bounds [lb, ub], objective coefficient
+// obj, and coefficient coefs[i] in rows[i]. rows and coefs must have equal
+// length and every row must already exist.
+//
+// Appending columns (and rows) to an already-solved model does not disturb
+// a Basis captured from it: the existing basis matrix is untouched, so
+// Basis.Extend can remap the snapshot onto the grown shape and the next
+// warm solve prices the new columns in from the old optimum. This is the
+// column-generation hot path.
+func (m *Model) AddColumn(name string, lb, ub, obj float64, rows []RowID, coefs []float64) (VarID, error) {
+	if len(rows) != len(coefs) {
+		return 0, fmt.Errorf("lp: AddColumn %q: %d rows but %d coefficients", name, len(rows), len(coefs))
+	}
+	for _, r := range rows {
+		if int(r) < 0 || int(r) >= len(m.rows) {
+			return 0, fmt.Errorf("lp: AddColumn %q: unknown row %d", name, r)
+		}
+	}
+	v := m.AddVar(name, lb, ub, obj)
+	for i, r := range rows {
+		m.AddTerm(r, v, coefs[i])
+	}
+	return v, nil
+}
+
+// Column describes one pending column for AddColumns.
+type Column struct {
+	Name   string
+	LB, UB float64
+	Obj    float64
+	Rows   []RowID
+	Coefs  []float64
+}
+
+// AddColumns appends a batch of columns, returning their identifiers in
+// order. On error no column from the batch is added.
+func (m *Model) AddColumns(cols []Column) ([]VarID, error) {
+	for _, c := range cols {
+		if len(c.Rows) != len(c.Coefs) {
+			return nil, fmt.Errorf("lp: AddColumns %q: %d rows but %d coefficients", c.Name, len(c.Rows), len(c.Coefs))
+		}
+		for _, r := range c.Rows {
+			if int(r) < 0 || int(r) >= len(m.rows) {
+				return nil, fmt.Errorf("lp: AddColumns %q: unknown row %d", c.Name, r)
+			}
+		}
+	}
+	ids := make([]VarID, len(cols))
+	for i, c := range cols {
+		v := m.AddVar(c.Name, c.LB, c.UB, c.Obj)
+		for k, r := range c.Rows {
+			m.AddTerm(r, v, c.Coefs[k])
+		}
+		ids[i] = v
+	}
+	return ids, nil
+}
+
 // AddConstraint adds a fully-specified row in one call. vars and coefs must
 // have equal length.
 func (m *Model) AddConstraint(name string, vars []VarID, coefs []float64, op RelOp, rhs float64) (RowID, error) {

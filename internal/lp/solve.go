@@ -226,10 +226,22 @@ type solverBufs struct {
 	rho      []float64
 }
 
-// grab returns the model's cached buffers when they match the assembled
-// shape, or a freshly allocated set (cached for the next solve) otherwise.
+// grab returns the model's cached buffers resliced to the assembled shape
+// when their capacity suffices, or a freshly allocated set (cached for the
+// next solve) otherwise. Capacity-based reuse (rather than an exact shape
+// match) keeps the cache useful under column generation, where AddColumn/
+// AddRow grow the model a little every pricing round.
 func (m *Model) grabBufs(n, nRows int) *solverBufs {
-	if bf := m.bufs; bf != nil && bf.n == n && bf.nRows == nRows {
+	t := n + nRows
+	if bf := m.bufs; bf != nil && t <= cap(bf.l) && nRows <= cap(bf.b) {
+		bf.n, bf.nRows = n, nRows
+		bf.l, bf.u = bf.l[:t], bf.u[:t]
+		bf.c, bf.cMin = bf.c[:t], bf.cMin[:t]
+		bf.pos, bf.state = bf.pos[:t], bf.state[:t]
+		bf.b, bf.art = bf.b[:nRows], bf.art[:nRows]
+		bf.basis, bf.xB = bf.basis[:nRows], bf.xB[:nRows]
+		bf.scratch, bf.yRow = bf.scratch[:nRows], bf.yRow[:nRows]
+		bf.wBuf, bf.rho = bf.wBuf[:nRows], bf.rho[:nRows]
 		// Zero the two cost vectors: phase 1 needs zero structural costs,
 		// and the minimization-form costs are only written for structural
 		// columns. All other arrays are fully overwritten before use.
@@ -239,22 +251,30 @@ func (m *Model) grabBufs(n, nRows int) *solverBufs {
 		}
 		return bf
 	}
+	// When an undersized cache is being replaced the model is growing
+	// (column generation); allocate headroom so the next few appends
+	// reslice instead of reallocating.
+	capT, capM := t, nRows
+	if m.bufs != nil {
+		capT += capT / 8
+		capM += capM / 8
+	}
 	bf := &solverBufs{
 		n: n, nRows: nRows,
-		l:       make([]float64, n+nRows),
-		u:       make([]float64, n+nRows),
-		c:       make([]float64, n+nRows),
-		cMin:    make([]float64, n+nRows),
-		b:       make([]float64, nRows),
-		art:     make([]float64, nRows),
-		basis:   make([]int, nRows),
-		pos:     make([]int, n+nRows),
-		state:   make([]int8, n+nRows),
-		xB:      make([]float64, nRows),
-		scratch: make([]float64, nRows),
-		yRow:    make([]float64, nRows),
-		wBuf:    make([]float64, nRows),
-		rho:     make([]float64, nRows),
+		l:       make([]float64, t, capT),
+		u:       make([]float64, t, capT),
+		c:       make([]float64, t, capT),
+		cMin:    make([]float64, t, capT),
+		b:       make([]float64, nRows, capM),
+		art:     make([]float64, nRows, capM),
+		basis:   make([]int, nRows, capM),
+		pos:     make([]int, t, capT),
+		state:   make([]int8, t, capT),
+		xB:      make([]float64, nRows, capM),
+		scratch: make([]float64, nRows, capM),
+		yRow:    make([]float64, nRows, capM),
+		wBuf:    make([]float64, nRows, capM),
+		rho:     make([]float64, nRows, capM),
 	}
 	m.bufs = bf
 	return bf

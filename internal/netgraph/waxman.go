@@ -26,6 +26,19 @@ type WaxmanConfig struct {
 	Seed        int64
 }
 
+// Scale-tier presets: the fixed 400- and 1000-node Waxman networks of the
+// scale benchmark (cmd/benchfig -fig scale) and of examples/scale/. The
+// seeds are part of the preset — regenerating with cmd/netgen reproduces
+// the committed topologies byte for byte.
+var (
+	ScalePreset400 = WaxmanConfig{
+		Nodes: 400, LinkPairs: 800, Wavelengths: 4, GbpsPerWave: 5, Seed: 10400,
+	}
+	ScalePreset1000 = WaxmanConfig{
+		Nodes: 1000, LinkPairs: 2000, Wavelengths: 4, GbpsPerWave: 5, Seed: 11000,
+	}
+)
+
 // withDefaults fills zero fields with the BRITE-style defaults.
 func (c WaxmanConfig) withDefaults() WaxmanConfig {
 	if c.Alpha == 0 {

@@ -4,13 +4,22 @@
 //
 // The paper (following Rajah, Ranka, Xia) allows each job an explicit
 // collection of 4–8 paths; KShortest builds exactly those collections.
+// PricedShortest is the column-generation pricing oracle: Dijkstra under
+// per-edge additive prices (the LP capacity duals), which finds the
+// minimum-reduced-cost path candidate for a job.
+//
+// All package-level functions are safe for concurrent use; they draw a
+// pooled Solver whose Dijkstra scratch (dist, predecessor, visited, heap)
+// and Yen ban-sets are reused across calls, mirroring lp's per-model
+// scratch-buffer cache. Long-lived callers with many queries can hold
+// their own Solver to skip the pool round-trip.
 package paths
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"wavesched/internal/netgraph"
 )
@@ -72,40 +81,152 @@ type pqItem struct {
 	dist float64
 }
 
+// pq is a hand-rolled binary min-heap over pqItems. container/heap would
+// box every pushed item into an interface, which dominated the per-call
+// allocation count; the sift order matches container/heap exactly, so
+// tie-breaking (and therefore path choice) is unchanged.
 type pq []pqItem
 
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+func (q *pq) push(it pqItem) {
+	*q = append(*q, it)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].dist <= h[i].dist {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
 }
+
+func (q *pq) pop() pqItem {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	*q = h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h[l].dist < h[small].dist {
+			small = l
+		}
+		if r < n && h[r].dist < h[small].dist {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top
+}
+
+// Solver holds the Dijkstra and Yen working state — distance, predecessor,
+// visited arrays, the binary heap, and the spur ban-sets — so repeated
+// queries reuse one set of allocations instead of rebuilding them per call
+// (the scale-tier pricing loop runs thousands of Dijkstras per round). The
+// zero value is ready to use. A Solver is not safe for concurrent use;
+// the package-level functions draw distinct Solvers from an internal pool.
+type Solver struct {
+	dist     []float64
+	prevEdge []netgraph.EdgeID
+	done     []bool
+	q        pq
+
+	// Yen / disjoint scratch.
+	banEdges map[netgraph.EdgeID]bool
+	banNodes map[netgraph.NodeID]bool
+}
+
+// NewSolver returns a Solver with scratch pre-sized for an n-node graph.
+func NewSolver(n int) *Solver {
+	s := &Solver{}
+	s.grow(n)
+	return s
+}
+
+func (s *Solver) grow(n int) {
+	if cap(s.dist) < n {
+		s.dist = make([]float64, n)
+		s.prevEdge = make([]netgraph.EdgeID, n)
+		s.done = make([]bool, n)
+	}
+	s.dist = s.dist[:n]
+	s.prevEdge = s.prevEdge[:n]
+	s.done = s.done[:n]
+	if s.banEdges == nil {
+		s.banEdges = make(map[netgraph.EdgeID]bool)
+		s.banNodes = make(map[netgraph.NodeID]bool)
+	}
+}
+
+var solverPool = sync.Pool{New: func() interface{} { return &Solver{} }}
 
 // Shortest returns the least-cost path from src to dst, or ok=false when
 // dst is unreachable. bannedEdges and bannedNodes (either may be nil)
 // exclude parts of the graph, as Yen's algorithm requires.
 func Shortest(g *netgraph.Graph, src, dst netgraph.NodeID, cost CostFunc,
 	bannedEdges map[netgraph.EdgeID]bool, bannedNodes map[netgraph.NodeID]bool) (Path, bool) {
+	s := solverPool.Get().(*Solver)
+	p, ok := s.Shortest(g, src, dst, cost, bannedEdges, bannedNodes)
+	solverPool.Put(s)
+	return p, ok
+}
+
+// Shortest is the Solver-scratch form of the package-level Shortest.
+func (s *Solver) Shortest(g *netgraph.Graph, src, dst netgraph.NodeID, cost CostFunc,
+	bannedEdges map[netgraph.EdgeID]bool, bannedNodes map[netgraph.NodeID]bool) (Path, bool) {
+	return s.shortest(g, src, dst, cost, nil, bannedEdges, bannedNodes)
+}
+
+// PricedShortest returns the minimum-weight src→dst path where each edge e
+// weighs cost(e) + prices[e] (cost may be nil for a pure-price metric;
+// prices is indexed by EdgeID and may be nil). Negative effective weights
+// are clamped to a tiny positive value, so callers pass clamped dual
+// prices. This is the column-generation pricing oracle: with prices set to
+// the negated capacity-row duals of a slice, the returned path minimizes
+// the dual load term of the reduced cost over all simple paths.
+func PricedShortest(g *netgraph.Graph, src, dst netgraph.NodeID, cost CostFunc,
+	prices []float64, avoid map[netgraph.EdgeID]bool) (Path, bool) {
+	s := solverPool.Get().(*Solver)
+	p, ok := s.PricedShortest(g, src, dst, cost, prices, avoid)
+	solverPool.Put(s)
+	return p, ok
+}
+
+// PricedShortest is the Solver-scratch form of the package-level
+// PricedShortest.
+func (s *Solver) PricedShortest(g *netgraph.Graph, src, dst netgraph.NodeID, cost CostFunc,
+	prices []float64, avoid map[netgraph.EdgeID]bool) (Path, bool) {
+	return s.shortest(g, src, dst, cost, prices, avoid, nil)
+}
+
+// shortest is the shared Dijkstra core: edge weight = cost(e) + prices[e],
+// either part optional, clamped positive.
+func (s *Solver) shortest(g *netgraph.Graph, src, dst netgraph.NodeID, cost CostFunc,
+	prices []float64, bannedEdges map[netgraph.EdgeID]bool, bannedNodes map[netgraph.NodeID]bool) (Path, bool) {
 	n := g.NumNodes()
-	dist := make([]float64, n)
-	prevEdge := make([]netgraph.EdgeID, n)
-	done := make([]bool, n)
+	s.grow(n)
+	dist, prevEdge, done := s.dist, s.prevEdge, s.done
 	for i := range dist {
 		dist[i] = math.Inf(1)
 		prevEdge[i] = -1
+		done[i] = false
 	}
 	if bannedNodes[src] || bannedNodes[dst] {
 		return Path{}, false
 	}
 	dist[src] = 0
-	q := &pq{{src, 0}}
-	for q.Len() > 0 {
-		it := heap.Pop(q).(pqItem)
+	s.q = append(s.q[:0], pqItem{src, 0})
+	q := &s.q
+	for len(*q) > 0 {
+		it := q.pop()
 		v := it.node
 		if done[v] {
 			continue
@@ -122,7 +243,13 @@ func Shortest(g *netgraph.Graph, src, dst netgraph.NodeID, cost CostFunc,
 			if bannedNodes[e.To] {
 				continue
 			}
-			c := cost(e)
+			c := 0.0
+			if cost != nil {
+				c = cost(e)
+			}
+			if prices != nil && int(eid) < len(prices) {
+				c += prices[eid]
+			}
 			if c <= 0 {
 				c = 1e-12
 			}
@@ -130,7 +257,7 @@ func Shortest(g *netgraph.Graph, src, dst netgraph.NodeID, cost CostFunc,
 			if nd < dist[e.To] {
 				dist[e.To] = nd
 				prevEdge[e.To] = eid
-				heap.Push(q, pqItem{e.To, nd})
+				q.push(pqItem{e.To, nd})
 			}
 		}
 	}
@@ -170,10 +297,22 @@ func KShortest(g *netgraph.Graph, src, dst netgraph.NodeID, k int, cost CostFunc
 // when links are down.
 func KShortestAvoiding(g *netgraph.Graph, src, dst netgraph.NodeID, k int, cost CostFunc,
 	avoid map[netgraph.EdgeID]bool) []Path {
+	s := solverPool.Get().(*Solver)
+	out := s.KShortestAvoiding(g, src, dst, k, cost, avoid)
+	solverPool.Put(s)
+	return out
+}
+
+// KShortestAvoiding is the Solver-scratch form of the package-level
+// KShortestAvoiding: the spur-node Dijkstras and ban-sets reuse the
+// Solver's buffers instead of allocating per spur.
+func (s *Solver) KShortestAvoiding(g *netgraph.Graph, src, dst netgraph.NodeID, k int, cost CostFunc,
+	avoid map[netgraph.EdgeID]bool) []Path {
 	if k <= 0 || src == dst {
 		return nil
 	}
-	first, ok := Shortest(g, src, dst, cost, avoid, nil)
+	s.grow(g.NumNodes())
+	first, ok := s.Shortest(g, src, dst, cost, avoid, nil)
 	if !ok {
 		return nil
 	}
@@ -189,11 +328,13 @@ func KShortestAvoiding(g *netgraph.Graph, src, dst netgraph.NodeID, k int, cost 
 			spur := prev.Nodes[i]
 			rootEdges := prev.Edges[:i]
 
-			bannedEdges := make(map[netgraph.EdgeID]bool, len(avoid))
+			bannedEdges := s.banEdges
+			clear(bannedEdges)
 			for eid := range avoid {
 				bannedEdges[eid] = true
 			}
-			bannedNodes := make(map[netgraph.NodeID]bool)
+			bannedNodes := s.banNodes
+			clear(bannedNodes)
 			// Ban edges used by earlier results that share the same root.
 			for _, rp := range result {
 				if len(rp.Edges) > i && sameEdges(rp.Edges[:i], rootEdges) {
@@ -205,7 +346,7 @@ func KShortestAvoiding(g *netgraph.Graph, src, dst netgraph.NodeID, k int, cost 
 				bannedNodes[v] = true
 			}
 
-			spurPath, ok := Shortest(g, spur, dst, cost, bannedEdges, bannedNodes)
+			spurPath, ok := s.Shortest(g, spur, dst, cost, bannedEdges, bannedNodes)
 			if !ok {
 				continue
 			}
@@ -244,16 +385,28 @@ func EdgeDisjoint(g *netgraph.Graph, src, dst netgraph.NodeID, k int, cost CostF
 // edge in avoid (nil means no restriction).
 func EdgeDisjointAvoiding(g *netgraph.Graph, src, dst netgraph.NodeID, k int, cost CostFunc,
 	avoid map[netgraph.EdgeID]bool) []Path {
+	s := solverPool.Get().(*Solver)
+	out := s.EdgeDisjointAvoiding(g, src, dst, k, cost, avoid)
+	solverPool.Put(s)
+	return out
+}
+
+// EdgeDisjointAvoiding is the Solver-scratch form of the package-level
+// EdgeDisjointAvoiding.
+func (s *Solver) EdgeDisjointAvoiding(g *netgraph.Graph, src, dst netgraph.NodeID, k int, cost CostFunc,
+	avoid map[netgraph.EdgeID]bool) []Path {
 	if k <= 0 || src == dst {
 		return nil
 	}
-	banned := make(map[netgraph.EdgeID]bool, len(avoid))
+	s.grow(g.NumNodes())
+	banned := s.banEdges
+	clear(banned)
 	for eid := range avoid {
 		banned[eid] = true
 	}
 	var out []Path
 	for len(out) < k {
-		p, ok := Shortest(g, src, dst, cost, banned, nil)
+		p, ok := s.Shortest(g, src, dst, cost, banned, nil)
 		if !ok {
 			break
 		}

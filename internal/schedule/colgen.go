@@ -1,0 +1,576 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"wavesched/internal/lp"
+	"wavesched/internal/netgraph"
+	"wavesched/internal/paths"
+)
+
+// Column generation for the path variables x_i(p, j).
+//
+// The stage-1/stage-2/SUB-RET programs have one variable per (job, path,
+// slice) triple, so eager K-shortest enumeration makes the LP size — and
+// the simplex pricing cost per pivot — grow with K whether or not the
+// extra paths ever carry flow. GeneratePaths inverts that: instances
+// built with InstanceOptions.ColumnGen start from a small seed set
+// (greedy edge-disjoint shortest paths), and the path sets grow on
+// demand by LP pricing against restricted masters of the three programs.
+//
+// For a restricted master at its optimum, a path p of job i is worth
+// adding exactly when some slice-j column over p has negative reduced
+// cost. In minimization form the reduced cost of a fresh x_i(p, j) is
+//
+//	rc = c − σ_i·LEN(j) − Σ_{e∈p} y_{e,j}
+//
+// with σ_i the dual of job i's coupling/demand row, y_{e,j} ≤ 0 the duals
+// of the capacity rows, and c = 0 (stages 1–2) or γ(j) (SUB-RET). Writing
+// w_{e,j} = max(0, −y_{e,j}) ≥ 0, rc < 0 becomes
+//
+//	Σ_{e∈p} w_{e,j}  <  σ_i·LEN(j) − c,
+//
+// a shortest-path problem in the duals: Dijkstra under edge weights w
+// (paths.PricedShortest) finds the minimizer per (src, dst, slice), and
+// when even the minimizer misses the threshold no path column anywhere
+// prices in — the restricted optimum is optimal over the full
+// exponential path space, not just the enumerated K. Discovered columns
+// are appended to the master (lp.Model.AddColumn) together with any
+// capacity rows they are first to load, and the solved basis re-enters
+// via lp.Basis.Extend, so each round costs a warm re-solve instead of a
+// cold one.
+type ColGenConfig struct {
+	// Solver configures the restricted-master LP solves.
+	Solver lp.Options
+	// MaxRounds bounds pricing rounds per master; non-positive selects 50.
+	MaxRounds int
+	// Tol is the reduced-cost threshold below which a column does not
+	// price in; non-positive selects 1e-7.
+	Tol float64
+	// Alpha is the stage-2 fairness slack to discover under; zero selects
+	// the stage-2 default 0.1.
+	Alpha float64
+	// Weight is the stage-2 objective weight; nil selects WeightBySize.
+	Weight WeightFunc
+	// SkipStage2 prices only the stage-1 master (and SUB-RET when RET is
+	// set).
+	SkipStage2 bool
+	// RET, when non-nil, additionally prices a SUB-RET master at the
+	// BMax-extended windows, so the RET search's models also see the
+	// columns they need.
+	RET *RETConfig
+	// Parallelism bounds the per-component worker pool (≤0: NumCPU).
+	Parallelism int
+}
+
+// ColGenStats reports what one GeneratePaths run did.
+type ColGenStats struct {
+	SeedPaths  int // paths present before discovery
+	AddedPaths int // paths appended by pricing
+	Rounds     int // pricing rounds that appended columns
+	Solves     int // restricted-master LP solves
+	Components int // independent blocks discovery ran over
+
+	// ZStar is the stage-1 optimum of the grown instance, proven optimal
+	// over the full (exponential) path space by the final pricing round
+	// that appended nothing. Callers that only need Z* can use it
+	// directly instead of re-solving stage 1.
+	ZStar float64
+}
+
+// GeneratePaths grows the instance's path sets in place by column
+// generation: per connected component it solves restricted stage-1,
+// stage-2, and (optionally) SUB-RET masters, pricing new paths via
+// Dijkstra on the dual weights until no column prices in. Discovery
+// always runs per component with its own deterministic warm chain —
+// independent of how the instance will later be solved — so the solves
+// that follow (MaxThroughput, SolveRET, warm or cold, monolithic or
+// decomposed) all see the same grown path sets. When discovered paths
+// couple previously independent components, one joint verification round
+// over the full instance closes the gap.
+//
+// When the instance was built with a PathCache, the discovered per-pair
+// path unions are published back to it, so the next epoch's instance
+// build starts from the columns this run priced in.
+func GeneratePaths(inst *Instance, cfg ColGenConfig) (*ColGenStats, error) {
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 50
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1e-7
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.1
+	}
+	stats := &ColGenStats{}
+	if inst.NumJobs() == 0 {
+		return stats, nil
+	}
+	// Exact-length clone of every path slice before any append: seed
+	// slices are shared across jobs with the same endpoints and with
+	// PathCache entries, and an in-place append through a shared header
+	// would corrupt its other owners.
+	for k := range inst.JobPaths {
+		stats.SeedPaths += len(inst.JobPaths[k])
+		cl := make([]paths.Path, len(inst.JobPaths[k]))
+		copy(cl, inst.JobPaths[k])
+		inst.JobPaths[k] = cl
+	}
+	d := &cgDiscovery{cfg: cfg, avoid: inst.colgenAvoid()}
+
+	var retCfg RETConfig
+	var extLast []int
+	if cfg.RET != nil {
+		retCfg = cfg.RET.withDefaults()
+		extLast = retExtendedLast(inst, retCfg.BMax, retCfg)
+	}
+	comps := Decompose(inst, extLast)
+	stats.Components = len(comps)
+
+	// Monolithic discovery when decomposition cannot pay for itself: with
+	// a dominant component (more than half the jobs), the per-component
+	// chains plus the joint verification round cost up to two full cold
+	// solves where one suffices. The heuristic is a pure function of the
+	// seed decomposition, so reruns stay deterministic.
+	mono := len(comps) <= 1
+	for _, c := range comps {
+		if 2*len(c.JobIdx) > inst.NumJobs() {
+			mono = true
+		}
+	}
+	if mono {
+		stats.Components = 1
+		zstar, err := d.discoverStage1(inst)
+		if err != nil {
+			return stats, err
+		}
+		if !cfg.SkipStage2 {
+			if err := d.discoverStage2(inst, zstar); err != nil {
+				return stats, err
+			}
+		}
+		if cfg.RET != nil {
+			if err := d.discoverSubRET(inst, extLast, retCfg); err != nil {
+				return stats, err
+			}
+		}
+		return d.finish(inst, stats, zstar), nil
+	}
+
+	// Stage-1 discovery per component; the global Z* is the minimum over
+	// blocks (they share no constraint at the seed decomposition).
+	zs := make([]float64, len(comps))
+	if err := runComponents(len(comps), cfg.Parallelism, func(i int) error {
+		z, err := d.discoverStage1(comps[i].Inst)
+		zs[i] = z
+		return err
+	}); err != nil {
+		return stats, err
+	}
+	zstar := zs[0]
+	for _, z := range zs[1:] {
+		if z < zstar {
+			zstar = z
+		}
+	}
+	if !cfg.SkipStage2 {
+		if err := runComponents(len(comps), cfg.Parallelism, func(i int) error {
+			return d.discoverStage2(comps[i].Inst, zstar)
+		}); err != nil {
+			return stats, err
+		}
+	}
+	if cfg.RET != nil {
+		if err := runComponents(len(comps), cfg.Parallelism, func(i int) error {
+			return d.discoverSubRET(comps[i].Inst, comps[i].subSlice(extLast), retCfg)
+		}); err != nil {
+			return stats, err
+		}
+	}
+	// Components own clones of the parent's path slices; write the grown
+	// sets back.
+	for _, c := range comps {
+		for i, k := range c.JobIdx {
+			inst.JobPaths[k] = c.Inst.JobPaths[i]
+		}
+	}
+	// Joint verification: a discovered path can touch edges outside its
+	// component, coupling blocks that were independent over the seeds. One
+	// full-instance round re-prices against the true shared capacities —
+	// but only when the grown path sets actually re-partition the
+	// instance; re-decomposing is orders of magnitude cheaper than the
+	// extra LP round it usually avoids.
+	if len(comps) > 1 && !samePartition(comps, Decompose(inst, extLast), inst.NumJobs()) {
+		z, err := d.discoverStage1(inst)
+		if err != nil {
+			return stats, err
+		}
+		zstar = z
+		if !cfg.SkipStage2 {
+			if err := d.discoverStage2(inst, zstar); err != nil {
+				return stats, err
+			}
+		}
+		if cfg.RET != nil {
+			if err := d.discoverSubRET(inst, extLast, retCfg); err != nil {
+				return stats, err
+			}
+		}
+	}
+	return d.finish(inst, stats, zstar), nil
+}
+
+// finish publishes the grown path sets, fills the run counters, and
+// flushes the discovery telemetry.
+func (d *cgDiscovery) finish(inst *Instance, stats *ColGenStats, zstar float64) *ColGenStats {
+	inst.publishColGenPaths()
+	stats.ZStar = zstar
+	stats.Rounds = int(d.rounds)
+	stats.AddedPaths = int(d.added)
+	stats.Solves = int(d.solves)
+	telColGenRounds.Add(d.rounds)
+	telColGenPaths.Add(d.added)
+	telColGenSolves.Add(d.solves)
+	return stats
+}
+
+// samePartition reports whether two decompositions induce the same job
+// partition (labels compared in first-seen normal form, so component
+// ordering is irrelevant).
+func samePartition(a, b []*Component, numJobs int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	label := func(comps []*Component) []int {
+		lab := make([]int, numJobs)
+		for i, c := range comps {
+			for _, k := range c.JobIdx {
+				lab[k] = i
+			}
+		}
+		// Normalize: rename components by order of first appearance.
+		ren := make(map[int]int, len(comps))
+		for k, l := range lab {
+			n, ok := ren[l]
+			if !ok {
+				n = len(ren)
+				ren[l] = n
+			}
+			lab[k] = n
+		}
+		return lab
+	}
+	la, lb := label(a), label(b)
+	for k := range la {
+		if la[k] != lb[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// colgenAvoid returns the edges the pricing oracle must route around:
+// the avoid set captured at build time, or (for instances built without
+// ColumnGen) the zero-wavelength edges.
+func (in *Instance) colgenAvoid() map[netgraph.EdgeID]bool {
+	if in.colgen != nil {
+		return in.colgen.avoid
+	}
+	var avoid map[netgraph.EdgeID]bool
+	for _, e := range in.G.Edges() {
+		if e.Wavelengths == 0 {
+			if avoid == nil {
+				avoid = make(map[netgraph.EdgeID]bool)
+			}
+			avoid[e.ID] = true
+		}
+	}
+	return avoid
+}
+
+// publishColGenPaths stores the per-(src, dst) union of the instance's
+// path sets into the build-time PathCache under the colgen key, replacing
+// the seed entry — cross-epoch reuse of the discovered columns.
+func (in *Instance) publishColGenPaths() {
+	cg := in.colgen
+	if cg == nil || cg.cache == nil {
+		return
+	}
+	type pair struct{ src, dst netgraph.NodeID }
+	union := make(map[pair][]paths.Path)
+	seen := make(map[pair]map[string]bool)
+	for k, jb := range in.Jobs {
+		key := pair{jb.Src, jb.Dst}
+		if seen[key] == nil {
+			seen[key] = make(map[string]bool)
+		}
+		for _, p := range in.JobPaths[k] {
+			if pk := p.Key(); !seen[key][pk] {
+				seen[key][pk] = true
+				union[key] = append(union[key], p)
+			}
+		}
+	}
+	for key, ps := range union {
+		cg.cache.put(pathCacheKey{
+			src: key.src, dst: key.dst,
+			k: cg.seedK, colgen: true,
+			avoid: cg.avoidStr,
+		}, ps)
+	}
+}
+
+// cgDiscovery is the shared state of one GeneratePaths run. The counters
+// are updated atomically — per-component discovery runs on a worker pool.
+type cgDiscovery struct {
+	cfg    ColGenConfig
+	avoid  map[netgraph.EdgeID]bool
+	rounds int64
+	added  int64
+	solves int64
+}
+
+// cgMaster is one restricted master being priced: its model, the
+// (job, path, slice) variable map, and the lazily grown capacity-row
+// map. Row k of the model is job k's coupling/demand row in all three
+// programs. gamma is non-nil exactly for the SUB-RET master, where the
+// x columns carry the Quick-Finish objective.
+type cgMaster struct {
+	inst    *Instance
+	m       *lp.Model
+	xv      flowVars
+	capRows map[capKey]lp.RowID
+	gamma   func(j int) float64
+}
+
+// discoverStage1 prices the stage-1 master to full-path-space optimality
+// and returns Z*.
+func (d *cgDiscovery) discoverStage1(inst *Instance) (float64, error) {
+	m := lp.NewModel("colgen-stage1", lp.Maximize)
+	z := m.AddVar("Z", 0, lp.Inf, 1)
+	xv, err := addFlowVars(m, inst, nil, 0)
+	if err != nil {
+		return 0, err
+	}
+	for k, jb := range inst.Jobs {
+		r := m.AddRow(fmt.Sprintf("job%d", jb.ID), lp.EQ, 0)
+		forEachVar(inst, xv, k, func(p, j int, v lp.VarID) {
+			m.AddTerm(r, v, inst.Grid.Len(j))
+		})
+		m.AddTerm(r, z, -jb.Size)
+	}
+	capRows := addCapacityRows(m, inst, xv, 0)
+	sol, err := d.run(&cgMaster{inst: inst, m: m, xv: xv, capRows: capRows})
+	if err != nil {
+		return 0, err
+	}
+	if sol.Status != lp.Optimal {
+		return 0, fmt.Errorf("schedule: colgen stage-1 master: solver returned %v", sol.Status)
+	}
+	return sol.Value(z), nil
+}
+
+// discoverStage2 prices the stage-2 master at the given Z* and the
+// configured fairness slack. A non-optimal master (the floor can be
+// infeasible for a component under a globally derived Z* only through
+// numerical trouble) stops discovery for it without failing the run —
+// the real solve's α ladder owns that outcome.
+func (d *cgDiscovery) discoverStage2(inst *Instance, zstar float64) error {
+	m, _, xv, capRows, err := buildStage2Model(inst, zstar, d.cfg.Alpha, d.cfg.Weight)
+	if err != nil {
+		return err
+	}
+	_, err = d.run(&cgMaster{inst: inst, m: m, xv: xv, capRows: capRows})
+	return err
+}
+
+// discoverSubRET prices the SUB-RET master at the BMax-extended windows.
+// An infeasible master (the network cannot finish every job even at the
+// ceiling) stops discovery without failing the run — SolveRET reports
+// that case itself.
+func (d *cgDiscovery) discoverSubRET(inst *Instance, extLast []int, cfg RETConfig) error {
+	m, xv, capRows, err := buildSubRETModel("colgen-subret", inst, extLast, cfg)
+	if err != nil {
+		return err
+	}
+	_, err = d.run(&cgMaster{inst: inst, m: m, xv: xv, capRows: capRows, gamma: cfg.Gamma})
+	return err
+}
+
+// run drives one master through solve/price rounds until no column
+// prices in (or MaxRounds). Each re-solve warm-starts from the previous
+// optimum extended over the appended columns and rows, so the simplex
+// only has to price the new columns in. A non-Optimal status ends the
+// loop — there is no dual solution to price against.
+func (d *cgDiscovery) run(ms *cgMaster) (*lp.Solution, error) {
+	opts := d.cfg.Solver
+	opts.Presolve = false // presolve would disable basis capture
+	opts.CaptureBasis = true
+	opts.WarmStart = nil
+	sol, err := ms.m.SolveWith(opts)
+	atomic.AddInt64(&d.solves, 1)
+	for r := 0; r < d.cfg.MaxRounds; r++ {
+		if err != nil || sol.Status != lp.Optimal {
+			return sol, err
+		}
+		nv, nr, perr := d.price(ms, sol)
+		if perr != nil {
+			return sol, perr
+		}
+		if nv == 0 {
+			return sol, nil
+		}
+		atomic.AddInt64(&d.rounds, 1)
+		wopts := opts
+		if sol.Basis != nil {
+			wopts.WarmStart = sol.Basis.Extend(nv, nr)
+		}
+		sol, err = ms.m.SolveWith(wopts)
+		atomic.AddInt64(&d.solves, 1)
+	}
+	return sol, err
+}
+
+// price runs one pricing round: build the per-slice dual edge weights,
+// query the oracle for every (job, live slice) whose threshold is
+// positive, and append the at most two most violated new paths per job
+// as columns over all its live slices. Returns the appended column and
+// row counts for Basis.Extend. Iteration is jobs then slices ascending
+// and candidate selection breaks ties by first discovery, so the round
+// is deterministic.
+func (d *cgDiscovery) price(ms *cgMaster, sol *lp.Solution) (addedVars, addedRows int, err error) {
+	inst := ms.inst
+	ns := inst.Grid.Num()
+	// w[j][e] = max(0, −y_{e,j}); slices with no loaded capacity row stay
+	// nil (all-zero weights). Map iteration order is irrelevant: writes go
+	// to distinct (slice, edge) cells.
+	prices := make([][]float64, ns)
+	for ck, r := range ms.capRows {
+		if w := -sol.Duals[r]; w > 0 {
+			if prices[ck.j] == nil {
+				prices[ck.j] = make([]float64, inst.G.NumEdges())
+			}
+			prices[ck.j][ck.e] = w
+		}
+	}
+	type oracleKey struct {
+		src, dst netgraph.NodeID
+		j        int
+	}
+	type oracleHit struct {
+		p  paths.Path
+		ok bool
+	}
+	memo := make(map[oracleKey]oracleHit)
+	solver := paths.NewSolver(inst.G.NumNodes())
+	type proposal struct {
+		k int
+		p paths.Path
+	}
+	var props []proposal
+	type candidate struct {
+		p    paths.Path
+		viol float64
+	}
+	for k := range inst.Jobs {
+		sigma := sol.Duals[k] // job k's coupling/demand row is row k
+		jb := inst.Jobs[k]
+		have := make(map[string]bool, len(inst.JobPaths[k]))
+		for _, p := range inst.JobPaths[k] {
+			have[p.Key()] = true
+		}
+		cands := make(map[string]*candidate)
+		var order []string // first-discovery order, for deterministic ties
+		for j, v := range ms.xv[k][0] {
+			if v < 0 {
+				continue // slice outside the job's (extended) window
+			}
+			thr := sigma * inst.Grid.Len(j)
+			if ms.gamma != nil {
+				thr -= ms.gamma(j)
+			}
+			if thr <= d.cfg.Tol {
+				continue
+			}
+			ok := oracleKey{jb.Src, jb.Dst, j}
+			hit, found := memo[ok]
+			if !found {
+				p, pok := solver.PricedShortest(inst.G, jb.Src, jb.Dst, nil, prices[j], d.avoid)
+				hit = oracleHit{p, pok}
+				memo[ok] = hit
+			}
+			if !hit.ok {
+				continue
+			}
+			viol := thr - hit.p.Cost
+			if viol <= d.cfg.Tol {
+				continue
+			}
+			pk := hit.p.Key()
+			if have[pk] {
+				continue
+			}
+			if c, seen := cands[pk]; seen {
+				if viol > c.viol {
+					c.viol = viol
+				}
+			} else {
+				cands[pk] = &candidate{p: hit.p, viol: viol}
+				order = append(order, pk)
+			}
+		}
+		// Keep the two most violated distinct paths: enough to make
+		// progress on several slices at once without flooding the master
+		// with near-duplicates that the next round's duals would reject.
+		sort.SliceStable(order, func(a, b int) bool {
+			return cands[order[a]].viol > cands[order[b]].viol
+		})
+		for i := 0; i < len(order) && i < 2; i++ {
+			props = append(props, proposal{k, cands[order[i]].p})
+		}
+	}
+	for _, pr := range props {
+		k := pr.k
+		pidx := len(ms.xv[k])
+		inst.JobPaths[k] = append(inst.JobPaths[k], pr.p)
+		row := make([]lp.VarID, ns)
+		for j := range row {
+			row[j] = -1
+		}
+		for j, v0 := range ms.xv[k][0] {
+			if v0 < 0 {
+				continue
+			}
+			rows := make([]lp.RowID, 1, 1+len(pr.p.Edges))
+			coefs := make([]float64, 1, 1+len(pr.p.Edges))
+			rows[0] = lp.RowID(k)
+			coefs[0] = inst.Grid.Len(j)
+			for _, e := range pr.p.Edges {
+				ck := capKey{e, j}
+				r, ok := ms.capRows[ck]
+				if !ok {
+					r = ms.m.AddRow(fmt.Sprintf("cap_e%d_t%d", e, j), lp.LE, float64(inst.Capacity(e, j)))
+					ms.capRows[ck] = r
+					addedRows++
+				}
+				rows = append(rows, r)
+				coefs = append(coefs, 1)
+			}
+			obj := 0.0
+			if ms.gamma != nil {
+				obj = ms.gamma(j)
+			}
+			v, cerr := ms.m.AddColumn(fmt.Sprintf("x_%d_%d_%d", k, pidx, j), 0, lp.Inf, obj, rows, coefs)
+			if cerr != nil {
+				return 0, 0, cerr
+			}
+			row[j] = v
+			addedVars++
+		}
+		ms.xv[k] = append(ms.xv[k], row)
+		atomic.AddInt64(&d.added, 1)
+	}
+	return addedVars, addedRows, nil
+}

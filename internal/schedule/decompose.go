@@ -2,8 +2,11 @@ package schedule
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -32,6 +35,13 @@ type Component struct {
 	// paths, ascending — the capacity pools the component can touch.
 	// A topology event on any other edge cannot affect this component.
 	Edges []netgraph.EdgeID
+	// PathsKey fingerprints the candidate path sets of the component's
+	// jobs (a hash over each job's path keys, in job order). Warm bases
+	// and certificates are only sound for the model they were captured
+	// from, and under column generation two epochs with the same job mix
+	// can carry different path sets — carried state is therefore keyed by
+	// this fingerprint too.
+	PathsKey string
 }
 
 // ComponentBasis pairs a warm-start basis with the edge set of the
@@ -41,6 +51,13 @@ type Component struct {
 type ComponentBasis struct {
 	Basis *lp.Basis
 	Edges []netgraph.EdgeID
+	// PathsKey is the Component.PathsKey the state was captured under.
+	// resolveCarry declines entries whose fingerprint mismatches the
+	// current component's: a basis or certificate over a different column
+	// set (column generation discovered new paths, or the path cache
+	// served a different set) is shaped for a different model. Empty
+	// accepts unconditionally, for state captured by older callers.
+	PathsKey string
 	// Feas and Infeas carry the component's last feasibility witness and
 	// Farkas ray across epochs, so the next solve's bisection can be
 	// answered by certificate checks instead of solves. Certificates
@@ -189,15 +206,19 @@ func buildComponent(inst *Instance, jobIdx []int) *Component {
 		capOverride: inst.capOverride,
 	}
 	edgeSet := make(map[netgraph.EdgeID]bool)
+	h := fnv.New64a()
 	for _, k := range jobIdx {
 		sub.Jobs = append(sub.Jobs, inst.Jobs[k])
 		sub.JobPaths = append(sub.JobPaths, inst.JobPaths[k])
 		sub.windows = append(sub.windows, inst.windows[k])
 		for _, p := range inst.JobPaths[k] {
+			io.WriteString(h, p.Key())
+			h.Write([]byte{';'})
 			for _, e := range p.Edges {
 				edgeSet[e] = true
 			}
 		}
+		h.Write([]byte{'|'})
 	}
 	edges := make([]netgraph.EdgeID, 0, len(edgeSet))
 	for e := range edgeSet {
@@ -205,10 +226,11 @@ func buildComponent(inst *Instance, jobIdx []int) *Component {
 	}
 	sort.Slice(edges, func(a, b int) bool { return edges[a] < edges[b] })
 	return &Component{
-		JobIdx: jobIdx,
-		Inst:   sub,
-		Key:    componentKey(inst, jobIdx),
-		Edges:  edges,
+		JobIdx:   jobIdx,
+		Inst:     sub,
+		Key:      componentKey(inst, jobIdx),
+		Edges:    edges,
+		PathsKey: strconv.FormatUint(h.Sum64(), 16),
 	}
 }
 

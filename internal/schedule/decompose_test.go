@@ -445,7 +445,8 @@ func TestMonolithicRETExportsFullKeyBasis(t *testing.T) {
 	if res.ProbeBasis == nil || len(res.ProbeBases) != 1 {
 		t.Fatalf("monolithic warm solve exported ProbeBasis=%v, %d ProbeBases entries", res.ProbeBasis != nil, len(res.ProbeBases))
 	}
-	key, edges := fullInstanceKeyEdges(inst)
+	fc := fullInstanceComponent(inst)
+	key, edges := fc.Key, fc.Edges
 	cb := res.ProbeBases[key]
 	if cb == nil || cb.Basis != res.ProbeBasis || len(cb.Edges) != len(edges) {
 		t.Fatalf("ProbeBases entry under full key is wrong: %+v", cb)

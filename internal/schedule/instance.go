@@ -44,6 +44,20 @@ type Instance struct {
 	// the paper's time-varying C_e(j); nil entries fall back to the edge's
 	// wavelength count.
 	capOverride map[capKey]int
+
+	// colgen, when non-nil, carries the column-generation context captured
+	// at build time (seed parameters, avoided-edge set, the cache to
+	// publish discovered path sets into) for GeneratePaths.
+	colgen *colgenInfo
+}
+
+// colgenInfo is the column-generation build context of an instance.
+type colgenInfo struct {
+	cache    *PathCache
+	avoid    map[netgraph.EdgeID]bool
+	avoidStr string
+	seedK    int
+	cost     paths.CostFunc
 }
 
 type capKey struct {
@@ -100,6 +114,17 @@ type InstanceOptions struct {
 	// keyed by (src, dst, K, DisjointPaths, avoided-edge set). The cache
 	// must be dedicated to one base topology; see PathCache.
 	PathCache *PathCache
+	// ColumnGen selects column-generation mode: instead of eagerly
+	// enumerating K paths per job, each job starts from a small seed set
+	// (SeedPaths greedy edge-disjoint shortest paths) and GeneratePaths
+	// grows it on demand by LP pricing. K and DisjointPaths are ignored
+	// for seeding. With a PathCache, path sets discovered by an earlier
+	// GeneratePaths run under the same avoid set are reused as this
+	// build's starting sets.
+	ColumnGen bool
+	// SeedPaths is the per-pair seed set size under ColumnGen;
+	// non-positive selects 2.
+	SeedPaths int
 }
 
 // NewInstance validates the jobs and computes k-shortest-path sets for
@@ -139,7 +164,22 @@ func NewInstanceOpts(g *netgraph.Graph, grid *timeslice.Grid, jobs []job.Job, op
 	if opts.PathCache != nil {
 		avoidStr = avoidKey(avoid)
 	}
+	if opts.ColumnGen {
+		if opts.SeedPaths <= 0 {
+			opts.SeedPaths = 2
+		}
+		inst.colgen = &colgenInfo{
+			cache:    opts.PathCache,
+			avoid:    avoid,
+			avoidStr: avoidStr,
+			seedK:    opts.SeedPaths,
+			cost:     opts.Cost,
+		}
+	}
 	compute := func(src, dst netgraph.NodeID) []paths.Path {
+		if opts.ColumnGen {
+			return paths.EdgeDisjointAvoiding(g, src, dst, opts.SeedPaths, opts.Cost, avoid)
+		}
 		if opts.DisjointPaths {
 			return paths.EdgeDisjointAvoiding(g, src, dst, opts.K, opts.Cost, avoid)
 		}
@@ -156,11 +196,18 @@ func NewInstanceOpts(g *netgraph.Graph, grid *timeslice.Grid, jobs []job.Job, op
 		ps, seen := cache[key]
 		if !seen {
 			if opts.PathCache != nil {
-				ps = opts.PathCache.get(pathCacheKey{
+				// Under ColumnGen the entry starts as the seed set and is
+				// overwritten by GeneratePaths with the discovered union, so
+				// later epochs begin from the priced-in columns.
+				ck := pathCacheKey{
 					src: j.Src, dst: j.Dst,
 					k: opts.K, disjoint: opts.DisjointPaths,
 					avoid: avoidStr,
-				}, func() []paths.Path { return compute(j.Src, j.Dst) })
+				}
+				if opts.ColumnGen {
+					ck.k, ck.disjoint, ck.colgen = opts.SeedPaths, false, true
+				}
+				ps = opts.PathCache.get(ck, func() []paths.Path { return compute(j.Src, j.Dst) })
 			} else {
 				ps = compute(j.Src, j.Dst)
 			}

@@ -236,25 +236,30 @@ func SolveRET(inst *Instance, cfg RETConfig) (*RETResult, error) {
 	return solveRETMono(inst, cfg)
 }
 
-// fullInstanceKeyEdges returns the component fingerprint and edge set of
-// the whole instance, so a monolithic solve participates in the same
-// per-component warm-basis maps as decomposed ones.
-func fullInstanceKeyEdges(inst *Instance) (string, []netgraph.EdgeID) {
+// fullInstanceComponent wraps the whole instance as one component, so a
+// monolithic solve participates in the same per-component warm-basis maps
+// (fingerprint, edge set, path-set key) as decomposed ones.
+func fullInstanceComponent(inst *Instance) *Component {
 	idx := make([]int, inst.NumJobs())
 	for k := range idx {
 		idx[k] = k
 	}
-	c := buildComponent(inst, idx)
-	return c.Key, c.Edges
+	return buildComponent(inst, idx)
 }
 
 // resolveCarry picks the cross-epoch warm state for a component key:
 // WarmComponents (basis + certificates) wins over the legacy WarmBases,
 // which wins over the global WarmBasis (consulted only when useGlobal —
-// the monolithic path).
-func resolveCarry(cfg RETConfig, key string, useGlobal bool) *ComponentBasis {
+// the monolithic path). A WarmComponents entry recorded under a different
+// path-set fingerprint is declined outright — its basis and certificates
+// describe a model over different columns (column generation discovered
+// different paths), so reusing it would be unsound.
+func resolveCarry(cfg RETConfig, key, pathsKey string, useGlobal bool) *ComponentBasis {
 	if cb := cfg.WarmComponents[key]; cb != nil {
-		return cb
+		if cb.PathsKey == "" || cb.PathsKey == pathsKey {
+			return cb
+		}
+		return nil
 	}
 	if b := cfg.WarmBases[key]; b != nil {
 		return &ComponentBasis{Basis: b}
@@ -467,7 +472,8 @@ func solveRETMono(inst *Instance, cfg RETConfig) (*RETResult, error) {
 	cfg.Solver.Tracer = retSpan.Tracer()
 	tracer := cfg.Solver.Tracer
 
-	fullKey, fullEdges := fullInstanceKeyEdges(inst)
+	fc := fullInstanceComponent(inst)
+	fullKey, fullEdges := fc.Key, fc.Edges
 
 	// The extraction chain runs in every configuration — its solve
 	// sequence (cold seed at b = BMax, then incremental re-solves at b̂
@@ -481,7 +487,7 @@ func solveRETMono(inst *Instance, cfg RETConfig) (*RETResult, error) {
 	}
 	var P *retProber
 	if cfg.WarmStart || cfg.Certificates {
-		P = newRETProber(inst, cfg, resolveCarry(cfg, fullKey, true))
+		P = newRETProber(inst, cfg, resolveCarry(cfg, fullKey, fc.PathsKey, true))
 	}
 	spec := newSpeculator(cfg, 1)
 
@@ -497,7 +503,7 @@ func solveRETMono(inst *Instance, cfg RETConfig) (*RETResult, error) {
 		// error; callers that carry warm state keep it, others discard res.
 		if P != nil {
 			res.ProbeBases = map[string]*ComponentBasis{
-				fullKey: {Basis: P.exportBasis(), Edges: fullEdges, Feas: P.feas, Infeas: P.infeas},
+				fullKey: {Basis: P.exportBasis(), Edges: fullEdges, PathsKey: fc.PathsKey, Feas: P.feas, Infeas: P.infeas},
 			}
 		}
 		retSpan.End(telemetry.KV("error", err.Error()))
@@ -556,7 +562,7 @@ func solveRETMono(inst *Instance, cfg RETConfig) (*RETResult, error) {
 				basis := P.exportBasis()
 				res.ProbeBasis = basis
 				res.ProbeBases = map[string]*ComponentBasis{
-					fullKey: {Basis: basis, Edges: fullEdges, Feas: P.feas, Infeas: P.infeas},
+					fullKey: {Basis: basis, Edges: fullEdges, PathsKey: fc.PathsKey, Feas: P.feas, Infeas: P.infeas},
 				}
 			}
 			telRETDeltaRounds.Add(int64(round))
@@ -624,7 +630,7 @@ func solveRETDecomposed(inst *Instance, comps []*Component, cfg RETConfig) (*RET
 		}
 		st.chain = E
 		if cfg.WarmStart || cfg.Certificates {
-			st.prober = newRETProber(comps[i].Inst, st.cfg, resolveCarry(cfg, comps[i].Key, false))
+			st.prober = newRETProber(comps[i].Inst, st.cfg, resolveCarry(cfg, comps[i].Key, comps[i].PathsKey, false))
 		}
 		bhat, iters, steps, err := retSearch(comps[i].Inst, st.cfg, retSearchEnv{chain: E, prober: st.prober, spec: spec}, comps[i].Key)
 		st.bhat, st.iters, st.probes = bhat, iters, steps
@@ -660,10 +666,11 @@ func solveRETDecomposed(inst *Instance, comps []*Component, cfg RETConfig) (*RET
 					continue
 				}
 				res.ProbeBases[c.Key] = &ComponentBasis{
-					Basis:  states[i].prober.exportBasis(),
-					Edges:  c.Edges,
-					Feas:   states[i].prober.feas,
-					Infeas: states[i].prober.infeas,
+					Basis:    states[i].prober.exportBasis(),
+					Edges:    c.Edges,
+					PathsKey: c.PathsKey,
+					Feas:     states[i].prober.feas,
+					Infeas:   states[i].prober.infeas,
 				}
 			}
 		}
@@ -753,10 +760,11 @@ func solveRETDecomposed(inst *Instance, comps []*Component, cfg RETConfig) (*RET
 						continue
 					}
 					res.ProbeBases[c.Key] = &ComponentBasis{
-						Basis:  states[i].prober.exportBasis(),
-						Edges:  c.Edges,
-						Feas:   states[i].prober.feas,
-						Infeas: states[i].prober.infeas,
+						Basis:    states[i].prober.exportBasis(),
+						Edges:    c.Edges,
+						PathsKey: c.PathsKey,
+						Feas:     states[i].prober.feas,
+						Infeas:   states[i].prober.infeas,
 					}
 				}
 			}
@@ -789,12 +797,15 @@ func solveRETDecomposed(inst *Instance, comps []*Component, cfg RETConfig) (*RET
 }
 
 // buildSubRETModel assembles the fractional SUB-RET program (eqs. 14–16
-// with (5) in place of (10)) at the given per-job windows.
-func buildSubRETModel(name string, inst *Instance, extLast []int, cfg RETConfig) (*lp.Model, flowVars, error) {
+// with (5) in place of (10)) at the given per-job windows. The demand
+// rows are the first rows of the model (row k is job k's), and the
+// returned map records the capacity row of each loaded (edge, slice) —
+// the layout the column-generation pricer relies on.
+func buildSubRETModel(name string, inst *Instance, extLast []int, cfg RETConfig) (*lp.Model, flowVars, map[capKey]lp.RowID, error) {
 	m := lp.NewModel(name, lp.Minimize)
 	xvars, err := addFlowVars(m, inst, extLast, 0)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	// Quick-Finish objective (14): Σ_j γ(j)·Σ x.
 	for k := range inst.Jobs {
@@ -809,8 +820,8 @@ func buildSubRETModel(name string, inst *Instance, extLast []int, cfg RETConfig)
 			m.AddTerm(r, v, inst.Grid.Len(j))
 		})
 	}
-	addCapacityRows(m, inst, xvars, 0)
-	return m, xvars, nil
+	capRows := addCapacityRows(m, inst, xvars, 0)
+	return m, xvars, capRows, nil
 }
 
 // solveSubRET builds and solves the fractional SUB-RET LP under extension
@@ -818,7 +829,7 @@ func buildSubRETModel(name string, inst *Instance, extLast []int, cfg RETConfig)
 // assignment is extracted only when extract is true.
 func solveSubRET(inst *Instance, b float64, cfg RETConfig, extract bool) (bool, *Assignment, int, error) {
 	extLast := retExtendedLast(inst, b, cfg)
-	m, xvars, err := buildSubRETModel("sub-ret", inst, extLast, cfg)
+	m, xvars, _, err := buildSubRETModel("sub-ret", inst, extLast, cfg)
 	if err != nil {
 		return false, nil, 0, err
 	}
@@ -891,7 +902,7 @@ type retChain struct {
 // newRETChain builds the chain model at BMax windows.
 func newRETChain(inst *Instance, name string, cfg RETConfig) (*retChain, error) {
 	maxLast := retExtendedLast(inst, cfg.BMax, cfg)
-	m, xv, err := buildSubRETModel(name, inst, maxLast, cfg)
+	m, xv, _, err := buildSubRETModel(name, inst, maxLast, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -1247,6 +1258,12 @@ func (sp *speculator) take(comp string, b float64) *specResult {
 // (1+bMax)-extended end time, as SolveRET requires. k is the number of
 // allowed paths per job.
 func BuildRETInstance(g *netgraph.Graph, jobs []job.Job, sliceLen float64, k int, bMax float64) (*Instance, error) {
+	return BuildRETInstanceOpts(g, jobs, sliceLen, k, bMax, InstanceOptions{})
+}
+
+// BuildRETInstanceOpts is BuildRETInstance with full path-construction
+// control; opts.K defaults to k when unset.
+func BuildRETInstanceOpts(g *netgraph.Graph, jobs []job.Job, sliceLen float64, k int, bMax float64, opts InstanceOptions) (*Instance, error) {
 	if sliceLen <= 0 {
 		return nil, fmt.Errorf("schedule: slice length must be positive, got %g", sliceLen)
 	}
@@ -1259,5 +1276,8 @@ func BuildRETInstance(g *netgraph.Graph, jobs []job.Job, sliceLen float64, k int
 	if err != nil {
 		return nil, err
 	}
-	return NewInstance(g, grid, jobs, k)
+	if opts.K <= 0 {
+		opts.K = k
+	}
+	return NewInstanceOpts(g, grid, jobs, opts)
 }

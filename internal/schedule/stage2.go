@@ -224,7 +224,7 @@ func maxThroughputWithZMono(inst *Instance, s1 *Stage1Result, cfg Config) (*Resu
 // could run. The α accumulation mirrors the cold ladder exactly so the
 // reported Result.Alpha is bit-identical.
 func warmFeasibleAlpha(inst *Instance, zstar, alpha float64, basis *lp.Basis, cfg Config) float64 {
-	m, zvars, _, err := buildStage2Model(inst, zstar, alpha, cfg.Weight)
+	m, zvars, _, _, err := buildStage2Model(inst, zstar, alpha, cfg.Weight)
 	if err != nil {
 		return alpha
 	}
@@ -271,10 +271,13 @@ func warmFeasibleAlpha(inst *Instance, zstar, alpha float64, basis *lp.Basis, cf
 
 // buildStage2Model assembles the stage-2 program (eqs. 7–10 without the
 // integrality constraint) and returns the model together with the Z and x
-// variable maps.
-func buildStage2Model(inst *Instance, zstar, alpha float64, weight WeightFunc) (*lp.Model, []lp.VarID, flowVars, error) {
+// variable maps. The coupling rows are the first rows of the model (row k
+// is job k's), and the returned map records the capacity row of each
+// loaded (edge, slice) — the layout the column-generation pricer relies
+// on.
+func buildStage2Model(inst *Instance, zstar, alpha float64, weight WeightFunc) (*lp.Model, []lp.VarID, flowVars, map[capKey]lp.RowID, error) {
 	if inst.TotalDemand() <= 0 {
-		return nil, nil, nil, fmt.Errorf("schedule: stage 2: no demand")
+		return nil, nil, nil, nil, fmt.Errorf("schedule: stage 2: no demand")
 	}
 	if weight == nil {
 		weight = WeightBySize
@@ -284,7 +287,7 @@ func buildStage2Model(inst *Instance, zstar, alpha float64, weight WeightFunc) (
 		wsum += weight(jb)
 	}
 	if wsum <= 0 {
-		return nil, nil, nil, fmt.Errorf("schedule: stage 2: non-positive total weight")
+		return nil, nil, nil, nil, fmt.Errorf("schedule: stage 2: non-positive total weight")
 	}
 	m := lp.NewModel("stage2", lp.Maximize)
 	// Z_i variables with the fairness floor (9) as a lower bound. The
@@ -299,7 +302,7 @@ func buildStage2Model(inst *Instance, zstar, alpha float64, weight WeightFunc) (
 	}
 	xvars, err := addFlowVars(m, inst, nil, 0)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	// Coupling (8): Σ x·LEN = Z_i·D_i.
 	for k, jb := range inst.Jobs {
@@ -309,8 +312,8 @@ func buildStage2Model(inst *Instance, zstar, alpha float64, weight WeightFunc) (
 		})
 		m.AddTerm(r, zvars[k], -jb.Size)
 	}
-	addCapacityRows(m, inst, xvars, 0)
-	return m, zvars, xvars, nil
+	capRows := addCapacityRows(m, inst, xvars, 0)
+	return m, zvars, xvars, capRows, nil
 }
 
 // solveStage2 builds and solves the stage-2 LP (eqs. 7–10 without
@@ -349,7 +352,7 @@ func solveStage2(inst *Instance, zstar, alpha float64, cfg Config) (*Result, lp.
 // the extracted assignment on an Optimal outcome and the status/basis
 // otherwise.
 func solveStage2Frac(inst *Instance, zstar, alpha float64, cfg Config) (*Assignment, lp.Status, *lp.Basis, int, error) {
-	m, _, xvars, err := buildStage2Model(inst, zstar, alpha, cfg.Weight)
+	m, _, xvars, _, err := buildStage2Model(inst, zstar, alpha, cfg.Weight)
 	if err != nil {
 		return nil, lp.Infeasible, nil, 0, err
 	}

@@ -34,6 +34,15 @@ var (
 		"Path-set computations served from a PathCache.")
 	telPathCacheMisses = telemetry.Default().Counter("schedule_pathcache_misses_total",
 		"Path-set computations that missed the PathCache and ran the path algorithm.")
+	telPathCacheEvictions = telemetry.Default().Counter("schedule_pathcache_evictions_total",
+		"PathCache entries evicted by the LRU size bound.")
+
+	telColGenRounds = telemetry.Default().Counter("schedule_colgen_rounds_total",
+		"Column-generation pricing rounds that appended at least one column.")
+	telColGenPaths = telemetry.Default().Counter("schedule_colgen_paths_total",
+		"Paths discovered by the column-generation pricing oracle.")
+	telColGenSolves = telemetry.Default().Counter("schedule_colgen_solves_total",
+		"Restricted-master LP solves during column generation.")
 
 	telComponents = telemetry.Default().Counter("schedule_components_total",
 		"Connected components across decomposition-enabled solves (1 per solve for fully coupled instances).")
